@@ -1,0 +1,577 @@
+// The benchmark harness of the reproduction (DESIGN.md §3). One benchmark
+// regenerates each table and figure of the paper (E-T1..E-T9, E-A1..E-A9,
+// E-F1..E-F4); the B-* benchmarks are our performance characterization —
+// the 1990 paper reports no timings, so those measure the cost of source
+// tagging itself, scaling in sources and overlap, the plan optimizer, the
+// source-set representation, and the networked LQP path. EXPERIMENTS.md
+// records a snapshot of the output.
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/identity"
+	"repro/internal/lqp"
+	"repro/internal/paperdata"
+	"repro/internal/pqp"
+	"repro/internal/rel"
+	"repro/internal/relalg"
+	"repro/internal/sourceset"
+	"repro/internal/tables"
+	"repro/internal/translate"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// Paper artifacts: one benchmark per table and figure.
+
+func paperPQP(b *testing.B) (*paperdata.Federation, *pqp.PQP) {
+	b.Helper()
+	fed := paperdata.New()
+	return fed, pqp.New(fed.Schema, fed.Registry, identity.CaseFold{}, fed.LQPs())
+}
+
+// BenchmarkTable1POM regenerates Table 1: parsing the §III algebraic
+// expression and running the Syntax Analyzer.
+func BenchmarkTable1POM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e, err := translate.ParseExpr(tables.PaperExpr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := translate.Analyze(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2PassOne regenerates Table 2: pass one of the POI.
+func BenchmarkTable2PassOne(b *testing.B) {
+	fed := paperdata.New()
+	pom, err := translate.Analyze(translate.MustParseExpr(tables.PaperExpr))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := translate.PassOne(pom, fed.Schema); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3PassTwo regenerates Table 3: pass two of the POI.
+func BenchmarkTable3PassTwo(b *testing.B) {
+	fed := paperdata.New()
+	pom, _ := translate.Analyze(translate.MustParseExpr(tables.PaperExpr))
+	h, err := translate.PassOne(pom, fed.Schema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := translate.PassTwo(h, fed.Schema); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// paperPlan translates the §III query to its IOM once.
+func paperPlan(b *testing.B, fed *paperdata.Federation) *translate.Matrix {
+	b.Helper()
+	pom, err := translate.Analyze(translate.MustParseExpr(tables.PaperExpr))
+	if err != nil {
+		b.Fatal(err)
+	}
+	iom, err := translate.Interpret(pom, fed.Schema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return iom
+}
+
+// benchPlanPrefix executes the first n rows of Table 3's plan — each
+// BenchmarkTableK below measures the work required to materialize that
+// table's register.
+func benchPlanPrefix(b *testing.B, rows int) {
+	fed, q := paperPQP(b)
+	iom := paperPlan(b, fed)
+	prefix := &translate.Matrix{Rows: iom.Rows[:rows]}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.Execute(prefix); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4SelectAtAD materializes R(1) (Table 4).
+func BenchmarkTable4SelectAtAD(b *testing.B) { benchPlanPrefix(b, 1) }
+
+// BenchmarkTable5JoinCareer materializes R(3) (Table 5).
+func BenchmarkTable5JoinCareer(b *testing.B) { benchPlanPrefix(b, 3) }
+
+// BenchmarkTable6Merge materializes R(7) (Table 6 / A9).
+func BenchmarkTable6Merge(b *testing.B) { benchPlanPrefix(b, 7) }
+
+// BenchmarkTable7JoinOrganizations materializes R(8) (Table 7).
+func BenchmarkTable7JoinOrganizations(b *testing.B) { benchPlanPrefix(b, 8) }
+
+// BenchmarkTable8Restrict materializes R(9) (Table 8).
+func BenchmarkTable8Restrict(b *testing.B) { benchPlanPrefix(b, 9) }
+
+// BenchmarkTable9FullQuery materializes R(10) (Table 9) — the whole plan.
+func BenchmarkTable9FullQuery(b *testing.B) { benchPlanPrefix(b, 10) }
+
+// appendixInputs retrieves and tags A1–A3 once.
+func appendixInputs(b *testing.B) (*core.Algebra, *core.Relation, *core.Relation, *core.Relation) {
+	b.Helper()
+	art, err := tables.Compute()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return art.PQP.Algebra(), art.A[1], art.A[2], art.A[3]
+}
+
+// BenchmarkTableA1toA3Retrieve regenerates the three tagged base relations.
+func BenchmarkTableA1toA3Retrieve(b *testing.B) {
+	fed, q := paperPQP(b)
+	_ = fed
+	plan := &translate.Matrix{Rows: []translate.Row{
+		{PR: 1, Op: translate.OpRetrieve, LHR: translate.LocalOperand("BUSINESS"), RHA: translate.NoComparand(), RHR: translate.NoOperand(), EL: "AD"},
+		{PR: 2, Op: translate.OpRetrieve, LHR: translate.LocalOperand("CORPORATION"), RHA: translate.NoComparand(), RHR: translate.NoOperand(), EL: "PD"},
+		{PR: 3, Op: translate.OpRetrieve, LHR: translate.LocalOperand("FIRM"), RHA: translate.NoComparand(), RHR: translate.NoOperand(), EL: "CD"},
+	}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.Execute(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableA4OuterJoin regenerates Table A4.
+func BenchmarkTableA4OuterJoin(b *testing.B) {
+	alg, a1, a2, _ := appendixInputs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := alg.OuterJoin(a1, "BNAME", a2, "CNAME"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableA5PrimaryJoin regenerates Table A5 (ONPJ of A1, A2).
+func BenchmarkTableA5PrimaryJoin(b *testing.B) {
+	alg, a1, a2, _ := appendixInputs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := alg.OuterNaturalPrimaryJoin(a1, "BNAME", a2, "CNAME", "ONAME"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableA6TotalJoin regenerates Table A6 (ONTJ of A1, A2).
+func BenchmarkTableA6TotalJoin(b *testing.B) {
+	fed := paperdata.New()
+	scheme, _ := fed.Schema.Scheme("PORGANIZATION")
+	alg, a1, a2, _ := appendixInputs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := alg.OuterNaturalTotalJoin(a1, a2, scheme); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableA7toA9SecondTotalJoin regenerates A7–A9: the ONTJ of A6
+// with A3 (computed stepwise in the harness; here as one total join).
+func BenchmarkTableA7toA9SecondTotalJoin(b *testing.B) {
+	fed := paperdata.New()
+	scheme, _ := fed.Schema.Scheme("PORGANIZATION")
+	art, err := tables.Compute()
+	if err != nil {
+		b.Fatal(err)
+	}
+	alg := art.PQP.Algebra()
+	a6, a3 := art.A[6], art.A[3]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := alg.OuterNaturalTotalJoin(a6, a3, scheme); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure1EndToEndInProcess is E-F1 over in-process LQPs: SQL text
+// to tagged answer (the full Figure 1 path minus sockets).
+func BenchmarkFigure1EndToEndInProcess(b *testing.B) {
+	_, q := paperPQP(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := q.QuerySQL(tables.PaperSQL)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Relation.Cardinality() != 3 {
+			b.Fatal("wrong answer")
+		}
+	}
+}
+
+// BenchmarkFigure1EndToEndTCP is E-F1 with the LQPs behind loopback TCP.
+func BenchmarkFigure1EndToEndTCP(b *testing.B) {
+	fed := paperdata.New()
+	lqps := make(map[string]lqp.LQP, 3)
+	for _, db := range fed.Databases() {
+		srv := wire.NewServer(db)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		client, err := wire.Dial(addr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer client.Close()
+		lqps[client.Name()] = client
+	}
+	q := pqp.New(fed.Schema, fed.Registry, identity.CaseFold{}, lqps)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := q.QuerySQL(tables.PaperSQL)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Relation.Cardinality() != 3 {
+			b.Fatal("wrong answer")
+		}
+	}
+}
+
+// BenchmarkFigure2Pipeline is E-F2: the Syntax Analyzer → POI → Optimizer
+// pipeline without execution.
+func BenchmarkFigure2Pipeline(b *testing.B) {
+	fed := paperdata.New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := translate.CompileSQL(tables.PaperSQL, fed.Schema)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pom, err := translate.Analyze(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		iom, err := translate.Interpret(pom, fed.Schema)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := translate.Optimize(iom); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure3PassOne / BenchmarkFigure4PassTwo are E-F3/E-F4 on the
+// multi-source §I query, which exercises the branches the example query
+// does not (both-sides-local relocation).
+func BenchmarkFigure3PassOne(b *testing.B) {
+	fed := paperdata.New()
+	pom, err := translate.Analyze(translate.MustParseExpr(`PORGANIZATION [CEO = ANAME] PALUMNUS`))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := translate.PassOne(pom, fed.Schema); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure4PassTwo(b *testing.B) {
+	fed := paperdata.New()
+	pom, _ := translate.Analyze(translate.MustParseExpr(`PORGANIZATION [CEO = ANAME] PALUMNUS`))
+	h, err := translate.PassOne(pom, fed.Schema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := translate.PassTwo(h, fed.Schema); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// B-OV: source tagging overhead against the untagged relational baseline.
+
+func overheadInputs(b *testing.B, n int) (*core.Algebra, []*core.Relation, []*rel.Relation) {
+	b.Helper()
+	f := workload.New(workload.Config{Databases: 2, Entities: n, Overlap: 1, Categories: 10, Seed: 42})
+	return core.NewAlgebra(nil), f.TaggedFragments(), f.PlainFragments()
+}
+
+func BenchmarkTagOverheadSelect(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		alg, tagged, plain := overheadInputs(b, n)
+		cat := rel.String("cat3")
+		b.Run(fmt.Sprintf("plain/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := relalg.Select(plain[0], "CAT", rel.ThetaEQ, cat); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("polygen/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := alg.Select(tagged[0], "CAT", rel.ThetaEQ, cat); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTagOverheadProject(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		alg, tagged, plain := overheadInputs(b, n)
+		cols := []string{"KEY", "CAT"}
+		b.Run(fmt.Sprintf("plain/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := relalg.Project(plain[0], cols); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("polygen/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := alg.Project(tagged[0], cols); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTagOverheadJoin(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		alg, tagged, plain := overheadInputs(b, n)
+		b.Run(fmt.Sprintf("plain/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := relalg.Join(plain[0], "KEY", plain[1], "KEY"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("polygen/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := alg.Join(tagged[0], "KEY", rel.ThetaEQ, tagged[1], "KEY"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTagOverheadUnion(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		alg, tagged, plain := overheadInputs(b, n)
+		b.Run(fmt.Sprintf("plain/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := relalg.Union(plain[0], plain[1]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("polygen/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := alg.Union(tagged[0], tagged[1]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// B-SRC / B-OVL: Merge scaling.
+
+func BenchmarkMergeSources(b *testing.B) {
+	for _, n := range []int{2, 4, 8, 16} {
+		f := workload.New(workload.Config{Databases: n, Entities: 2000, Overlap: 0.5, Categories: 10, Seed: 42})
+		alg := core.NewAlgebra(nil)
+		frags := f.TaggedFragments()
+		b.Run(fmt.Sprintf("databases=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := alg.Merge(f.Scheme, frags...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkMergeOverlap(b *testing.B) {
+	for _, ov := range []float64{0.0, 0.5, 1.0} {
+		f := workload.New(workload.Config{Databases: 8, Entities: 2000, Overlap: ov, Categories: 10, Seed: 42})
+		alg := core.NewAlgebra(nil)
+		frags := f.TaggedFragments()
+		b.Run(fmt.Sprintf("overlap=%.2f", ov), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := alg.Merge(f.Scheme, frags...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// B-SET: source-set representation ablation (bitset Set vs sorted SliceSet).
+
+func BenchmarkSourceSetUnionBitset(b *testing.B) {
+	a := sourceset.Of(0, 2, 5)
+	c := sourceset.Of(1, 2, 7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = a.Union(c)
+	}
+}
+
+func BenchmarkSourceSetUnionSlice(b *testing.B) {
+	a := sourceset.SliceOf(0, 2, 5)
+	c := sourceset.SliceOf(1, 2, 7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = a.Union(c)
+	}
+}
+
+func BenchmarkSourceSetUnionBitsetOverflow(b *testing.B) {
+	a := sourceset.Of(0, 70, 100)
+	c := sourceset.Of(1, 70, 130)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = a.Union(c)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// B-OPT: optimizer ablation on a query with redundant fan-out.
+
+func BenchmarkOptimizerAblation(b *testing.B) {
+	fed := paperdata.New()
+	lqps := fed.LQPs()
+	const redundant = `(PORGANIZATION [INDUSTRY = "Banking"]) UNION (PORGANIZATION [INDUSTRY = "Energy"])`
+	for _, optimize := range []bool{false, true} {
+		name := "off"
+		if optimize {
+			name = "on"
+		}
+		b.Run("optimizer="+name, func(b *testing.B) {
+			q := pqp.New(fed.Schema, fed.Registry, identity.CaseFold{}, lqps)
+			q.Optimize = optimize
+			for i := 0; i < b.N; i++ {
+				if _, err := q.QueryAlgebra(redundant); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol round trip.
+
+func BenchmarkWireRetrieve(b *testing.B) {
+	fed := paperdata.New()
+	srv := wire.NewServer(fed.CD)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := wire.Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Execute(lqp.Retrieve("FIRM")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// B-PAR: parallel plan execution over latency-injected LQPs. The Merge's
+// Retrieve fan-out overlaps under ExecuteParallel; with ~2ms per local
+// operation the parallel plan approaches one round trip where the serial
+// plan pays one per retrieve.
+func BenchmarkParallelExecution(b *testing.B) {
+	const latency = 2 * time.Millisecond
+	fed := paperdata.New()
+	mk := func() *pqp.PQP {
+		lqps := make(map[string]lqp.LQP, 3)
+		for name, l := range fed.LQPs() {
+			c := lqp.NewCounting(l)
+			c.Latency = latency
+			lqps[name] = c
+		}
+		return pqp.New(fed.Schema, fed.Registry, identity.CaseFold{}, lqps)
+	}
+	e, err := translate.CompileSQL(`SELECT ONAME FROM PORGANIZATION WHERE INDUSTRY = "Banking"`, fed.Schema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("serial", func(b *testing.B) {
+		q := mk()
+		for i := 0; i < b.N; i++ {
+			if _, err := q.Run(e); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		q := mk()
+		for i := 0; i < b.N; i++ {
+			if _, err := q.RunParallel(e); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMergeStrategy ablates the Merge fold shape: the paper's left
+// fold vs the balanced pairwise tree, at 16 sources.
+func BenchmarkMergeStrategy(b *testing.B) {
+	f := workload.New(workload.Config{Databases: 16, Entities: 2000, Overlap: 0.5, Categories: 10, Seed: 42})
+	alg := core.NewAlgebra(nil)
+	frags := f.TaggedFragments()
+	b.Run("fold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := alg.Merge(f.Scheme, frags...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("balanced", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := alg.MergeBalanced(f.Scheme, frags...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,108 @@
+// Command lqpd serves one of the paper's local databases as a Local Query
+// Processor over TCP (Figure 1's LQP boxes, networked). The PQP — cmd/polygen
+// with -remote, or any wire.Client — connects to it and issues local
+// operations; the database's contents never leave the process except as
+// query results.
+//
+// Usage:
+//
+//	lqpd -db AD -addr 127.0.0.1:7001
+//	lqpd -db PD -addr 127.0.0.1:7002
+//	lqpd -db CD -addr 127.0.0.1:7003
+//
+// A custom database can be served from CSV files or a gob snapshot instead:
+//
+//	lqpd -name MYDB -addr :7010 -csv 'REL1=/path/a.csv,REL2=/path/b.csv'
+//	lqpd -snapshot /path/db.snapshot -addr :7011
+//
+// With -save the chosen database is also written to a snapshot file on
+// startup (handy for turning the embedded paper databases into files).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/internal/catalog"
+	"repro/internal/paperdata"
+	"repro/internal/wire"
+)
+
+func main() {
+	dbName := flag.String("db", "", "paper database to serve: AD, PD or CD")
+	name := flag.String("name", "", "name for a custom CSV-backed database")
+	csvSpec := flag.String("csv", "", "comma-separated REL=path.csv pairs for a custom database")
+	snapshot := flag.String("snapshot", "", "serve a database from a gob snapshot file")
+	save := flag.String("save", "", "write the served database to a snapshot file before serving")
+	addr := flag.String("addr", "127.0.0.1:0", "listen address")
+	flag.Parse()
+
+	var db *catalog.Database
+	switch {
+	case *snapshot != "":
+		var err error
+		db, err = catalog.OpenFile(*snapshot)
+		if err != nil {
+			fatal("loading snapshot: %v", err)
+		}
+	case *dbName != "":
+		fed := paperdata.New()
+		switch *dbName {
+		case paperdata.AD:
+			db = fed.AD
+		case paperdata.PD:
+			db = fed.PD
+		case paperdata.CD:
+			db = fed.CD
+		default:
+			fatal("unknown paper database %q (want AD, PD or CD)", *dbName)
+		}
+	case *name != "" && *csvSpec != "":
+		db = catalog.NewDatabase(*name)
+		for _, pair := range strings.Split(*csvSpec, ",") {
+			eq := strings.IndexByte(pair, '=')
+			if eq < 0 {
+				fatal("bad -csv entry %q (want REL=path)", pair)
+			}
+			relName, path := pair[:eq], pair[eq+1:]
+			f, err := os.Open(path)
+			if err != nil {
+				fatal("opening %s: %v", path, err)
+			}
+			if err := db.LoadCSV(relName, f); err != nil {
+				fatal("loading %s: %v", path, err)
+			}
+			f.Close()
+		}
+	default:
+		fatal("one of -db, -snapshot, or both -name and -csv is required")
+	}
+	if *save != "" {
+		if err := db.SaveFile(*save); err != nil {
+			fatal("saving snapshot: %v", err)
+		}
+		fmt.Printf("lqpd: wrote snapshot of %s to %s\n", db.Name(), *save)
+	}
+
+	srv := wire.NewServer(db)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("lqpd: serving %s (%s) on %s\n", db.Name(), strings.Join(db.Relations(), ", "), bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("lqpd: shutting down")
+	srv.Close()
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,138 @@
+// Command polygen runs polygen queries — SQL or algebraic — against the
+// paper's federation (the Alumni, Placement and Company databases of §IV)
+// and prints the composite answer with its data and intermediate source
+// tags.
+//
+// Usage:
+//
+//	polygen -sql 'SELECT ONAME, CEO FROM PORGANIZATION, PALUMNUS WHERE ...'
+//	polygen -alg '( PALUMNUS [DEGREE = "MBA"] ) [ANAME]'
+//	polygen                      # interactive: one SQL query per line
+//
+// Flags:
+//
+//	-plan   print the POM, half-processed IOM and IOM before the answer
+//	-trace  print each executed plan row with its result cardinality
+//	-remote addr1,addr2,...      use remote LQPs (see cmd/lqpd) instead of
+//	        the in-process federation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/identity"
+	"repro/internal/lqp"
+	"repro/internal/paperdata"
+	"repro/internal/pqp"
+	"repro/internal/shell"
+	"repro/internal/tables"
+	"repro/internal/wire"
+)
+
+func main() {
+	sql := flag.String("sql", "", "polygen SQL query to run")
+	alg := flag.String("alg", "", "polygen algebraic expression to run")
+	plan := flag.Bool("plan", false, "print translation matrices before the answer")
+	trace := flag.Bool("trace", false, "trace plan execution")
+	remote := flag.String("remote", "", "comma-separated lqpd addresses to use instead of in-process LQPs")
+	flag.Parse()
+
+	fed := paperdata.New()
+	lqps := fed.LQPs()
+	if *remote != "" {
+		lqps = make(map[string]lqp.LQP)
+		for _, addr := range strings.Split(*remote, ",") {
+			client, err := wire.Dial(strings.TrimSpace(addr))
+			if err != nil {
+				fatal("dialing %s: %v", addr, err)
+			}
+			defer client.Close()
+			lqps[client.Name()] = client
+			fmt.Fprintf(os.Stderr, "connected to LQP %s at %s\n", client.Name(), addr)
+		}
+	}
+	processor := pqp.New(fed.Schema, fed.Registry, identity.CaseFold{}, lqps)
+	if *trace {
+		processor.Trace = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "  "+format+"\n", args...)
+		}
+	}
+
+	switch {
+	case *sql != "":
+		run(processor, *sql, false, *plan)
+	case *alg != "":
+		run(processor, *alg, true, *plan)
+	default:
+		repl(processor, fed, *plan, *remote != "")
+	}
+}
+
+func run(processor *pqp.PQP, query string, algebraic, plan bool) {
+	var res *pqp.Result
+	var err error
+	if algebraic {
+		res, err = processor.QueryAlgebra(query)
+	} else {
+		res, err = processor.QuerySQL(query)
+	}
+	if err != nil {
+		fatal("%v", err)
+	}
+	if plan {
+		fmt.Println("Polygen algebraic expression:")
+		fmt.Println("  " + res.Expr.String())
+		fmt.Println("\nPolygen Operation Matrix:")
+		fmt.Print(indent(res.POM.String()))
+		fmt.Println("\nHalf-processed IOM (pass one):")
+		fmt.Print(indent(res.Half.String()))
+		fmt.Println("\nIntermediate Operation Matrix (pass two):")
+		fmt.Print(indent(res.IOM.String()))
+		if res.Plan.String() != res.IOM.String() {
+			fmt.Println("\nOptimized plan:")
+			fmt.Print(indent(res.Plan.String()))
+		}
+		fmt.Println()
+	}
+	header, rows := tables.RenderRelation(res.Relation)
+	fmt.Println(header)
+	fmt.Println(strings.Repeat("-", len(header)))
+	for _, r := range rows {
+		fmt.Println(r)
+	}
+	fmt.Printf("(%d tuples)\n", len(rows))
+}
+
+func repl(processor *pqp.PQP, fed *paperdata.Federation, plan bool, remote bool) {
+	fmt.Println("polygen federation: AD (Alumni), PD (Placement), CD (Company)")
+	fmt.Println("schemes:", strings.Join(processor.Schema().SchemeNames(), ", "))
+	fmt.Println(`enter SQL or \help:`)
+	sh := shell.New(processor)
+	sh.ShowPlan = plan
+	sh.Resolver = identity.CaseFold{}
+	if !remote {
+		sh.Databases = map[string]*catalog.Database{
+			paperdata.AD: fed.AD, paperdata.PD: fed.PD, paperdata.CD: fed.CD,
+		}
+	}
+	if err := sh.Run(os.Stdin, os.Stdout); err != nil {
+		fatal("%v", err)
+	}
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = "  " + lines[i]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,176 @@
+// Command workload runs the scaling characterization experiments of
+// DESIGN.md (B-SRC, B-OVL, B-OV) on synthetic federations and prints the
+// measurements as text tables. These are our experiments, not the paper's —
+// the 1990 paper reports no performance numbers — and EXPERIMENTS.md records
+// a snapshot of their output.
+//
+// Usage:
+//
+//	workload -experiment sources   # Merge cost vs. number of databases
+//	workload -experiment overlap   # Merge cost vs. fragment overlap
+//	workload -experiment overhead  # tagged vs. untagged operator cost
+//	workload -experiment all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rel"
+	"repro/internal/relalg"
+	"repro/internal/workload"
+)
+
+func main() {
+	exp := flag.String("experiment", "all", "sources | overlap | overhead | all")
+	entities := flag.Int("entities", 5000, "entities per federation")
+	reps := flag.Int("reps", 5, "measurement repetitions (minimum is reported)")
+	flag.Parse()
+
+	switch *exp {
+	case "sources":
+		sources(*entities, *reps)
+	case "overlap":
+		overlap(*entities, *reps)
+	case "overhead":
+		overhead(*entities, *reps)
+	case "all":
+		sources(*entities, *reps)
+		fmt.Println()
+		overlap(*entities, *reps)
+		fmt.Println()
+		overhead(*entities, *reps)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(1)
+	}
+}
+
+// measure runs fn reps times and returns the minimum wall time.
+func measure(reps int, fn func()) time.Duration {
+	best := time.Duration(0)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		fn()
+		d := time.Since(start)
+		if i == 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func sources(entities, reps int) {
+	fmt.Println("B-SRC: Merge cost vs. number of source databases")
+	fmt.Printf("%-10s %-12s %-14s %-14s\n", "databases", "tuples", "merge time", "per entity")
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		f := workload.New(workload.Config{
+			Databases: n, Entities: entities, Overlap: 0.5, Categories: 10, Seed: 42,
+		})
+		alg := core.NewAlgebra(nil)
+		frags := f.TaggedFragments()
+		total := 0
+		for _, fr := range frags {
+			total += fr.Cardinality()
+		}
+		var merged *core.Relation
+		d := measure(reps, func() {
+			var err error
+			merged, err = alg.Merge(f.Scheme, frags...)
+			if err != nil {
+				panic(err)
+			}
+		})
+		fmt.Printf("%-10d %-12d %-14v %-14v\n", n, total, d, d/time.Duration(merged.Cardinality()))
+	}
+}
+
+func overlap(entities, reps int) {
+	fmt.Println("B-OVL: Merge cost vs. fragment overlap (8 databases)")
+	fmt.Printf("%-10s %-12s %-14s %-12s\n", "overlap", "tuples", "merge time", "merged card")
+	for _, ov := range []float64{0.0, 0.25, 0.5, 0.75, 1.0} {
+		f := workload.New(workload.Config{
+			Databases: 8, Entities: entities, Overlap: ov, Categories: 10, Seed: 42,
+		})
+		alg := core.NewAlgebra(nil)
+		frags := f.TaggedFragments()
+		total := 0
+		for _, fr := range frags {
+			total += fr.Cardinality()
+		}
+		var merged *core.Relation
+		d := measure(reps, func() {
+			var err error
+			merged, err = alg.Merge(f.Scheme, frags...)
+			if err != nil {
+				panic(err)
+			}
+		})
+		fmt.Printf("%-10.2f %-12d %-14v %-12d\n", ov, total, d, merged.Cardinality())
+	}
+}
+
+func overhead(entities, reps int) {
+	fmt.Println("B-OV: polygen (tagged) vs. plain relational (untagged) operator cost")
+	f := workload.New(workload.Config{
+		Databases: 2, Entities: entities, Overlap: 1, Categories: 10, Seed: 42,
+	})
+	alg := core.NewAlgebra(nil)
+	tagged := f.TaggedFragments()
+	plain := f.PlainFragments()
+	cat := rel.String("cat3")
+
+	fmt.Printf("%-22s %-14s %-14s %-8s\n", "operator", "plain", "polygen", "ratio")
+	row := func(name string, plainFn, taggedFn func()) {
+		dp := measure(reps, plainFn)
+		dt := measure(reps, taggedFn)
+		fmt.Printf("%-22s %-14v %-14v %.2fx\n", name, dp, dt, float64(dt)/float64(dp))
+	}
+	row("select (CAT=cat3)",
+		func() {
+			if _, err := relalg.Select(plain[0], "CAT", rel.ThetaEQ, cat); err != nil {
+				panic(err)
+			}
+		},
+		func() {
+			if _, err := alg.Select(tagged[0], "CAT", rel.ThetaEQ, cat); err != nil {
+				panic(err)
+			}
+		})
+	row("project (KEY, CAT)",
+		func() {
+			if _, err := relalg.Project(plain[0], []string{"KEY", "CAT"}); err != nil {
+				panic(err)
+			}
+		},
+		func() {
+			if _, err := alg.Project(tagged[0], []string{"KEY", "CAT"}); err != nil {
+				panic(err)
+			}
+		})
+	row("join (on KEY)",
+		func() {
+			if _, err := relalg.Join(plain[0], "KEY", plain[1], "KEY"); err != nil {
+				panic(err)
+			}
+		},
+		func() {
+			if _, err := alg.Join(tagged[0], "KEY", rel.ThetaEQ, tagged[1], "KEY"); err != nil {
+				panic(err)
+			}
+		})
+	row("union",
+		func() {
+			if _, err := relalg.Union(plain[0], plain[0]); err != nil {
+				panic(err)
+			}
+		},
+		func() {
+			if _, err := alg.Union(tagged[0], tagged[0]); err != nil {
+				panic(err)
+			}
+		})
+}

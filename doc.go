@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of
+//
+//	Y. Richard Wang and Stuart E. Madnick,
+//	"A Polygen Model for Heterogeneous Database Systems:
+//	 The Source Tagging Perspective", 1990.
+//
+// The implementation lives under internal/ (see DESIGN.md for the module
+// map), the runnable entry points under cmd/ and examples/, and the
+// benchmark harness that regenerates every table and figure of the paper in
+// bench_test.go next to this file. README.md has the tour; EXPERIMENTS.md
+// records paper-vs-measured for every artifact.
+package repro

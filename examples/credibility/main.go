@@ -1,0 +1,113 @@
+// credibility demonstrates the research direction the polygen model founds
+// (§V): using source tags to detect and resolve data conflicts between
+// local databases. Three market-data providers disagree about company
+// ratings; the example (1) reports every conflict with the sources taking
+// each side, (2) merges the federation twice — once with the default
+// left-precedence policy and once with a credibility-ranked conflict
+// handler — and (3) shows how the winning datum's tags still disclose that
+// the losing source was consulted.
+//
+//	go run ./examples/credibility
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/credibility"
+	"repro/internal/identity"
+	"repro/internal/rel"
+	"repro/internal/sourceset"
+)
+
+func main() {
+	reg := sourceset.NewRegistry()
+	for _, n := range []string{"BLOOM", "REUT", "UPSTART"} {
+		reg.Intern(n)
+	}
+
+	// Three providers, one relation each: RATING(TICKER, GRADE).
+	mk := func(db string, rows [][2]string) *catalog.Database {
+		d := catalog.NewDatabase(db)
+		d.MustCreate("RATING", rel.SchemaOf("TICKER", "GRADE"), "TICKER")
+		for _, r := range rows {
+			if err := d.Insert("RATING", rel.Tuple{rel.String(r[0]), rel.String(r[1])}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return d
+	}
+	bloom := mk("BLOOM", [][2]string{{"IBM", "AA"}, {"DEC", "A"}, {"APPL", "BBB"}})
+	reut := mk("REUT", [][2]string{{"IBM", "AA"}, {"DEC", "BBB"}, {"FORD", "BB"}})
+	upstart := mk("UPSTART", [][2]string{{"IBM", "C"}, {"APPL", "AA"}, {"FORD", "BB"}})
+
+	scheme := &core.Scheme{Name: "PRATING", Key: "TICKER", Attrs: []core.PolygenAttr{
+		{Name: "TICKER", Mapping: []core.LocalAttr{
+			{DB: "BLOOM", Scheme: "RATING", Attr: "TICKER"},
+			{DB: "REUT", Scheme: "RATING", Attr: "TICKER"},
+			{DB: "UPSTART", Scheme: "RATING", Attr: "TICKER"},
+		}},
+		{Name: "GRADE", Mapping: []core.LocalAttr{
+			{DB: "BLOOM", Scheme: "RATING", Attr: "GRADE"},
+			{DB: "REUT", Scheme: "RATING", Attr: "GRADE"},
+			{DB: "UPSTART", Scheme: "RATING", Attr: "GRADE"},
+		}},
+	}}
+	// Validate the scheme's mapping metadata early.
+	core.MustSchema(scheme)
+
+	// Tag the fragments the way the PQP would.
+	tag := func(db *catalog.Database) *core.Relation {
+		plain, err := db.Snapshot("RATING")
+		if err != nil {
+			log.Fatal(err)
+		}
+		src := reg.Intern(db.Name())
+		p := core.FromPlain(plain, src, reg)
+		p.Attrs[0].Polygen = "TICKER"
+		p.Attrs[1].Polygen = "GRADE"
+		return p
+	}
+	// The upstart provider deliberately merges first: under the default
+	// left-precedence policy its (wrong) data wins, which is exactly what
+	// credibility-ranked resolution corrects.
+	frags := []*core.Relation{tag(upstart), tag(reut), tag(bloom)}
+
+	// The established wire services are trusted; the upstart is not.
+	rank := credibility.NewRanking(reg, map[string]float64{
+		"BLOOM": 0.95, "REUT": 0.90, "UPSTART": 0.40,
+	}, 0.5)
+
+	fmt.Println("conflicts across the federation:")
+	conflicts, err := credibility.FindConflicts(scheme, rank, identity.CaseFold{}, frags...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range conflicts {
+		fmt.Println("  " + c.String())
+	}
+
+	merge := func(title string, handler core.ConflictHandler) *core.Relation {
+		alg := core.NewAlgebra(identity.CaseFold{})
+		alg.SetConflictHandler(handler)
+		m, err := alg.Merge(scheme, frags...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s:\n", title)
+		for _, t := range m.Tuples {
+			fmt.Printf("  %-6s -> %s\n", t[0].D, t[1].Format(reg))
+		}
+		return m
+	}
+
+	merge("merged with the default policy (left operand wins)", nil)
+	resolved := merge("merged with credibility-ranked resolution", rank.Handler())
+
+	fmt.Println("\nper-tuple credibility of the resolved relation:")
+	for _, t := range resolved.Tuples {
+		fmt.Printf("  %-6s %.2f\n", t[0].D, rank.Tuple(t))
+	}
+}

@@ -1,0 +1,162 @@
+// Package audit implements diagnostics for the cardinality inconsistency
+// problem the paper identifies as "inherent in heterogeneous database
+// systems" (§V, footnote 13): referential integrity is not enforceable over
+// pre-existing, independently administered databases, so the local relations
+// mapped to one polygen attribute cover different — overlapping but unequal —
+// sets of instances.
+//
+// Coverage scans the local relations feeding one polygen attribute and
+// reports, per local database, which instances it knows that others do not.
+// The paper's own federation exhibits the problem: MIT and BP appear in the
+// Alumni Database's BUSINESS relation but in neither CORPORATION nor FIRM,
+// which is why Table 6 carries nil CEOs for them.
+package audit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/identity"
+	"repro/internal/rel"
+)
+
+// Coverage describes how the local relations of one polygen attribute cover
+// the union of their instances.
+type Coverage struct {
+	// Scheme and Attr identify the polygen attribute audited.
+	Scheme string
+	Attr   string
+	// Total is the number of distinct instances across all sources.
+	Total int
+	// Sources describes each local relation's coverage, ordered as in the
+	// attribute's mapping.
+	Sources []SourceCoverage
+	// MissingEverywhere is always empty for the audited attribute itself
+	// (every instance has at least one source) and exists for symmetry with
+	// future multi-attribute audits.
+	MissingEverywhere []rel.Value
+}
+
+// SourceCoverage is one local relation's view of the instance set.
+type SourceCoverage struct {
+	Local core.LocalAttr
+	// Count is the number of distinct instances this source knows.
+	Count int
+	// MissingFrom lists instances known to some other source but not this
+	// one (the cardinality inconsistency), in first-seen order.
+	MissingFrom []rel.Value
+}
+
+// String renders the coverage report.
+func (c Coverage) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s.%s: %d distinct instances\n", c.Scheme, c.Attr, c.Total)
+	for _, s := range c.Sources {
+		fmt.Fprintf(&b, "  %s: %d known", s.Local, s.Count)
+		if len(s.MissingFrom) > 0 {
+			vals := make([]string, len(s.MissingFrom))
+			for i, v := range s.MissingFrom {
+				vals[i] = v.String()
+			}
+			fmt.Fprintf(&b, ", missing: %s", strings.Join(vals, ", "))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// AuditAttribute checks one polygen attribute's mapping against the live
+// local databases. res canonicalizes instances (nil = exact); dbs maps
+// database names to their catalogs.
+func AuditAttribute(schema *core.Schema, scheme, attr string, res identity.Resolver, dbs map[string]*catalog.Database) (Coverage, error) {
+	if res == nil {
+		res = identity.Exact{}
+	}
+	pa, err := schema.ResolveAttr(scheme, attr)
+	if err != nil {
+		return Coverage{}, err
+	}
+	cov := Coverage{Scheme: scheme, Attr: attr}
+
+	type sourceSeen struct {
+		local core.LocalAttr
+		seen  map[string]bool
+	}
+	var sources []sourceSeen
+	union := make(map[string]rel.Value)
+	var order []string
+	for _, la := range pa.Mapping {
+		db, ok := dbs[la.DB]
+		if !ok {
+			return Coverage{}, fmt.Errorf("audit: no catalog for database %q", la.DB)
+		}
+		r, err := db.Snapshot(la.Scheme)
+		if err != nil {
+			return Coverage{}, err
+		}
+		ci, err := r.Col(la.Attr)
+		if err != nil {
+			return Coverage{}, err
+		}
+		// Compare in the polygen domain: apply the schema's domain mapping
+		// (e.g. FIRM.HQ "Cambridge, MA" → "MA") before canonicalizing.
+		mapFn := schema.DomainMap.Lookup(la.DB, la.Scheme, la.Attr)
+		s := sourceSeen{local: la, seen: make(map[string]bool)}
+		for _, t := range r.Tuples {
+			v := mapFn(t[ci])
+			if v.IsNull() {
+				continue
+			}
+			k := res.Canonical(v)
+			if !s.seen[k] {
+				s.seen[k] = true
+			}
+			if _, dup := union[k]; !dup {
+				union[k] = v
+				order = append(order, k)
+			}
+		}
+		sources = append(sources, s)
+	}
+	cov.Total = len(union)
+	for _, s := range sources {
+		sc := SourceCoverage{Local: s.local, Count: len(s.seen)}
+		for _, k := range order {
+			if !s.seen[k] {
+				sc.MissingFrom = append(sc.MissingFrom, union[k])
+			}
+		}
+		cov.Sources = append(cov.Sources, sc)
+	}
+	return cov, nil
+}
+
+// AuditSchema audits every multi-source attribute of every scheme — the
+// attributes where cardinality inconsistencies can exist — and returns the
+// reports sorted by scheme then attribute.
+func AuditSchema(schema *core.Schema, res identity.Resolver, dbs map[string]*catalog.Database) ([]Coverage, error) {
+	var out []Coverage
+	for _, name := range schema.SchemeNames() {
+		scheme, _ := schema.Scheme(name)
+		for _, pa := range scheme.Attrs {
+			if len(pa.Mapping) < 2 {
+				continue
+			}
+			cov, err := AuditAttribute(schema, name, pa.Name, res, dbs)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, cov)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Scheme != out[j].Scheme {
+			return out[i].Scheme < out[j].Scheme
+		}
+		return out[i].Attr < out[j].Attr
+	})
+	return out, nil
+}

@@ -1,0 +1,111 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/identity"
+	"repro/internal/paperdata"
+)
+
+func paperDBs(f *paperdata.Federation) map[string]*catalog.Database {
+	return map[string]*catalog.Database{"AD": f.AD, "PD": f.PD, "CD": f.CD}
+}
+
+// TestAuditONAME verifies the §V footnote on the paper's own data: BUSINESS
+// knows MIT and BP, which neither CORPORATION nor FIRM knows, and the three
+// sources cover 12 distinct organizations (Table 6's cardinality).
+func TestAuditONAME(t *testing.T) {
+	f := paperdata.New()
+	cov, err := AuditAttribute(f.Schema, "PORGANIZATION", "ONAME", identity.CaseFold{}, paperDBs(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov.Total != 12 {
+		t.Errorf("total distinct organizations = %d, want 12 (Table 6)", cov.Total)
+	}
+	if len(cov.Sources) != 3 {
+		t.Fatalf("sources = %d", len(cov.Sources))
+	}
+	bus := cov.Sources[0]
+	if bus.Local.Scheme != "BUSINESS" || bus.Count != 9 {
+		t.Errorf("BUSINESS coverage = %+v", bus)
+	}
+	// BUSINESS misses Apple, AT&T, Banker's Trust.
+	if len(bus.MissingFrom) != 3 {
+		t.Errorf("BUSINESS missing = %v", bus.MissingFrom)
+	}
+	corp := cov.Sources[1]
+	if corp.Count != 7 || len(corp.MissingFrom) != 5 {
+		t.Errorf("CORPORATION coverage = %+v", corp)
+	}
+	firm := cov.Sources[2]
+	if firm.Count != 10 || len(firm.MissingFrom) != 2 {
+		t.Errorf("FIRM coverage = %+v", firm)
+	}
+	// MIT and BP are exactly the instances FIRM misses.
+	missing := make(map[string]bool)
+	for _, v := range firm.MissingFrom {
+		missing[v.String()] = true
+	}
+	if !missing["MIT"] || !missing["BP"] {
+		t.Errorf("FIRM should miss MIT and BP, got %v", firm.MissingFrom)
+	}
+}
+
+// TestAuditCaseFoldMatters: with exact matching, "CitiCorp" (AD/CD) and
+// "Citicorp" (PD) split into distinct instances and the total rises.
+func TestAuditCaseFoldMatters(t *testing.T) {
+	f := paperdata.New()
+	cov, err := AuditAttribute(f.Schema, "PORGANIZATION", "ONAME", identity.Exact{}, paperDBs(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov.Total != 13 {
+		t.Errorf("exact-matching total = %d, want 13 (CitiCorp splits)", cov.Total)
+	}
+}
+
+func TestAuditSchema(t *testing.T) {
+	f := paperdata.New()
+	covs, err := AuditSchema(f.Schema, identity.CaseFold{}, paperDBs(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Multi-source attributes: PORGANIZATION's ONAME, INDUSTRY and
+	// HEADQUARTERS (CEO is single-source).
+	if len(covs) != 3 {
+		t.Fatalf("audited %d attributes, want 3: %+v", len(covs), covs)
+	}
+	for _, c := range covs {
+		if c.Scheme != "PORGANIZATION" {
+			t.Errorf("unexpected scheme %q", c.Scheme)
+		}
+	}
+}
+
+func TestAuditErrors(t *testing.T) {
+	f := paperdata.New()
+	if _, err := AuditAttribute(f.Schema, "NOPE", "X", nil, paperDBs(f)); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if _, err := AuditAttribute(f.Schema, "PORGANIZATION", "ONAME", nil, map[string]*catalog.Database{}); err == nil {
+		t.Error("missing catalog accepted")
+	}
+}
+
+func TestCoverageString(t *testing.T) {
+	f := paperdata.New()
+	cov, err := AuditAttribute(f.Schema, "PORGANIZATION", "ONAME", identity.CaseFold{}, paperDBs(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := cov.String()
+	if !strings.Contains(s, "PORGANIZATION.ONAME: 12 distinct instances") {
+		t.Errorf("render = %q", s)
+	}
+	if !strings.Contains(s, "(CD, FIRM, FNAME)") || !strings.Contains(s, "missing") {
+		t.Errorf("render = %q", s)
+	}
+}

@@ -1,0 +1,155 @@
+// Package catalog implements the storage and metadata layer of a local
+// database: a named collection of relations with declared primary keys. Each
+// Local Query Processor serves exactly one catalog.Database (paper, Figure 1).
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/rel"
+)
+
+// Database is a named set of relations. It is safe for concurrent readers
+// and writers; LQPs may serve queries while tools load data.
+type Database struct {
+	name string
+
+	mu   sync.RWMutex
+	rels map[string]*table
+}
+
+type table struct {
+	rel *rel.Relation
+	key []string // primary key attribute names; may be empty
+}
+
+// NewDatabase returns an empty database with the given name (e.g. "AD").
+func NewDatabase(name string) *Database {
+	return &Database{name: name, rels: make(map[string]*table)}
+}
+
+// Name returns the database name.
+func (d *Database) Name() string { return d.name }
+
+// Create registers an empty relation with the given schema and primary key
+// attributes. It fails if the name is taken or a key attribute is unknown.
+func (d *Database) Create(name string, schema *rel.Schema, key ...string) (*rel.Relation, error) {
+	for _, k := range key {
+		if !schema.Has(k) {
+			return nil, fmt.Errorf("catalog: key attribute %q not in schema %s of %q", k, schema, name)
+		}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.rels[name]; dup {
+		return nil, fmt.Errorf("catalog: relation %q already exists in database %q", name, d.name)
+	}
+	r := rel.NewRelation(name, schema)
+	d.rels[name] = &table{rel: r, key: append([]string(nil), key...)}
+	return r, nil
+}
+
+// MustCreate is Create for statically-known schemas; it panics on error.
+func (d *Database) MustCreate(name string, schema *rel.Schema, key ...string) *rel.Relation {
+	r, err := d.Create(name, schema, key...)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Relation returns the named relation.
+func (d *Database) Relation(name string) (*rel.Relation, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	t, ok := d.rels[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: database %q has no relation %q", d.name, name)
+	}
+	return t.rel, nil
+}
+
+// Key returns the primary key attribute names of the named relation.
+func (d *Database) Key(name string) ([]string, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	t, ok := d.rels[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: database %q has no relation %q", d.name, name)
+	}
+	return append([]string(nil), t.key...), nil
+}
+
+// Relations returns the relation names in sorted order.
+func (d *Database) Relations() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	names := make([]string, 0, len(d.rels))
+	for n := range d.rels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Insert appends tuples to the named relation, enforcing degree and — when a
+// primary key is declared — key uniqueness.
+func (d *Database) Insert(name string, tuples ...rel.Tuple) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	t, ok := d.rels[name]
+	if !ok {
+		return fmt.Errorf("catalog: database %q has no relation %q", d.name, name)
+	}
+	var keyIdx []int
+	if len(t.key) > 0 {
+		keyIdx = make([]int, len(t.key))
+		for i, k := range t.key {
+			keyIdx[i] = t.rel.Schema.Index(k)
+		}
+	}
+	seen := make(map[string]struct{})
+	if keyIdx != nil {
+		for _, existing := range t.rel.Tuples {
+			seen[keyOf(existing, keyIdx)] = struct{}{}
+		}
+	}
+	for _, tup := range tuples {
+		if len(tup) != t.rel.Schema.Len() {
+			return fmt.Errorf("catalog: tuple degree %d does not match %q%s", len(tup), name, t.rel.Schema)
+		}
+		if keyIdx != nil {
+			k := keyOf(tup, keyIdx)
+			if _, dup := seen[k]; dup {
+				return fmt.Errorf("catalog: duplicate primary key %v in %q.%q", t.key, d.name, name)
+			}
+			seen[k] = struct{}{}
+		}
+	}
+	for _, tup := range tuples {
+		t.rel.Tuples = append(t.rel.Tuples, tup)
+	}
+	return nil
+}
+
+func keyOf(t rel.Tuple, idx []int) string {
+	sub := make(rel.Tuple, len(idx))
+	for i, ci := range idx {
+		sub[i] = t[ci]
+	}
+	return sub.Key()
+}
+
+// Snapshot returns a deep copy of the named relation, isolating callers from
+// subsequent inserts.
+func (d *Database) Snapshot(name string) (*rel.Relation, error) {
+	r, err := d.Relation(name)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return r.Clone(), nil
+}

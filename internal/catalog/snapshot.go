@@ -1,0 +1,125 @@
+package catalog
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/rel"
+)
+
+// The gob snapshot format gives a local database durable storage: lqpd can
+// serve a database from a snapshot file, and tools can persist a federation
+// between runs. Values rely on rel.Value's gob encoding.
+
+type dbSnapshot struct {
+	Name      string
+	Relations []relSnapshot
+}
+
+type relSnapshot struct {
+	Name   string
+	Attrs  []rel.Attr
+	Key    []string
+	Tuples [][]rel.Value
+}
+
+// WriteSnapshot serializes the whole database — schemas, keys and tuples —
+// to w.
+func (d *Database) WriteSnapshot(w io.Writer) error {
+	d.mu.RLock()
+	snap := dbSnapshot{Name: d.name}
+	for _, name := range d.relationNamesLocked() {
+		t := d.rels[name]
+		rs := relSnapshot{
+			Name:  name,
+			Attrs: t.rel.Schema.Attrs(),
+			Key:   append([]string(nil), t.key...),
+		}
+		for _, tup := range t.rel.Tuples {
+			rs.Tuples = append(rs.Tuples, tup)
+		}
+		snap.Relations = append(snap.Relations, rs)
+	}
+	d.mu.RUnlock()
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("catalog: encoding snapshot of %q: %w", snap.Name, err)
+	}
+	return nil
+}
+
+// relationNamesLocked returns relation names sorted; callers hold d.mu.
+func (d *Database) relationNamesLocked() []string {
+	names := make([]string, 0, len(d.rels))
+	for n := range d.rels {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	return names
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// ReadSnapshot reconstructs a database from a snapshot.
+func ReadSnapshot(r io.Reader) (*Database, error) {
+	var snap dbSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("catalog: decoding snapshot: %w", err)
+	}
+	db := NewDatabase(snap.Name)
+	for _, rs := range snap.Relations {
+		if _, err := db.Create(rs.Name, rel.NewSchema(rs.Attrs...), rs.Key...); err != nil {
+			return nil, err
+		}
+		for _, tup := range rs.Tuples {
+			if err := db.Insert(rs.Name, rel.Tuple(tup)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return db, nil
+}
+
+// SaveFile writes a snapshot to path (atomically via a temporary file in
+// the same directory).
+func (d *Database) SaveFile(path string) error {
+	tmp, err := os.CreateTemp(dirOf(path), ".snapshot-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := d.WriteSnapshot(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return "."
+}
+
+// OpenFile reads a snapshot from path.
+func OpenFile(path string) (*Database, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadSnapshot(f)
+}

@@ -1,0 +1,87 @@
+package catalog
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/rel"
+)
+
+func snapshotDB() *Database {
+	db := NewDatabase("CD")
+	db.MustCreate("FIRM", rel.SchemaOf("FNAME", "CEO"), "FNAME")
+	db.Insert("FIRM",
+		rel.Tuple{rel.String("IBM"), rel.String("John Ackers")},
+		rel.Tuple{rel.String("DEC"), rel.String("Ken Olsen")},
+	)
+	db.MustCreate("FINANCE", rel.SchemaOf("FNAME", "YR", "PROFIT"), "FNAME", "YR")
+	db.Insert("FINANCE", rel.Tuple{rel.String("IBM"), rel.Int(1989), rel.Float(5.5e9)})
+	return db
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	db := snapshotDB()
+	var buf bytes.Buffer
+	if err := db.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name() != "CD" {
+		t.Errorf("name = %q", back.Name())
+	}
+	rels := back.Relations()
+	if len(rels) != 2 || rels[0] != "FINANCE" || rels[1] != "FIRM" {
+		t.Errorf("relations = %v", rels)
+	}
+	firm, err := back.Snapshot("FIRM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := db.Snapshot("FIRM")
+	if firm.Cardinality() != 2 {
+		t.Fatalf("cardinality = %d", firm.Cardinality())
+	}
+	for i := range orig.Tuples {
+		if !firm.Tuples[i].Equal(orig.Tuples[i]) {
+			t.Errorf("tuple %d changed: %v vs %v", i, firm.Tuples[i], orig.Tuples[i])
+		}
+	}
+	// Keys survive: duplicate insert must fail.
+	if err := back.Insert("FIRM", rel.Tuple{rel.String("IBM"), rel.String("x")}); err == nil {
+		t.Error("key constraint lost in snapshot")
+	}
+	// Value kinds survive.
+	fin, _ := back.Snapshot("FINANCE")
+	if fin.Tuples[0][1].Kind() != rel.KindInt || fin.Tuples[0][2].Kind() != rel.KindFloat {
+		t.Error("value kinds lost")
+	}
+}
+
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	db := snapshotDB()
+	path := filepath.Join(t.TempDir(), "cd.snapshot")
+	if err := db.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name() != "CD" || len(back.Relations()) != 2 {
+		t.Error("file round trip lost data")
+	}
+}
+
+func TestSnapshotErrors(t *testing.T) {
+	if _, err := ReadSnapshot(strings.NewReader("garbage")); err == nil {
+		t.Error("garbage snapshot accepted")
+	}
+	if _, err := OpenFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

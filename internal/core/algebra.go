@@ -1,0 +1,312 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/identity"
+	"repro/internal/rel"
+)
+
+// Algebra evaluates polygen algebraic operators. It carries the
+// inter-database instance resolver used for attribute–attribute equality
+// (paper §I assumes instance identifier mismatches are resolved and "the
+// information is available for the PQP to use"); the zero value — or
+// NewAlgebra(nil) — compares exactly.
+type Algebra struct {
+	resolver identity.Resolver
+	conflict ConflictHandler
+}
+
+// NewAlgebra returns an Algebra using r to canonicalize values in
+// attribute–attribute equality comparisons. A nil r means exact comparison.
+func NewAlgebra(r identity.Resolver) *Algebra {
+	if r == nil {
+		r = identity.Exact{}
+	}
+	return &Algebra{resolver: r}
+}
+
+// Resolver returns the instance resolver in use.
+func (a *Algebra) Resolver() identity.Resolver {
+	if a.resolver == nil {
+		return identity.Exact{}
+	}
+	return a.resolver
+}
+
+// same reports whether two data values denote the same instance under the
+// algebra's resolver. Nulls never match.
+func (a *Algebra) same(x, y rel.Value) bool {
+	if x.IsNull() || y.IsNull() {
+		return false
+	}
+	return a.Resolver().Canonical(x) == a.Resolver().Canonical(y)
+}
+
+// evalTheta applies θ between two data values, routing equality and
+// inequality through the instance resolver and ordered comparisons through
+// plain value ordering.
+func (a *Algebra) evalTheta(x rel.Value, theta rel.Theta, y rel.Value) bool {
+	switch theta {
+	case rel.ThetaEQ:
+		return a.same(x, y)
+	case rel.ThetaNE:
+		if x.IsNull() || y.IsNull() {
+			return false
+		}
+		return !a.same(x, y)
+	default:
+		return theta.Eval(x, y)
+	}
+}
+
+// Project implements the Project primitive p[X]: the columns of X, with
+// tuples whose data portions coincide collapsed into one tuple whose tag
+// sets are the unions of the collapsed tuples' tags, attribute by attribute.
+func (a *Algebra) Project(p *Relation, attrs []string) (*Relation, error) {
+	idx := make([]int, len(attrs))
+	outAttrs := make([]Attr, len(attrs))
+	for i, name := range attrs {
+		ci, err := p.Col(name)
+		if err != nil {
+			return nil, err
+		}
+		idx[i] = ci
+		outAttrs[i] = p.Attrs[ci]
+	}
+	out := NewRelation("", p.Reg, outAttrs...)
+	pos := make(map[string]int, len(p.Tuples))
+	for _, t := range p.Tuples {
+		proj := make(Tuple, len(idx))
+		for i, ci := range idx {
+			proj[i] = t[ci]
+		}
+		k := proj.DataKey()
+		if at, dup := pos[k]; dup {
+			// t(d) not unique: union tags into the existing tuple.
+			existing := out.Tuples[at]
+			for i := range existing {
+				existing[i] = existing[i].MergeTags(proj[i])
+			}
+			continue
+		}
+		pos[k] = len(out.Tuples)
+		out.Tuples = append(out.Tuples, proj)
+	}
+	return out, nil
+}
+
+// Product implements the Cartesian Product primitive p1 × p2: tuple
+// concatenation with no tag updates. Column names of p2 colliding with p1
+// are qualified with p2's name (or a positional suffix); the polygen
+// attribute annotations are preserved.
+func (a *Algebra) Product(p1, p2 *Relation) (*Relation, error) {
+	attrs := append([]Attr(nil), p1.Attrs...)
+	for _, at := range p2.Attrs {
+		name := at.Name
+		if hasAttrName(attrs, name) {
+			name = disambiguateName(attrs, p2.Name, at.Name)
+		}
+		attrs = append(attrs, Attr{Name: name, Polygen: at.Polygen})
+	}
+	out := NewRelation("", p1.Reg, attrs...)
+	for _, t1 := range p1.Tuples {
+		for _, t2 := range p2.Tuples {
+			row := make(Tuple, 0, len(t1)+len(t2))
+			row = append(row, t1...)
+			row = append(row, t2...)
+			out.Tuples = append(out.Tuples, row)
+		}
+	}
+	return out, nil
+}
+
+func hasAttrName(attrs []Attr, name string) bool {
+	for _, a := range attrs {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func disambiguateName(attrs []Attr, relName, attrName string) string {
+	cand := attrName
+	if relName != "" {
+		cand = relName + "." + attrName
+	}
+	for i := 2; hasAttrName(attrs, cand); i++ {
+		cand = fmt.Sprintf("%s#%d", attrName, i)
+	}
+	return cand
+}
+
+// Restrict implements the Restrict primitive p[x θ y] between two attributes
+// of p: tuples satisfying the condition survive with their data and origin
+// tags unchanged and with the origins of the two operand attributes added to
+// the intermediate set of every cell — "to signify their mediating role"
+// (paper, §II).
+func (a *Algebra) Restrict(p *Relation, x string, theta rel.Theta, y string) (*Relation, error) {
+	xi, err := p.Col(x)
+	if err != nil {
+		return nil, err
+	}
+	yi, err := p.Col(y)
+	if err != nil {
+		return nil, err
+	}
+	out := NewRelation("", p.Reg, p.Attrs...)
+	for _, t := range p.Tuples {
+		if !a.evalTheta(t[xi].D, theta, t[yi].D) {
+			continue
+		}
+		mediators := t[xi].O.Union(t[yi].O)
+		row := make(Tuple, len(t))
+		for i, c := range t {
+			row[i] = c.WithIntermediate(mediators)
+		}
+		out.Tuples = append(out.Tuples, row)
+	}
+	return out, nil
+}
+
+// Select implements the derived Select operator p[x θ const]. Per §II,
+// Select is defined through Restrict and therefore updates t(i): the origin
+// of the operand attribute is added to every cell's intermediate set. The
+// constant is compared exactly (no instance resolution), matching Table 4's
+// DEG = "MBA".
+func (a *Algebra) Select(p *Relation, x string, theta rel.Theta, constant rel.Value) (*Relation, error) {
+	xi, err := p.Col(x)
+	if err != nil {
+		return nil, err
+	}
+	out := NewRelation("", p.Reg, p.Attrs...)
+	for _, t := range p.Tuples {
+		if !theta.Eval(t[xi].D, constant) {
+			continue
+		}
+		mediators := t[xi].O
+		row := make(Tuple, len(t))
+		for i, c := range t {
+			row[i] = c.WithIntermediate(mediators)
+		}
+		out.Tuples = append(out.Tuples, row)
+	}
+	return out, nil
+}
+
+// Union implements the Union primitive over two union-compatible relations:
+// tuples present (by data portion) in only one operand pass through; tuples
+// present in both are emitted once with both operands' tags unioned cell by
+// cell.
+func (a *Algebra) Union(p1, p2 *Relation) (*Relation, error) {
+	if p1.Degree() != p2.Degree() {
+		return nil, fmt.Errorf("core: union of degree %d with degree %d", p1.Degree(), p2.Degree())
+	}
+	out := NewRelation("", p1.Reg, p1.Attrs...)
+	pos := make(map[string]int, len(p1.Tuples)+len(p2.Tuples))
+	for _, src := range [...]*Relation{p1, p2} {
+		for _, t := range src.Tuples {
+			k := t.DataKey()
+			if at, dup := pos[k]; dup {
+				existing := out.Tuples[at]
+				for i := range existing {
+					existing[i] = existing[i].MergeTags(t[i])
+				}
+				continue
+			}
+			pos[k] = len(out.Tuples)
+			out.Tuples = append(out.Tuples, t.Clone())
+		}
+	}
+	return out, nil
+}
+
+// Difference implements the Difference primitive p1 − p2: the tuples of p1
+// whose data portion does not occur in p2, with p2(o) — the union of all
+// origin sets in p2 — added to every cell's intermediate set, because every
+// p1 tuple had to be compared against all of p2 to be selected.
+func (a *Algebra) Difference(p1, p2 *Relation) (*Relation, error) {
+	if p1.Degree() != p2.Degree() {
+		return nil, fmt.Errorf("core: difference of degree %d with degree %d", p1.Degree(), p2.Degree())
+	}
+	drop := make(map[string]struct{}, len(p2.Tuples))
+	for _, t := range p2.Tuples {
+		drop[t.DataKey()] = struct{}{}
+	}
+	p2o := p2.OriginUnion()
+	out := NewRelation("", p1.Reg, p1.Attrs...)
+	seen := make(map[string]struct{}, len(p1.Tuples))
+	for _, t := range p1.Tuples {
+		k := t.DataKey()
+		if _, gone := drop[k]; gone {
+			continue
+		}
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		row := make(Tuple, len(t))
+		for i, c := range t {
+			row[i] = c.WithIntermediate(p2o)
+		}
+		out.Tuples = append(out.Tuples, row)
+	}
+	return out, nil
+}
+
+// Intersect implements the derived Intersection operator, defined in §II as
+// "the project of a join over all the attributes in each of the relations".
+// Data-identical tuples of both operands survive; since the join mediates on
+// every attribute, the origins of both operands' cells join the intermediate
+// sets.
+func (a *Algebra) Intersect(p1, p2 *Relation) (*Relation, error) {
+	if p1.Degree() != p2.Degree() {
+		return nil, fmt.Errorf("core: intersect of degree %d with degree %d", p1.Degree(), p2.Degree())
+	}
+	index := make(map[string][]Tuple, len(p2.Tuples))
+	for _, t := range p2.Tuples {
+		k := t.DataKey()
+		index[k] = append(index[k], t)
+	}
+	out := NewRelation("", p1.Reg, p1.Attrs...)
+	pos := make(map[string]int, len(p1.Tuples))
+	for _, t := range p1.Tuples {
+		k := t.DataKey()
+		matches, ok := index[k]
+		if !ok {
+			continue
+		}
+		row := make(Tuple, len(t))
+		copy(row, t)
+		for _, m := range matches {
+			mediators := t.OriginUnion().Union(m.OriginUnion())
+			for i := range row {
+				row[i] = row[i].MergeTags(m[i]).WithIntermediate(mediators)
+			}
+		}
+		if at, dup := pos[k]; dup {
+			existing := out.Tuples[at]
+			for i := range existing {
+				existing[i] = existing[i].MergeTags(row[i])
+			}
+			continue
+		}
+		pos[k] = len(out.Tuples)
+		out.Tuples = append(out.Tuples, row)
+	}
+	return out, nil
+}
+
+// Rename returns p with column old renamed to new and annotated as polygen
+// attribute new — the "mapping of the local attribute STATE into the polygen
+// attribute HEADQUARTERS" step of Appendix A.
+func (a *Algebra) Rename(p *Relation, old, new string) (*Relation, error) {
+	ci, err := p.Col(old)
+	if err != nil {
+		return nil, err
+	}
+	out := p.Clone()
+	out.Attrs[ci] = Attr{Name: new, Polygen: new}
+	return out, nil
+}

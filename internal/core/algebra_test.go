@@ -1,0 +1,412 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/identity"
+	"repro/internal/rel"
+	"repro/internal/sourceset"
+)
+
+func TestProjectKeepsTagsAndOrder(t *testing.T) {
+	e := newEnv()
+	alg := NewAlgebra(nil)
+	p := e.prel("P", sourceset.Of(e.ad), attrs("A", "B", "C"),
+		[]any{"x", 1, "c1"},
+		[]any{"y", 2, "c2"},
+	)
+	got, err := alg.Project(p, []string{"C", "A"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNames(t, got, "C", "A")
+	wantRows(t, got,
+		"c1, {AD}, {} | x, {AD}, {}",
+		"c2, {AD}, {} | y, {AD}, {}",
+	)
+}
+
+// TestProjectMergesDuplicateTags checks §II's Project: when projected data
+// portions coincide, the surviving tuple unions the collapsed tuples' tags
+// attribute by attribute.
+func TestProjectMergesDuplicateTags(t *testing.T) {
+	e := newEnv()
+	alg := NewAlgebra(nil)
+	p := NewRelation("P", e.reg, attrs("A", "B")...)
+	p.Append(Tuple{e.cell("x", sourceset.Of(e.ad), sourceset.Empty()), e.cell(1, sourceset.Of(e.ad), sourceset.Empty())})
+	p.Append(Tuple{e.cell("x", sourceset.Of(e.cd), sourceset.Of(e.pd)), e.cell(2, sourceset.Of(e.cd), sourceset.Empty())})
+	got, err := alg.Project(p, []string{"A"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows(t, got, "x, {AD, CD}, {PD}")
+}
+
+func TestProjectUnknownAttr(t *testing.T) {
+	e := newEnv()
+	p := e.prel("P", sourceset.Of(e.ad), attrs("A"), []any{"x"})
+	if _, err := NewAlgebra(nil).Project(p, []string{"Z"}); err == nil {
+		t.Error("projecting a missing attribute should fail")
+	}
+}
+
+func TestProductConcatenatesWithoutTagUpdates(t *testing.T) {
+	e := newEnv()
+	alg := NewAlgebra(nil)
+	p1 := e.prel("L", sourceset.Of(e.ad), attrs("A"), []any{"x"}, []any{"y"})
+	p2 := e.prel("R", sourceset.Of(e.pd), attrs("B"), []any{1}, []any{2})
+	got, err := alg.Product(p1, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows(t, got,
+		"x, {AD}, {} | 1, {PD}, {}",
+		"x, {AD}, {} | 2, {PD}, {}",
+		"y, {AD}, {} | 1, {PD}, {}",
+		"y, {AD}, {} | 2, {PD}, {}",
+	)
+}
+
+func TestProductDisambiguatesNames(t *testing.T) {
+	e := newEnv()
+	alg := NewAlgebra(nil)
+	p1 := e.prel("L", sourceset.Of(e.ad), attrs("A"), []any{"x"})
+	p2 := e.prel("R", sourceset.Of(e.pd), attrs("A"), []any{"y"})
+	got, err := alg.Product(p1, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNames(t, got, "A", "R.A")
+}
+
+// TestRestrictUpdatesIntermediates checks §II's Restrict: the origins of the
+// two operand attributes join every surviving cell's intermediate set.
+func TestRestrictUpdatesIntermediates(t *testing.T) {
+	e := newEnv()
+	alg := NewAlgebra(nil)
+	p := NewRelation("P", e.reg, attrs("X", "Y", "Z")...)
+	p.Append(Tuple{
+		e.cell("v", sourceset.Of(e.ad), sourceset.Empty()),
+		e.cell("v", sourceset.Of(e.cd), sourceset.Empty()),
+		e.cell("other", sourceset.Of(e.pd), sourceset.Empty()),
+	})
+	p.Append(Tuple{
+		e.cell("v", sourceset.Of(e.ad), sourceset.Empty()),
+		e.cell("w", sourceset.Of(e.cd), sourceset.Empty()),
+		e.cell("gone", sourceset.Of(e.pd), sourceset.Empty()),
+	})
+	got, err := alg.Restrict(p, "X", rel.ThetaEQ, "Y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows(t, got,
+		"v, {AD}, {AD, CD} | v, {CD}, {AD, CD} | other, {PD}, {AD, CD}",
+	)
+}
+
+func TestRestrictThetaOrdering(t *testing.T) {
+	e := newEnv()
+	alg := NewAlgebra(nil)
+	p := e.prel("P", sourceset.Of(e.ad), attrs("A", "B"),
+		[]any{1, 2}, []any{2, 2}, []any{3, 2},
+	)
+	lt, err := alg.Restrict(p, "A", rel.ThetaLT, "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lt.Cardinality() != 1 || lt.Tuples[0][0].D.IntVal() != 1 {
+		t.Errorf("LT restrict = %v", render(lt))
+	}
+	ge, _ := alg.Restrict(p, "A", rel.ThetaGE, "B")
+	if ge.Cardinality() != 2 {
+		t.Errorf("GE restrict = %v", render(ge))
+	}
+}
+
+func TestRestrictNullNeverMatches(t *testing.T) {
+	e := newEnv()
+	alg := NewAlgebra(nil)
+	p := NewRelation("P", e.reg, attrs("A", "B")...)
+	p.Append(Tuple{NilCell(sourceset.Empty()), NilCell(sourceset.Empty())})
+	for _, theta := range []rel.Theta{rel.ThetaEQ, rel.ThetaNE, rel.ThetaLE} {
+		got, err := alg.Restrict(p, "A", theta, "B")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cardinality() != 0 {
+			t.Errorf("nil %v nil matched", theta)
+		}
+	}
+}
+
+// TestSelectAddsOperandOrigin: Select is defined through Restrict (§II) and
+// adds the operand attribute's origin to every cell's intermediate set.
+func TestSelectAddsOperandOrigin(t *testing.T) {
+	e := newEnv()
+	alg := NewAlgebra(nil)
+	p := NewRelation("P", e.reg, attrs("A", "B")...)
+	p.Append(Tuple{
+		e.cell("MBA", sourceset.Of(e.ad), sourceset.Empty()),
+		e.cell("x", sourceset.Of(e.cd), sourceset.Empty()),
+	})
+	p.Append(Tuple{
+		e.cell("BS", sourceset.Of(e.ad), sourceset.Empty()),
+		e.cell("y", sourceset.Of(e.cd), sourceset.Empty()),
+	})
+	got, err := alg.Select(p, "A", rel.ThetaEQ, rel.String("MBA"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows(t, got, "MBA, {AD}, {AD} | x, {CD}, {AD}")
+}
+
+// TestSelectConstantIsExact: constant selection does not apply instance
+// resolution (Table 4 matches DEG = "MBA" literally).
+func TestSelectConstantIsExact(t *testing.T) {
+	e := newEnv()
+	alg := NewAlgebra(identity.CaseFold{})
+	p := e.prel("P", sourceset.Of(e.ad), attrs("A"), []any{"mba"})
+	got, err := alg.Select(p, "A", rel.ThetaEQ, rel.String("MBA"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cardinality() != 0 {
+		t.Error("constant select applied case folding")
+	}
+}
+
+func TestUnionMergesTagsOnDuplicates(t *testing.T) {
+	e := newEnv()
+	alg := NewAlgebra(nil)
+	p1 := e.prel("P1", sourceset.Of(e.ad), attrs("A"), []any{"x"}, []any{"only1"})
+	p2 := e.prel("P2", sourceset.Of(e.cd), attrs("A"), []any{"x"}, []any{"only2"})
+	got, err := alg.Union(p1, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows(t, got,
+		"x, {AD, CD}, {}",
+		"only1, {AD}, {}",
+		"only2, {CD}, {}",
+	)
+	if _, err := alg.Union(p1, e.prel("W", sourceset.Of(e.ad), attrs("A", "B"), []any{"x", "y"})); err == nil {
+		t.Error("degree mismatch accepted")
+	}
+}
+
+func TestUnionDoesNotMutateOperands(t *testing.T) {
+	e := newEnv()
+	alg := NewAlgebra(nil)
+	p1 := e.prel("P1", sourceset.Of(e.ad), attrs("A"), []any{"x"})
+	p2 := e.prel("P2", sourceset.Of(e.cd), attrs("A"), []any{"x"})
+	if _, err := alg.Union(p1, p2); err != nil {
+		t.Fatal(err)
+	}
+	if !p1.Tuples[0][0].O.Equal(sourceset.Of(e.ad)) {
+		t.Error("union mutated its left operand")
+	}
+	if !p2.Tuples[0][0].O.Equal(sourceset.Of(e.cd)) {
+		t.Error("union mutated its right operand")
+	}
+}
+
+// TestDifferenceAddsP2Origins checks §II's Difference: every surviving cell
+// gains p2(o) — the union of ALL origin sets in p2 — in its intermediates.
+func TestDifferenceAddsP2Origins(t *testing.T) {
+	e := newEnv()
+	alg := NewAlgebra(nil)
+	p1 := e.prel("P1", sourceset.Of(e.ad), attrs("A"), []any{"keep"}, []any{"drop"})
+	p2 := NewRelation("P2", e.reg, attrs("A")...)
+	p2.Append(Tuple{e.cell("drop", sourceset.Of(e.pd), sourceset.Empty())})
+	p2.Append(Tuple{e.cell("unrelated", sourceset.Of(e.cd), sourceset.Empty())})
+	got, err := alg.Difference(p1, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows(t, got, "keep, {AD}, {PD, CD}")
+	if _, err := alg.Difference(p1, e.prel("W", sourceset.Of(e.ad), attrs("A", "B"), []any{"x", "y"})); err == nil {
+		t.Error("degree mismatch accepted")
+	}
+}
+
+func TestDifferenceAgainstEmpty(t *testing.T) {
+	e := newEnv()
+	alg := NewAlgebra(nil)
+	p1 := e.prel("P1", sourceset.Of(e.ad), attrs("A"), []any{"x"})
+	empty := NewRelation("E", e.reg, attrs("A")...)
+	got, err := alg.Difference(p1, empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p2(o) of an empty relation is {}: tuples pass through untouched.
+	wantRows(t, got, "x, {AD}, {}")
+}
+
+func TestIntersectTagsBothSides(t *testing.T) {
+	e := newEnv()
+	alg := NewAlgebra(nil)
+	p1 := e.prel("P1", sourceset.Of(e.ad), attrs("A"), []any{"both"}, []any{"only1"})
+	p2 := e.prel("P2", sourceset.Of(e.cd), attrs("A"), []any{"both"}, []any{"only2"})
+	got, err := alg.Intersect(p1, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Intersection is the projection of a join over all attributes (§II):
+	// origins union, and both sides mediate.
+	wantRows(t, got, "both, {AD, CD}, {AD, CD}")
+	if _, err := alg.Intersect(p1, e.prel("W", sourceset.Of(e.ad), attrs("A", "B"), []any{"x", "y"})); err == nil {
+		t.Error("degree mismatch accepted")
+	}
+}
+
+func TestRename(t *testing.T) {
+	e := newEnv()
+	alg := NewAlgebra(nil)
+	p := e.prel("P", sourceset.Of(e.pd), attrs("STATE"), []any{"NY"})
+	got, err := alg.Rename(p, "STATE", "HEADQUARTERS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNames(t, got, "HEADQUARTERS")
+	if got.Attrs[0].Polygen != "HEADQUARTERS" {
+		t.Error("rename should annotate the polygen attribute")
+	}
+	if p.Attrs[0].Name != "STATE" {
+		t.Error("rename mutated its operand")
+	}
+	if _, err := alg.Rename(p, "NOPE", "X"); err == nil {
+		t.Error("renaming a missing attribute should fail")
+	}
+}
+
+func TestResolverEquality(t *testing.T) {
+	e := newEnv()
+	exact := NewAlgebra(identity.Exact{})
+	folded := NewAlgebra(identity.CaseFold{})
+	p := NewRelation("P", e.reg, attrs("X", "Y")...)
+	p.Append(Tuple{
+		e.cell("CitiCorp", sourceset.Of(e.ad), sourceset.Empty()),
+		e.cell("Citicorp", sourceset.Of(e.pd), sourceset.Empty()),
+	})
+	re, _ := exact.Restrict(p, "X", rel.ThetaEQ, "Y")
+	if re.Cardinality() != 0 {
+		t.Error("exact resolver matched CitiCorp with Citicorp")
+	}
+	rf, _ := folded.Restrict(p, "X", rel.ThetaEQ, "Y")
+	if rf.Cardinality() != 1 {
+		t.Error("case-folding resolver should match CitiCorp with Citicorp")
+	}
+	// NE under a resolver: the pair is *not* different.
+	ne, _ := folded.Restrict(p, "X", rel.ThetaNE, "Y")
+	if ne.Cardinality() != 0 {
+		t.Error("NE matched instance-equal values")
+	}
+}
+
+func TestZeroAlgebraUsesExact(t *testing.T) {
+	var alg Algebra
+	if alg.Resolver() == nil {
+		t.Fatal("zero algebra has nil resolver")
+	}
+	if alg.Resolver().Canonical(rel.String("A")) == alg.Resolver().Canonical(rel.String("a")) {
+		t.Error("zero algebra should compare exactly")
+	}
+}
+
+func TestFromPlain(t *testing.T) {
+	e := newEnv()
+	r := rel.NewRelation("T", rel.SchemaOf("A", "B"))
+	r.MustAppend(rel.String("x"), rel.Int(1))
+	p := FromPlain(r, e.cd, e.reg)
+	wantRows(t, p, "x, {CD}, {} | 1, {CD}, {}")
+	if p.Name != "T" {
+		t.Errorf("name = %q", p.Name)
+	}
+}
+
+func TestRelationColResolution(t *testing.T) {
+	e := newEnv()
+	p := NewRelation("P", e.reg, attrs("BNAME/ONAME", "POS/POSITION")...)
+	if i, err := p.Col("BNAME"); err != nil || i != 0 {
+		t.Errorf("display name lookup = %d, %v", i, err)
+	}
+	if i, err := p.Col("ONAME"); err != nil || i != 0 {
+		t.Errorf("polygen name lookup = %d, %v", i, err)
+	}
+	if _, err := p.Col("NOPE"); err == nil {
+		t.Error("missing attribute accepted")
+	}
+	// Display names shadow polygen names; duplicates are ambiguous.
+	q := NewRelation("Q", e.reg, attrs("A/PG", "B/PG")...)
+	if _, err := q.Col("PG"); err == nil {
+		t.Error("ambiguous polygen reference accepted")
+	}
+	dup := NewRelation("D", e.reg, Attr{Name: "X"}, Attr{Name: "X"})
+	if _, err := dup.Col("X"); err == nil {
+		t.Error("ambiguous display reference accepted")
+	}
+}
+
+func TestRelationDataStripsTags(t *testing.T) {
+	e := newEnv()
+	p := e.prel("P", sourceset.Of(e.ad), attrs("A", "B"), []any{"x", 1})
+	d := p.Data()
+	if d.Cardinality() != 1 || d.Schema.Len() != 2 {
+		t.Fatalf("Data shape wrong")
+	}
+	if !d.Tuples[0][0].Equal(rel.String("x")) || !d.Tuples[0][1].Equal(rel.Int(1)) {
+		t.Error("Data lost values")
+	}
+}
+
+func TestOriginUnion(t *testing.T) {
+	e := newEnv()
+	p := NewRelation("P", e.reg, attrs("A", "B")...)
+	p.Append(Tuple{
+		e.cell("x", sourceset.Of(e.ad), sourceset.Empty()),
+		e.cell("y", sourceset.Of(e.pd), sourceset.Empty()),
+	})
+	p.Append(Tuple{
+		e.cell("z", sourceset.Of(e.cd), sourceset.Empty()),
+		NilCell(sourceset.Empty()),
+	})
+	got := p.OriginUnion()
+	if !got.Equal(sourceset.Of(e.ad, e.pd, e.cd)) {
+		t.Errorf("OriginUnion = %v", got.Format(e.reg))
+	}
+}
+
+func TestRelationStringRendering(t *testing.T) {
+	e := newEnv()
+	p := NewRelation("P", e.reg, attrs("A", "BNAME/ONAME")...)
+	p.Append(Tuple{
+		e.cell("x", sourceset.Of(e.ad), sourceset.Empty()),
+		NilCell(sourceset.Of(e.pd)),
+	})
+	s := p.String()
+	for _, want := range []string{"P(A, BNAME/ONAME)", "x, {AD}, {}", "nil, {}, {PD}"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRelationAppendDegreeChecked(t *testing.T) {
+	e := newEnv()
+	p := NewRelation("P", e.reg, attrs("A", "B")...)
+	if err := p.Append(Tuple{e.cell("x", sourceset.Empty(), sourceset.Empty())}); err == nil {
+		t.Error("degree mismatch accepted")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	e := newEnv()
+	p := e.prel("P", sourceset.Of(e.ad), attrs("A"), []any{"x"})
+	c := p.Clone()
+	c.Tuples[0][0] = e.cell("mutated", sourceset.Of(e.pd), sourceset.Empty())
+	c.Attrs[0].Name = "Z"
+	if p.Tuples[0][0].D.Str() != "x" || p.Attrs[0].Name != "A" {
+		t.Error("Clone aliases the original")
+	}
+}

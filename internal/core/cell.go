@@ -1,0 +1,110 @@
+// Package core implements the paper's primary contribution: the polygen
+// model and the polygen algebra (Wang & Madnick 1990, §II).
+//
+// A polygen relation is a relation whose every cell is an ordered triplet
+//
+//	c = (c(d), c(o), c(i))
+//
+// where c(d) is the datum, c(o) the set of local databases the datum
+// originates from, and c(i) the set of local databases whose data led to the
+// selection of the datum (the intermediate sources). The six orthogonal
+// primitives — Project, Cartesian Product, Restrict, Union, Difference and
+// Coalesce — propagate the two tag sets exactly as §II prescribes; Select,
+// Join, Intersection, Retrieve, Outer Natural Primary Join, Outer Natural
+// Total Join and Merge are derived from them.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/rel"
+	"repro/internal/sourceset"
+)
+
+// Cell is one polygen cell: the datum plus its originating and intermediate
+// source tags.
+type Cell struct {
+	// D is the datum portion c(d).
+	D rel.Value
+	// O is the originating source portion c(o): the local databases the
+	// datum came from.
+	O sourceset.Set
+	// I is the intermediate source portion c(i): the local databases whose
+	// data led to the selection of this datum.
+	I sourceset.Set
+}
+
+// NilCell returns the nil-padded cell produced by outer joins: no datum, no
+// origin, and the given intermediate sources.
+func NilCell(i sourceset.Set) Cell { return Cell{D: rel.Null(), I: i} }
+
+// WithIntermediate returns the cell with extra added to its intermediate set.
+func (c Cell) WithIntermediate(extra sourceset.Set) Cell {
+	return Cell{D: c.D, O: c.O, I: c.I.Union(extra)}
+}
+
+// MergeTags returns the cell with d's origin and intermediate sets folded in,
+// as Project and Union do when collapsing duplicate data.
+func (c Cell) MergeTags(d Cell) Cell {
+	return Cell{D: c.D, O: c.O.Union(d.O), I: c.I.Union(d.I)}
+}
+
+// Equal reports full equality: datum, origin set and intermediate set.
+func (c Cell) Equal(d Cell) bool {
+	return c.D.Equal(d.D) && c.O.Equal(d.O) && c.I.Equal(d.I)
+}
+
+// Format renders the cell in the paper's table notation, e.g.
+// "Genentech, {AD, CD}, {AD, CD}".
+func (c Cell) Format(reg *sourceset.Registry) string {
+	return fmt.Sprintf("%s, %s, %s", c.D, c.O.Format(reg), c.I.Format(reg))
+}
+
+// Tuple is an ordered list of polygen cells.
+type Tuple []Cell
+
+// DataKey returns a hash key over the data portion t(d) only — the notion of
+// tuple identity used by Project, Union and Difference, which compare "the
+// data portion" of tuples (paper, §II).
+func (t Tuple) DataKey() string {
+	vals := make(rel.Tuple, len(t))
+	for i, c := range t {
+		vals[i] = c.D
+	}
+	return vals.Key()
+}
+
+// Data returns the data portion t(d) as a plain tuple.
+func (t Tuple) Data() rel.Tuple {
+	vals := make(rel.Tuple, len(t))
+	for i, c := range t {
+		vals[i] = c.D
+	}
+	return vals
+}
+
+// Clone returns a copy of the tuple (cells are values; the copy is deep).
+func (t Tuple) Clone() Tuple { return append(Tuple(nil), t...) }
+
+// Equal reports cell-wise full equality of two tuples.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if !t[i].Equal(u[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// OriginUnion returns the union of the origin sets of all cells — p(o)
+// restricted to one tuple. Difference uses the relation-level version.
+func (t Tuple) OriginUnion() sourceset.Set {
+	var s sourceset.Set
+	for _, c := range t {
+		s = s.Union(c.O)
+	}
+	return s
+}

@@ -1,0 +1,149 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/identity"
+	"repro/internal/rel"
+	"repro/internal/sourceset"
+)
+
+// Example demonstrates the polygen model's cell structure: every datum
+// carries where it came from and which sources mediated its selection.
+func Example() {
+	reg := sourceset.NewRegistry()
+	ad := reg.Intern("AD")
+	cd := reg.Intern("CD")
+
+	cell := core.Cell{
+		D: rel.String("Bob Swanson"),
+		O: sourceset.Of(cd),
+		I: sourceset.Of(ad, cd),
+	}
+	fmt.Println(cell.Format(reg))
+	// Output: Bob Swanson, {CD}, {AD, CD}
+}
+
+// ExampleAlgebra_Select shows that Select updates the intermediate tags:
+// the operand attribute's origins mediate every surviving cell (§II).
+func ExampleAlgebra_Select() {
+	reg := sourceset.NewRegistry()
+	ad := reg.Intern("AD")
+	cd := reg.Intern("CD")
+
+	p := core.NewRelation("P", reg,
+		core.Attr{Name: "DEG"}, core.Attr{Name: "CEO"})
+	p.Append(core.Tuple{
+		{D: rel.String("MBA"), O: sourceset.Of(ad)},
+		{D: rel.String("John Reed"), O: sourceset.Of(cd)},
+	})
+	p.Append(core.Tuple{
+		{D: rel.String("BS"), O: sourceset.Of(ad)},
+		{D: rel.String("Ken Olsen"), O: sourceset.Of(cd)},
+	})
+
+	alg := core.NewAlgebra(nil)
+	got, _ := alg.Select(p, "DEG", rel.ThetaEQ, rel.String("MBA"))
+	for _, t := range got.Tuples {
+		fmt.Println(t[1].Format(reg))
+	}
+	// Output: John Reed, {CD}, {AD}
+}
+
+// ExampleAlgebra_Coalesce shows the sixth primitive on its three cases.
+func ExampleAlgebra_Coalesce() {
+	reg := sourceset.NewRegistry()
+	ad := reg.Intern("AD")
+	pd := reg.Intern("PD")
+
+	p := core.NewRelation("P", reg,
+		core.Attr{Name: "BNAME"}, core.Attr{Name: "CNAME"})
+	// Same instance known to both databases.
+	p.Append(core.Tuple{
+		{D: rel.String("IBM"), O: sourceset.Of(ad)},
+		{D: rel.String("IBM"), O: sourceset.Of(pd)},
+	})
+	// Known only to AD: the right cell is nil-padded.
+	p.Append(core.Tuple{
+		{D: rel.String("MIT"), O: sourceset.Of(ad)},
+		core.NilCell(sourceset.Empty()),
+	})
+
+	alg := core.NewAlgebra(identity.CaseFold{})
+	got, _ := alg.Coalesce(p, "BNAME", "CNAME", "ONAME")
+	for _, t := range got.Tuples {
+		fmt.Println(t[0].Format(reg))
+	}
+	// Output:
+	// IBM, {AD, PD}, {}
+	// MIT, {AD}, {}
+}
+
+// ExampleAlgebra_Merge builds the paper's multi-source organization
+// relation from two fragments.
+func ExampleAlgebra_Merge() {
+	reg := sourceset.NewRegistry()
+	ad := reg.Intern("AD")
+	pd := reg.Intern("PD")
+
+	scheme := &core.Scheme{
+		Name: "PORG", Key: "ONAME",
+		Attrs: []core.PolygenAttr{
+			{Name: "ONAME", Mapping: []core.LocalAttr{
+				{DB: "AD", Scheme: "BUSINESS", Attr: "BNAME"},
+				{DB: "PD", Scheme: "CORPORATION", Attr: "CNAME"},
+			}},
+			{Name: "INDUSTRY", Mapping: []core.LocalAttr{
+				{DB: "AD", Scheme: "BUSINESS", Attr: "IND"},
+				{DB: "PD", Scheme: "CORPORATION", Attr: "TRADE"},
+			}},
+		},
+	}
+
+	business := core.NewRelation("BUSINESS", reg,
+		core.Attr{Name: "BNAME", Polygen: "ONAME"},
+		core.Attr{Name: "IND", Polygen: "INDUSTRY"})
+	business.Append(core.Tuple{
+		{D: rel.String("IBM"), O: sourceset.Of(ad)},
+		{D: rel.String("High Tech"), O: sourceset.Of(ad)},
+	})
+	corporation := core.NewRelation("CORPORATION", reg,
+		core.Attr{Name: "CNAME", Polygen: "ONAME"},
+		core.Attr{Name: "TRADE", Polygen: "INDUSTRY"})
+	corporation.Append(core.Tuple{
+		{D: rel.String("IBM"), O: sourceset.Of(pd)},
+		{D: rel.String("High Tech"), O: sourceset.Of(pd)},
+	})
+
+	alg := core.NewAlgebra(identity.CaseFold{})
+	merged, _ := alg.Merge(scheme, business, corporation)
+	for _, t := range merged.Tuples {
+		fmt.Println(t[0].Format(reg), "|", t[1].Format(reg))
+	}
+	// Output: IBM, {AD, PD}, {AD, PD} | High Tech, {AD, PD}, {AD, PD}
+}
+
+// ExampleSchema_Lineage reproduces §IV observation (3): mapping a tagged
+// cell back to the local columns it can originate from.
+func ExampleSchema_Lineage() {
+	reg := sourceset.NewRegistry()
+	ad := reg.Intern("AD")
+	reg.Intern("PD")
+	cd := reg.Intern("CD")
+
+	schema := core.MustSchema(&core.Scheme{
+		Name: "PORGANIZATION", Key: "ONAME",
+		Attrs: []core.PolygenAttr{{Name: "ONAME", Mapping: []core.LocalAttr{
+			{DB: "AD", Scheme: "BUSINESS", Attr: "BNAME"},
+			{DB: "PD", Scheme: "CORPORATION", Attr: "CNAME"},
+			{DB: "CD", Scheme: "FIRM", Attr: "FNAME"},
+		}}},
+	})
+	for _, la := range schema.Lineage("ONAME", sourceset.Of(ad, cd), reg) {
+		fmt.Println(la)
+	}
+	// Output:
+	// (AD, BUSINESS, BNAME)
+	// (CD, FIRM, FNAME)
+}

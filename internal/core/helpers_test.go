@@ -1,0 +1,123 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rel"
+	"repro/internal/sourceset"
+)
+
+// testEnv bundles a registry with the three paper databases interned in
+// order, so rendered tags read {AD, PD, CD}.
+type testEnv struct {
+	reg        *sourceset.Registry
+	ad, pd, cd sourceset.ID
+}
+
+func newEnv() *testEnv {
+	reg := sourceset.NewRegistry()
+	return &testEnv{
+		reg: reg,
+		ad:  reg.Intern("AD"),
+		pd:  reg.Intern("PD"),
+		cd:  reg.Intern("CD"),
+	}
+}
+
+// cell builds a polygen cell from a literal datum and tag sets.
+func (e *testEnv) cell(d any, o, i sourceset.Set) Cell {
+	return Cell{D: lit(d), O: o, I: i}
+}
+
+func lit(d any) rel.Value {
+	switch x := d.(type) {
+	case nil:
+		return rel.Null()
+	case string:
+		return rel.String(x)
+	case int:
+		return rel.Int(int64(x))
+	case float64:
+		return rel.Float(x)
+	case rel.Value:
+		return x
+	default:
+		panic("unsupported literal")
+	}
+}
+
+// prel builds a polygen relation whose every cell carries origin o and empty
+// intermediates — the state of a freshly retrieved base relation.
+func (e *testEnv) prel(name string, o sourceset.Set, attrs []Attr, rows ...[]any) *Relation {
+	p := NewRelation(name, e.reg, attrs...)
+	for _, row := range rows {
+		t := make(Tuple, len(row))
+		for i, d := range row {
+			t[i] = Cell{D: lit(d), O: o}
+		}
+		if err := p.Append(t); err != nil {
+			panic(err)
+		}
+	}
+	return p
+}
+
+func attrs(names ...string) []Attr {
+	out := make([]Attr, len(names))
+	for i, n := range names {
+		// "NAME/PG" annotates a polygen attribute.
+		if j := strings.IndexByte(n, '/'); j >= 0 {
+			out[i] = Attr{Name: n[:j], Polygen: n[j+1:]}
+		} else {
+			out[i] = Attr{Name: n}
+		}
+	}
+	return out
+}
+
+// render formats the relation rows compactly for comparisons.
+func render(p *Relation) []string {
+	out := make([]string, 0, len(p.Tuples))
+	for _, t := range p.Tuples {
+		parts := make([]string, len(t))
+		for i, c := range t {
+			parts[i] = c.Format(p.Reg)
+		}
+		out = append(out, strings.Join(parts, " | "))
+	}
+	return out
+}
+
+func wantRows(t *testing.T, p *Relation, want ...string) {
+	t.Helper()
+	got := render(p)
+	if len(got) != len(want) {
+		t.Fatalf("got %d rows:\n%s\nwant %d rows:\n%s",
+			len(got), strings.Join(got, "\n"), len(want), strings.Join(want, "\n"))
+	}
+	seen := make(map[string]int)
+	for _, g := range got {
+		seen[g]++
+	}
+	for _, w := range want {
+		if seen[w] == 0 {
+			t.Errorf("missing row:\n  %s\ngot:\n  %s", w, strings.Join(got, "\n  "))
+			continue
+		}
+		seen[w]--
+	}
+}
+
+func wantNames(t *testing.T, p *Relation, want ...string) {
+	t.Helper()
+	got := p.AttrNames()
+	if len(got) != len(want) {
+		t.Fatalf("attr names = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("attr names = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"repro/internal/rel"
+)
+
+// Join implements the derived Join operator p1[x θ y]p2. Per §II, Join is
+// "defined as the restriction of a Cartesian product". When the two join
+// attributes denote the same polygen attribute — a natural join, as in the
+// worked example's [AID# = AID#] and [ONAME = ONAME] — the example
+// additionally shows the two join columns collapsed into a single column
+// (Table 5 carries one AID#, Table 7 one ONAME), i.e. a Coalesce of the join
+// attributes follows the restriction:
+//
+//	Coalesce( Restrict( p1 × p2, x θ y ), x © y : w )
+//
+// A θ-join between distinct attributes (the §I query's [CEO = ANAME]) keeps
+// both columns, exactly the restriction of the product — Table 7 carries
+// both CEO and ANAME. JoinViaPrimitives evaluates the literal primitive
+// composition; Join itself is the hash-join fast path for θ = "=", falling
+// back to the composition for other θ. A property-based test asserts the two
+// agree.
+func (a *Algebra) Join(p1 *Relation, x string, theta rel.Theta, p2 *Relation, y string) (*Relation, error) {
+	if theta != rel.ThetaEQ {
+		return a.JoinViaPrimitives(p1, x, theta, p2, y)
+	}
+	xi, err := p1.Col(x)
+	if err != nil {
+		return nil, err
+	}
+	yi, err := p2.Col(y)
+	if err != nil {
+		return nil, err
+	}
+	coalesce := joinCoalesces(p1.Attrs[xi], p2.Attrs[yi])
+	attrs := a.joinAttrs(p1, xi, p2, yi, coalesce)
+	out := NewRelation("", p1.Reg, attrs...)
+
+	index := make(map[string][]Tuple, len(p2.Tuples))
+	for _, t2 := range p2.Tuples {
+		if t2[yi].D.IsNull() {
+			continue
+		}
+		k := a.Resolver().Canonical(t2[yi].D)
+		index[k] = append(index[k], t2)
+	}
+	for _, t1 := range p1.Tuples {
+		if t1[xi].D.IsNull() {
+			continue
+		}
+		for _, t2 := range index[a.Resolver().Canonical(t1[xi].D)] {
+			out.Tuples = append(out.Tuples, a.joinRow(t1, xi, t2, yi, coalesce))
+		}
+	}
+	return out, nil
+}
+
+// joinCoalesces reports whether a join on the two attributes is natural
+// (same polygen attribute, or same display name when unannotated) and its
+// join columns therefore coalesce.
+func joinCoalesces(x, y Attr) bool {
+	if x.Polygen != "" || y.Polygen != "" {
+		return x.Polygen == y.Polygen
+	}
+	return x.Name == y.Name
+}
+
+// joinAttrs computes the output attribute list of a join: p1's attributes
+// (with x replaced by the coalesced column when coalescing) followed by p2's
+// attributes (minus y when coalescing), disambiguated against p1's names.
+func (a *Algebra) joinAttrs(p1 *Relation, xi int, p2 *Relation, yi int, coalesce bool) []Attr {
+	xAttr, yAttr := p1.Attrs[xi], p2.Attrs[yi]
+	attrs := make([]Attr, 0, len(p1.Attrs)+len(p2.Attrs))
+	attrs = append(attrs, p1.Attrs...)
+	if coalesce {
+		coalesced := Attr{Name: xAttr.Name, Polygen: xAttr.Polygen}
+		if xAttr.Polygen != "" && xAttr.Polygen == yAttr.Polygen {
+			coalesced.Name = xAttr.Polygen
+		}
+		attrs[xi] = coalesced
+	}
+	for i, at := range p2.Attrs {
+		if coalesce && i == yi {
+			continue
+		}
+		name := at.Name
+		if hasAttrName(attrs, name) {
+			name = disambiguateName(attrs, p2.Name, at.Name)
+		}
+		attrs = append(attrs, Attr{Name: name, Polygen: at.Polygen})
+	}
+	return attrs
+}
+
+// joinRow builds one joined tuple: every cell gains the join attributes'
+// origins in its intermediate set (the Restrict step) and, for natural
+// joins, the two join cells coalesce (the Coalesce step, equal-data case:
+// union both tag sets).
+func (a *Algebra) joinRow(t1 Tuple, xi int, t2 Tuple, yi int, coalesce bool) Tuple {
+	mediators := t1[xi].O.Union(t2[yi].O)
+	row := make(Tuple, 0, len(t1)+len(t2))
+	for i, c := range t1 {
+		if coalesce && i == xi {
+			joined := Cell{
+				D: t1[xi].D,
+				O: t1[xi].O.Union(t2[yi].O),
+				I: t1[xi].I.Union(t2[yi].I),
+			}
+			row = append(row, joined.WithIntermediate(mediators))
+			continue
+		}
+		row = append(row, c.WithIntermediate(mediators))
+	}
+	for i, c := range t2 {
+		if coalesce && i == yi {
+			continue
+		}
+		row = append(row, c.WithIntermediate(mediators))
+	}
+	return row
+}
+
+// JoinViaPrimitives evaluates the join as the literal composition of the
+// primitives: Cartesian product, then Restrict, then — for natural joins —
+// Coalesce of the join columns. It is the reference semantics for Join and
+// the general-θ path.
+func (a *Algebra) JoinViaPrimitives(p1 *Relation, x string, theta rel.Theta, p2 *Relation, y string) (*Relation, error) {
+	xi, err := p1.Col(x)
+	if err != nil {
+		return nil, err
+	}
+	yi, err := p2.Col(y)
+	if err != nil {
+		return nil, err
+	}
+	prod, err := a.Product(p1, p2)
+	if err != nil {
+		return nil, err
+	}
+	// Locate the two operand columns in the product by position: p1's
+	// columns come first, then p2's (possibly renamed by disambiguation).
+	xName := prod.Attrs[xi].Name
+	yName := prod.Attrs[len(p1.Attrs)+yi].Name
+	restricted, err := a.Restrict(prod, xName, theta, yName)
+	if err != nil {
+		return nil, err
+	}
+	coalesce := joinCoalesces(p1.Attrs[xi], p2.Attrs[yi])
+	wanted := a.joinAttrs(p1, xi, p2, yi, coalesce)
+	if !coalesce {
+		out := restricted
+		if len(out.Attrs) == len(wanted) {
+			out.Attrs = wanted
+		}
+		return out, nil
+	}
+	w := wanted[xi].Name
+	out, err := a.Coalesce(restricted, xName, yName, w)
+	if err != nil {
+		return nil, err
+	}
+	// Coalesce keeps x's position and drops y's column, which reproduces the
+	// join layout; restore the polygen annotations computed by joinAttrs.
+	if len(out.Attrs) == len(wanted) {
+		out.Attrs = wanted
+	}
+	return out, nil
+}
+
+// SemiJoin returns the tuples of p1 with a θ-match in p2 on x θ y, keeping
+// only p1's columns. It is Project(Join(...), attrs(p1)) and is the
+// algebraic reading of an IN-subquery; tags follow from that composition
+// (match origins join the intermediate sets).
+func (a *Algebra) SemiJoin(p1 *Relation, x string, theta rel.Theta, p2 *Relation, y string) (*Relation, error) {
+	joined, err := a.Join(p1, x, theta, p2, y)
+	if err != nil {
+		return nil, err
+	}
+	// p1's columns occupy the first len(p1.Attrs) positions in every join
+	// layout; project them back out by position.
+	names := make([]string, len(p1.Attrs))
+	for i := range p1.Attrs {
+		names[i] = joined.Attrs[i].Name
+	}
+	out, err := a.Project(joined, names)
+	if err != nil {
+		return nil, err
+	}
+	out.Attrs = append([]Attr(nil), p1.Attrs...)
+	return out, nil
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/identity"
+	"repro/internal/rel"
+	"repro/internal/sourceset"
+)
+
+func TestNaturalJoinCoalescesColumns(t *testing.T) {
+	e := newEnv()
+	alg := NewAlgebra(nil)
+	l := e.prel("L", sourceset.Of(e.ad), attrs("K/KEY", "V"),
+		[]any{"k1", "v1"}, []any{"k2", "v2"}, []any{"k3", "v3"},
+	)
+	r := e.prel("R", sourceset.Of(e.cd), attrs("K2/KEY", "W"),
+		[]any{"k1", "w1"}, []any{"k2", "w2"}, []any{"k9", "w9"},
+	)
+	got, err := alg.Join(l, "K", rel.ThetaEQ, r, "K2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same polygen attribute on both sides: one KEY column, named after it.
+	wantNames(t, got, "KEY", "V", "W")
+	wantRows(t, got,
+		"k1, {AD, CD}, {AD, CD} | v1, {AD}, {AD, CD} | w1, {CD}, {AD, CD}",
+		"k2, {AD, CD}, {AD, CD} | v2, {AD}, {AD, CD} | w2, {CD}, {AD, CD}",
+	)
+}
+
+func TestThetaJoinKeepsBothColumns(t *testing.T) {
+	e := newEnv()
+	alg := NewAlgebra(nil)
+	l := e.prel("L", sourceset.Of(e.cd), attrs("CEO/CEO"), []any{"Bob Swanson"})
+	r := e.prel("R", sourceset.Of(e.ad), attrs("ANAME/ANAME", "DEG/DEGREE"),
+		[]any{"Bob Swanson", "MBA"}, []any{"Ken Olsen", "MS"},
+	)
+	got, err := alg.Join(l, "CEO", rel.ThetaEQ, r, "ANAME")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distinct polygen attributes: both columns survive (§I query, Table 7).
+	wantNames(t, got, "CEO", "ANAME", "DEG")
+	wantRows(t, got,
+		"Bob Swanson, {CD}, {AD, CD} | Bob Swanson, {AD}, {AD, CD} | MBA, {AD}, {AD, CD}",
+	)
+}
+
+func TestJoinUnannotatedSameNameCoalesces(t *testing.T) {
+	e := newEnv()
+	alg := NewAlgebra(nil)
+	l := e.prel("L", sourceset.Of(e.ad), attrs("K"), []any{"x"})
+	r := e.prel("R", sourceset.Of(e.pd), attrs("K"), []any{"x"})
+	got, err := alg.Join(l, "K", rel.ThetaEQ, r, "K")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNames(t, got, "K")
+	wantRows(t, got, "x, {AD, PD}, {AD, PD}")
+}
+
+func TestJoinManyToMany(t *testing.T) {
+	e := newEnv()
+	alg := NewAlgebra(nil)
+	l := e.prel("L", sourceset.Of(e.ad), attrs("K/PK", "V"),
+		[]any{"k", "v1"}, []any{"k", "v2"},
+	)
+	r := e.prel("R", sourceset.Of(e.pd), attrs("K/PK", "W"),
+		[]any{"k", "w1"}, []any{"k", "w2"},
+	)
+	got, err := alg.Join(l, "K", rel.ThetaEQ, r, "K")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cardinality() != 4 {
+		t.Errorf("cardinality = %d, want 4", got.Cardinality())
+	}
+}
+
+func TestJoinSkipsNullKeys(t *testing.T) {
+	e := newEnv()
+	alg := NewAlgebra(nil)
+	l := NewRelation("L", e.reg, attrs("K/PK")...)
+	l.Append(Tuple{NilCell(sourceset.Empty())})
+	l.Append(Tuple{e.cell("k", sourceset.Of(e.ad), sourceset.Empty())})
+	r := NewRelation("R", e.reg, attrs("K/PK")...)
+	r.Append(Tuple{NilCell(sourceset.Empty())})
+	r.Append(Tuple{e.cell("k", sourceset.Of(e.pd), sourceset.Empty())})
+	got, err := alg.Join(l, "K", rel.ThetaEQ, r, "K")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cardinality() != 1 {
+		t.Errorf("null keys joined: %v", render(got))
+	}
+}
+
+func TestJoinWithResolver(t *testing.T) {
+	e := newEnv()
+	alg := NewAlgebra(identity.CaseFold{})
+	l := e.prel("L", sourceset.Of(e.ad), attrs("K/PK"), []any{"CitiCorp"})
+	r := e.prel("R", sourceset.Of(e.pd), attrs("K/PK"), []any{"Citicorp"})
+	got, err := alg.Join(l, "K", rel.ThetaEQ, r, "K")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Instance-equal keys join; the left datum is kept.
+	wantRows(t, got, "CitiCorp, {AD, PD}, {AD, PD}")
+}
+
+func TestJoinNonEqualityTheta(t *testing.T) {
+	e := newEnv()
+	alg := NewAlgebra(nil)
+	l := e.prel("L", sourceset.Of(e.ad), attrs("A"), []any{1}, []any{5})
+	r := e.prel("R", sourceset.Of(e.pd), attrs("B"), []any{3})
+	got, err := alg.Join(l, "A", rel.ThetaLT, r, "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNames(t, got, "A", "B")
+	wantRows(t, got, "1, {AD}, {AD, PD} | 3, {PD}, {AD, PD}")
+}
+
+// TestJoinMatchesPrimitiveComposition is the reference-semantics check: the
+// hash Join must agree with Coalesce(Restrict(Product)) cell for cell.
+func TestJoinMatchesPrimitiveComposition(t *testing.T) {
+	e := newEnv()
+	for _, resolver := range []identity.Resolver{identity.Exact{}, identity.CaseFold{}} {
+		alg := NewAlgebra(resolver)
+		l := e.prel("L", sourceset.Of(e.ad), attrs("K/PK", "V"),
+			[]any{"k1", "v1"}, []any{"K1", "v1b"}, []any{"k2", "v2"}, []any{"k3", "v3"},
+		)
+		r := e.prel("R", sourceset.Of(e.cd), attrs("K/PK", "W"),
+			[]any{"k1", "w1"}, []any{"k2", "w2"}, []any{"k2", "w2b"},
+		)
+		fast, err := alg.Join(l, "K", rel.ThetaEQ, r, "K")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := alg.JoinViaPrimitives(l, "K", rel.ThetaEQ, r, "K")
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantRows(t, fast, render(ref)...)
+		wantNames(t, fast, ref.AttrNames()...)
+	}
+}
+
+func TestJoinErrors(t *testing.T) {
+	e := newEnv()
+	alg := NewAlgebra(nil)
+	l := e.prel("L", sourceset.Of(e.ad), attrs("A"), []any{"x"})
+	r := e.prel("R", sourceset.Of(e.pd), attrs("B"), []any{"y"})
+	if _, err := alg.Join(l, "NOPE", rel.ThetaEQ, r, "B"); err == nil {
+		t.Error("missing left attribute accepted")
+	}
+	if _, err := alg.Join(l, "A", rel.ThetaEQ, r, "NOPE"); err == nil {
+		t.Error("missing right attribute accepted")
+	}
+}
+
+func TestSemiJoin(t *testing.T) {
+	e := newEnv()
+	alg := NewAlgebra(nil)
+	l := e.prel("L", sourceset.Of(e.ad), attrs("K/PK", "V"),
+		[]any{"k1", "v1"}, []any{"k2", "v2"},
+	)
+	r := e.prel("R", sourceset.Of(e.cd), attrs("K/PK"), []any{"k1"})
+	got, err := alg.SemiJoin(l, "K", rel.ThetaEQ, r, "K")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNames(t, got, "K", "V")
+	// The matched tuple survives; the match's origin appears in both the
+	// coalesced key's origin and everyone's intermediates.
+	wantRows(t, got, "k1, {AD, CD}, {AD, CD} | v1, {AD}, {AD, CD}")
+}
+
+func TestJoinNameCollisionFromRight(t *testing.T) {
+	e := newEnv()
+	alg := NewAlgebra(nil)
+	l := e.prel("L", sourceset.Of(e.ad), attrs("K/PK", "V"), []any{"k", "vl"})
+	r := e.prel("R", sourceset.Of(e.pd), attrs("K/PK", "V"), []any{"k", "vr"})
+	got, err := alg.Join(l, "K", rel.ThetaEQ, r, "K")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The coalesced key takes the polygen name (as Table 7's ONAME does);
+	// the colliding right V is qualified.
+	wantNames(t, got, "PK", "V", "R.V")
+}

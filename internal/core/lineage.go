@@ -1,0 +1,54 @@
+package core
+
+import (
+	"repro/internal/sourceset"
+)
+
+// Lineage answers the paper's third §IV observation: "From the polygen
+// schema and the information of (ONAME, {AD, CD}), the polygen query
+// processor can derive the information that Genentech is from the BNAME
+// column, BUSINESS relation in the Alumni Database and from the FNAME
+// column, FIRM relation in the Company Database. This information can be
+// shown to the user upon request with a simple mapping."
+//
+// Given a polygen attribute name and an origin set, it returns the (LD, LS,
+// LA) triplets of the attribute's mapping whose database appears in the
+// origin set — the local columns the datum can have come from.
+func (s *Schema) Lineage(polygenAttr string, origins sourceset.Set, reg *sourceset.Registry) []LocalAttr {
+	var out []LocalAttr
+	seen := make(map[LocalAttr]bool)
+	for _, name := range s.order {
+		scheme := s.schemes[name]
+		pa, ok := scheme.Attr(polygenAttr)
+		if !ok {
+			continue
+		}
+		for _, la := range pa.Mapping {
+			if seen[la] {
+				continue
+			}
+			id, ok := reg.Lookup(la.DB)
+			if !ok || !origins.Contains(id) {
+				continue
+			}
+			seen[la] = true
+			out = append(out, la)
+		}
+	}
+	return out
+}
+
+// CellLineage resolves the lineage of one cell of a polygen relation: the
+// local attributes its datum can originate from, derived from the column's
+// polygen annotation and the cell's origin tag. Columns without a polygen
+// annotation have no schema-level lineage and yield nil.
+func (s *Schema) CellLineage(p *Relation, col int, row int) []LocalAttr {
+	if col < 0 || col >= len(p.Attrs) || row < 0 || row >= len(p.Tuples) {
+		return nil
+	}
+	pa := p.Attrs[col].Polygen
+	if pa == "" {
+		return nil
+	}
+	return s.Lineage(pa, p.Tuples[row][col].O, p.Reg)
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sourceset"
+)
+
+func lineageSchema() (*Schema, *sourceset.Registry) {
+	reg := sourceset.NewRegistry()
+	reg.Intern("AD")
+	reg.Intern("PD")
+	reg.Intern("CD")
+	return MustSchema(orgScheme()), reg
+}
+
+// TestLineagePaperObservation reproduces §IV observation (3): (ONAME,
+// {AD, CD}) resolves to BUSINESS.BNAME in AD and FIRM.FNAME in CD.
+func TestLineagePaperObservation(t *testing.T) {
+	s, reg := lineageSchema()
+	ad, _ := reg.Lookup("AD")
+	cd, _ := reg.Lookup("CD")
+	got := s.Lineage("ONAME", sourceset.Of(ad, cd), reg)
+	want := []LocalAttr{
+		{DB: "AD", Scheme: "BUSINESS", Attr: "BNAME"},
+		{DB: "CD", Scheme: "FIRM", Attr: "FNAME"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("lineage = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("lineage = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLineageFiltersByOrigin(t *testing.T) {
+	s, reg := lineageSchema()
+	pd, _ := reg.Lookup("PD")
+	got := s.Lineage("ONAME", sourceset.Of(pd), reg)
+	if len(got) != 1 || got[0].Scheme != "CORPORATION" {
+		t.Errorf("lineage = %v", got)
+	}
+	if got := s.Lineage("ONAME", sourceset.Empty(), reg); len(got) != 0 {
+		t.Errorf("empty origin lineage = %v", got)
+	}
+	if got := s.Lineage("NOSUCH", sourceset.Of(pd), reg); len(got) != 0 {
+		t.Errorf("unknown attribute lineage = %v", got)
+	}
+}
+
+func TestCellLineage(t *testing.T) {
+	s, reg := lineageSchema()
+	ad, _ := reg.Lookup("AD")
+	cd, _ := reg.Lookup("CD")
+	p := NewRelation("P", reg, Attr{Name: "ONAME", Polygen: "ONAME"}, Attr{Name: "X"})
+	p.Append(Tuple{
+		{D: lit("Genentech"), O: sourceset.Of(ad, cd)},
+		{D: lit("x"), O: sourceset.Of(ad)},
+	})
+	got := s.CellLineage(p, 0, 0)
+	if len(got) != 2 {
+		t.Fatalf("cell lineage = %v", got)
+	}
+	// Unannotated column: no lineage.
+	if got := s.CellLineage(p, 1, 0); got != nil {
+		t.Errorf("unannotated lineage = %v", got)
+	}
+	// Out-of-range indices are nil, not panics.
+	if s.CellLineage(p, 5, 0) != nil || s.CellLineage(p, 0, 9) != nil || s.CellLineage(p, -1, -1) != nil {
+		t.Error("out-of-range lineage should be nil")
+	}
+}

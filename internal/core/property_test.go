@@ -1,0 +1,411 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/rel"
+	"repro/internal/relalg"
+	"repro/internal/sourceset"
+)
+
+// Property-based tests for the polygen algebra. Random polygen relations are
+// generated over a small value domain (to force collisions) and random tag
+// sets, and the §II invariants are checked against them:
+//
+//   - the data portion of every polygen operator's result equals the plain
+//     relational operator applied to the data portions (tagging never
+//     changes what data a query returns);
+//   - intermediate tags only grow (monotonicity);
+//   - Project/Union idempotence and commutativity on the data portion;
+//   - Join agrees with its primitive composition (also in join_test.go on
+//     fixed cases).
+
+type gen struct{ r *rand.Rand }
+
+func (g *gen) set() sourceset.Set {
+	var s sourceset.Set
+	n := g.r.Intn(3)
+	for i := 0; i < n; i++ {
+		s = s.With(sourceset.ID(g.r.Intn(3)))
+	}
+	return s
+}
+
+func (g *gen) value() rel.Value {
+	// Small domain: collisions are the interesting case.
+	switch g.r.Intn(6) {
+	case 0:
+		return rel.Null()
+	default:
+		return rel.String(string(rune('a' + g.r.Intn(4))))
+	}
+}
+
+func (g *gen) relation(reg *sourceset.Registry, names ...string) *Relation {
+	p := NewRelation("G", reg, attrs(names...)...)
+	n := g.r.Intn(8)
+	for i := 0; i < n; i++ {
+		t := make(Tuple, len(names))
+		for j := range t {
+			t[j] = Cell{D: g.value(), O: g.set(), I: g.set()}
+		}
+		p.Tuples = append(p.Tuples, t)
+	}
+	return p
+}
+
+func newGen(seed int64) (*gen, *sourceset.Registry) {
+	reg := sourceset.NewRegistry()
+	reg.Intern("AD")
+	reg.Intern("PD")
+	reg.Intern("CD")
+	return &gen{r: rand.New(rand.NewSource(seed))}, reg
+}
+
+// dataRows renders the data portion of a polygen relation as a sorted
+// multiset of strings.
+func dataRows(p *Relation) []string {
+	out := make([]string, 0, len(p.Tuples))
+	for _, t := range p.Tuples {
+		parts := make([]string, len(t))
+		for i, c := range t {
+			parts[i] = c.D.Key()
+		}
+		out = append(out, strings.Join(parts, "\x01"))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// plainRows renders a plain relation the same way (set semantics: callers
+// pass deduplicated relations).
+func plainRows(r *rel.Relation) []string {
+	out := make([]string, 0, len(r.Tuples))
+	for _, t := range r.Tuples {
+		parts := make([]string, len(t))
+		for i, v := range t {
+			parts[i] = v.Key()
+		}
+		out = append(out, strings.Join(parts, "\x01"))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// dedup returns the set-semantics version of a plain relation.
+func dedup(r *rel.Relation) *rel.Relation {
+	out, err := relalg.Project(r, r.Schema.Names())
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+func TestPropertySelectDataAgreesWithBaseline(t *testing.T) {
+	g, reg := newGen(1)
+	alg := NewAlgebra(nil)
+	for i := 0; i < 300; i++ {
+		p := g.relation(reg, "A", "B")
+		c := g.value()
+		got, err := alg.Select(p, "A", rel.ThetaEQ, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := relalg.Select(p.Data(), "A", rel.ThetaEQ, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalStrings(dataRows(got), plainRows(want)) {
+			t.Fatalf("iteration %d: select data diverged from baseline", i)
+		}
+	}
+}
+
+func TestPropertyRestrictDataAgreesWithBaseline(t *testing.T) {
+	g, reg := newGen(2)
+	alg := NewAlgebra(nil)
+	thetas := []rel.Theta{rel.ThetaEQ, rel.ThetaNE, rel.ThetaLT, rel.ThetaGE}
+	for i := 0; i < 300; i++ {
+		p := g.relation(reg, "A", "B")
+		theta := thetas[g.r.Intn(len(thetas))]
+		got, err := alg.Restrict(p, "A", theta, "B")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := relalg.Restrict(p.Data(), "A", theta, "B")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalStrings(dataRows(got), plainRows(want)) {
+			t.Fatalf("iteration %d (θ=%v): restrict data diverged from baseline", i, theta)
+		}
+	}
+}
+
+func TestPropertyProjectDataAgreesWithBaseline(t *testing.T) {
+	g, reg := newGen(3)
+	alg := NewAlgebra(nil)
+	for i := 0; i < 300; i++ {
+		p := g.relation(reg, "A", "B", "C")
+		got, err := alg.Project(p, []string{"B", "A"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := relalg.Project(p.Data(), []string{"B", "A"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalStrings(dataRows(got), plainRows(want)) {
+			t.Fatalf("iteration %d: project data diverged from baseline", i)
+		}
+	}
+}
+
+func TestPropertyUnionDifferenceAgreeWithBaseline(t *testing.T) {
+	g, reg := newGen(4)
+	alg := NewAlgebra(nil)
+	for i := 0; i < 300; i++ {
+		p1 := g.relation(reg, "A", "B")
+		p2 := g.relation(reg, "A", "B")
+		u, err := alg.Union(p1, p2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ubase, err := relalg.Union(dedup(p1.Data()), dedup(p2.Data()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalStrings(dataRows(u), plainRows(ubase)) {
+			t.Fatalf("iteration %d: union data diverged", i)
+		}
+		d, err := alg.Difference(p1, p2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dbase, err := relalg.Difference(dedup(p1.Data()), dedup(p2.Data()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalStrings(dataRows(d), plainRows(dbase)) {
+			t.Fatalf("iteration %d: difference data diverged", i)
+		}
+	}
+}
+
+func TestPropertyJoinAgreesWithPrimitives(t *testing.T) {
+	g, reg := newGen(5)
+	alg := NewAlgebra(nil)
+	for i := 0; i < 200; i++ {
+		p1 := g.relation(reg, "K/PK", "V")
+		p2 := g.relation(reg, "K2/PK", "W")
+		fast, err := alg.Join(p1, "K", rel.ThetaEQ, p2, "K2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := alg.JoinViaPrimitives(p1, "K", rel.ThetaEQ, p2, "K2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Full-cell comparison, tags included.
+		fr := render(fast)
+		rr := render(ref)
+		sort.Strings(fr)
+		sort.Strings(rr)
+		if !equalStrings(fr, rr) {
+			t.Fatalf("iteration %d: hash join diverged from primitive composition:\nfast:\n%s\nref:\n%s",
+				i, strings.Join(fr, "\n"), strings.Join(rr, "\n"))
+		}
+	}
+}
+
+// TestPropertyIntermediateMonotonic: no polygen operator ever removes a
+// source from an intermediate tag of a surviving cell.
+func TestPropertyIntermediateMonotonic(t *testing.T) {
+	g, reg := newGen(6)
+	alg := NewAlgebra(nil)
+	for i := 0; i < 200; i++ {
+		p := g.relation(reg, "A", "B")
+		// Duplicate data tuples may carry different tags; a surviving tuple
+		// is monotone if SOME input tuple with the same data has a subset
+		// intermediate tag.
+		before := make(map[string][]sourceset.Set)
+		for _, t := range p.Tuples {
+			before[t.DataKey()] = append(before[t.DataKey()], t[0].I)
+		}
+		got, err := alg.Restrict(p, "A", rel.ThetaEQ, "B")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tu := range got.Tuples {
+			candidates, ok := before[tu.DataKey()]
+			if !ok {
+				t.Fatalf("iteration %d: restrict invented a tuple", i)
+			}
+			monotone := false
+			for _, b := range candidates {
+				if b.Subset(tu[0].I) {
+					monotone = true
+					break
+				}
+			}
+			if !monotone {
+				t.Fatalf("iteration %d: intermediate set shrank", i)
+			}
+		}
+	}
+}
+
+// TestPropertyProjectIdempotent: projecting onto all attributes twice equals
+// projecting once (set semantics with tag merging is stable).
+func TestPropertyProjectIdempotent(t *testing.T) {
+	g, reg := newGen(7)
+	alg := NewAlgebra(nil)
+	for i := 0; i < 200; i++ {
+		p := g.relation(reg, "A", "B")
+		once, err := alg.Project(p, []string{"A", "B"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		twice, err := alg.Project(once, []string{"A", "B"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		o, w := render(once), render(twice)
+		sort.Strings(o)
+		sort.Strings(w)
+		if !equalStrings(o, w) {
+			t.Fatalf("iteration %d: project not idempotent", i)
+		}
+	}
+}
+
+// TestPropertyUnionCommutativeOnTags: Union(p1,p2) and Union(p2,p1) carry
+// identical tags cell for cell (data order may differ).
+func TestPropertyUnionCommutativeOnTags(t *testing.T) {
+	g, reg := newGen(8)
+	alg := NewAlgebra(nil)
+	for i := 0; i < 200; i++ {
+		p1 := g.relation(reg, "A")
+		p2 := g.relation(reg, "A")
+		u12, err := alg.Union(p1, p2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u21, err := alg.Union(p2, p1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := render(u12), render(u21)
+		sort.Strings(a)
+		sort.Strings(b)
+		if !equalStrings(a, b) {
+			t.Fatalf("iteration %d: union tags not commutative", i)
+		}
+	}
+}
+
+// TestPropertyUnionIdempotentData: p ∪ p has p's data (deduplicated).
+func TestPropertyUnionIdempotentData(t *testing.T) {
+	g, reg := newGen(9)
+	alg := NewAlgebra(nil)
+	for i := 0; i < 200; i++ {
+		p := g.relation(reg, "A", "B")
+		u, err := alg.Union(p, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalStrings(dataRows(u), plainRows(dedup(p.Data()))) {
+			t.Fatalf("iteration %d: p ∪ p data != dedup(p)", i)
+		}
+	}
+}
+
+// TestPropertyDifferenceDisjoint: (p1 − p2) shares no data tuple with p2.
+func TestPropertyDifferenceDisjoint(t *testing.T) {
+	g, reg := newGen(10)
+	alg := NewAlgebra(nil)
+	for i := 0; i < 200; i++ {
+		p1 := g.relation(reg, "A")
+		p2 := g.relation(reg, "A")
+		d, err := alg.Difference(p1, p2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inP2 := make(map[string]bool)
+		for _, t2 := range p2.Tuples {
+			inP2[t2.DataKey()] = true
+		}
+		for _, td := range d.Tuples {
+			if inP2[td.DataKey()] {
+				t.Fatalf("iteration %d: difference kept a p2 tuple", i)
+			}
+		}
+	}
+}
+
+// TestPropertyOuterJoinCoversBothOperands: every operand tuple's data
+// appears in some outer-join row (left rows in the left columns, right rows
+// in the right columns).
+func TestPropertyOuterJoinCoversBothOperands(t *testing.T) {
+	g, reg := newGen(11)
+	alg := NewAlgebra(nil)
+	for i := 0; i < 150; i++ {
+		p1 := g.relation(reg, "K/PK", "V")
+		p2 := g.relation(reg, "K2/PK", "W")
+		oj, err := alg.OuterJoin(p1, "K", p2, "K2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		leftSeen := make(map[string]bool)
+		rightSeen := make(map[string]bool)
+		for _, t := range oj.Tuples {
+			leftSeen[Tuple(t[:2]).DataKey()] = true
+			rightSeen[Tuple(t[2:]).DataKey()] = true
+		}
+		for _, t1 := range p1.Tuples {
+			if !leftSeen[t1.DataKey()] {
+				t.Fatalf("iteration %d: outer join lost a left tuple", i)
+			}
+		}
+		for _, t2 := range p2.Tuples {
+			if !rightSeen[t2.DataKey()] {
+				t.Fatalf("iteration %d: outer join lost a right tuple", i)
+			}
+		}
+	}
+}
+
+// TestPropertyCoalesceKeepsDegreeAndCardinality: coalesce removes exactly
+// one column and no tuples.
+func TestPropertyCoalesceKeepsDegreeAndCardinality(t *testing.T) {
+	g, reg := newGen(12)
+	alg := NewAlgebra(nil)
+	for i := 0; i < 200; i++ {
+		p := g.relation(reg, "X", "Y", "Z")
+		c, err := alg.Coalesce(p, "X", "Y", "W")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Degree() != p.Degree()-1 {
+			t.Fatalf("iteration %d: degree %d, want %d", i, c.Degree(), p.Degree()-1)
+		}
+		if c.Cardinality() != p.Cardinality() {
+			t.Fatalf("iteration %d: cardinality changed", i)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+// Package credibility implements the research direction the paper motivates
+// source tagging with (§I, §V): "knowing the data source credibility will
+// enable the user or the query processor to further resolve potential
+// conflicts amongst the data retrieved from different sources".
+//
+// A Ranking assigns each local database a credibility score. From it the
+// package derives (a) per-cell and per-tuple credibility of polygen query
+// results, (b) a core.ConflictHandler that lets Coalesce keep the datum from
+// the most credible origin, and (c) a conflict report over the fragments of
+// a polygen scheme.
+package credibility
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/identity"
+	"repro/internal/rel"
+	"repro/internal/sourceset"
+)
+
+// Ranking maps local databases to credibility scores in [0, 1].
+type Ranking struct {
+	reg    *sourceset.Registry
+	scores map[sourceset.ID]float64
+	def    float64
+}
+
+// NewRanking builds a ranking over reg from per-database scores; databases
+// absent from scores receive def.
+func NewRanking(reg *sourceset.Registry, scores map[string]float64, def float64) *Ranking {
+	r := &Ranking{reg: reg, scores: make(map[sourceset.ID]float64, len(scores)), def: def}
+	for name, s := range scores {
+		r.scores[reg.Intern(name)] = s
+	}
+	return r
+}
+
+// Source returns the score of one database.
+func (r *Ranking) Source(id sourceset.ID) float64 {
+	if s, ok := r.scores[id]; ok {
+		return s
+	}
+	return r.def
+}
+
+// SetMin returns the weakest-link credibility of a source set: the minimum
+// member score. The empty set — a nil-padded cell that no source vouches
+// for — scores 0.
+func (r *Ranking) SetMin(s sourceset.Set) float64 {
+	if s.IsEmpty() {
+		return 0
+	}
+	min := 1.0
+	first := true
+	for _, id := range s.IDs() {
+		v := r.Source(id)
+		if first || v < min {
+			min = v
+			first = false
+		}
+	}
+	return min
+}
+
+// Cell scores a polygen cell: the weakest origin vouching for the datum.
+// Intermediate sources influenced the *selection* of the datum, not its
+// content, and do not lower the score.
+func (r *Ranking) Cell(c core.Cell) float64 { return r.SetMin(c.O) }
+
+// Tuple scores a polygen tuple: the weakest non-nil cell. Tuples made
+// entirely of nil cells score 0.
+func (r *Ranking) Tuple(t core.Tuple) float64 {
+	min := 0.0
+	first := true
+	for _, c := range t {
+		if c.D.IsNull() {
+			continue
+		}
+		v := r.Cell(c)
+		if first || v < min {
+			min = v
+			first = false
+		}
+	}
+	if first {
+		return 0
+	}
+	return min
+}
+
+// Handler returns a ConflictHandler for core.Algebra: when Coalesce meets
+// two non-nil, non-matching data values it keeps the cell whose origin set
+// is more credible (ties keep the left, matching the algebra's usual left
+// precedence); the loser's origin and intermediates fold into the winner's
+// intermediate set, recording that the losing source was consulted.
+func (r *Ranking) Handler() core.ConflictHandler {
+	return func(x, y core.Cell) core.Cell {
+		if r.SetMin(y.O) > r.SetMin(x.O) {
+			return core.Cell{D: y.D, O: y.O, I: y.I.Union(x.I).Union(x.O)}
+		}
+		return core.Cell{D: x.D, O: x.O, I: x.I.Union(y.I).Union(y.O)}
+	}
+}
+
+// Conflict records one inter-source disagreement: two local databases
+// reporting different values for the same polygen attribute of the same
+// entity.
+type Conflict struct {
+	// Scheme and Attr locate the polygen attribute.
+	Scheme string
+	Attr   string
+	// Key is the entity's key datum.
+	Key rel.Value
+	// Values lists the disagreeing (database, datum) pairs, sorted by
+	// descending credibility then database name.
+	Values []SourceValue
+}
+
+// SourceValue pairs a database name with the datum it reports.
+type SourceValue struct {
+	DB    string
+	Datum rel.Value
+	Score float64
+}
+
+// String renders the conflict compactly.
+func (c Conflict) String() string {
+	s := fmt.Sprintf("%s.%s[%s]:", c.Scheme, c.Attr, c.Key)
+	for _, v := range c.Values {
+		s += fmt.Sprintf(" %s=%q(%.2f)", v.DB, v.Datum, v.Score)
+	}
+	return s
+}
+
+// FindConflicts scans the tagged fragments of one polygen scheme (as
+// retrieved by the PQP, with polygen annotations) and reports every
+// attribute-level conflict. Entities are matched on the scheme's key under
+// res (nil means exact); values are compared under res as well.
+func FindConflicts(scheme *core.Scheme, rank *Ranking, res identity.Resolver, frags ...*core.Relation) ([]Conflict, error) {
+	if res == nil {
+		res = identity.Exact{}
+	}
+	type obs struct {
+		db    string
+		datum rel.Value
+	}
+	// (attr, canonical key) -> observations
+	seen := make(map[string]map[string][]obs)
+	keys := make(map[string]rel.Value)
+	for _, a := range scheme.Attrs {
+		if a.Name != scheme.Key {
+			seen[a.Name] = make(map[string][]obs)
+		}
+	}
+	for _, frag := range frags {
+		ki := -1
+		cols := make(map[int]string) // column -> polygen attr
+		for i, at := range frag.Attrs {
+			if at.Polygen == scheme.Key {
+				ki = i
+				continue
+			}
+			if at.Polygen != "" {
+				if _, ok := seen[at.Polygen]; ok {
+					cols[i] = at.Polygen
+				}
+			}
+		}
+		if ki < 0 {
+			return nil, fmt.Errorf("credibility: fragment %q does not map the key %q", frag.Name, scheme.Key)
+		}
+		for _, t := range frag.Tuples {
+			if t[ki].D.IsNull() {
+				continue
+			}
+			ck := res.Canonical(t[ki].D)
+			keys[ck] = t[ki].D
+			for ci, pa := range cols {
+				if t[ci].D.IsNull() {
+					continue
+				}
+				db := ""
+				if ids := t[ci].O.IDs(); len(ids) > 0 {
+					db = frag.Reg.Name(ids[0])
+				}
+				seen[pa][ck] = append(seen[pa][ck], obs{db: db, datum: t[ci].D})
+			}
+		}
+	}
+	var out []Conflict
+	for attr, byKey := range seen {
+		for ck, observations := range byKey {
+			if len(observations) < 2 {
+				continue
+			}
+			distinct := make(map[string]bool)
+			for _, o := range observations {
+				distinct[res.Canonical(o.datum)] = true
+			}
+			if len(distinct) < 2 {
+				continue
+			}
+			c := Conflict{Scheme: scheme.Name, Attr: attr, Key: keys[ck]}
+			for _, o := range observations {
+				score := 0.0
+				if rank != nil {
+					if id, ok := rankLookup(rank, o.db); ok {
+						score = rank.Source(id)
+					} else {
+						score = rank.def
+					}
+				}
+				c.Values = append(c.Values, SourceValue{DB: o.db, Datum: o.datum, Score: score})
+			}
+			sort.Slice(c.Values, func(i, j int) bool {
+				if c.Values[i].Score != c.Values[j].Score {
+					return c.Values[i].Score > c.Values[j].Score
+				}
+				return c.Values[i].DB < c.Values[j].DB
+			})
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Attr != out[j].Attr {
+			return out[i].Attr < out[j].Attr
+		}
+		return out[i].Key.String() < out[j].Key.String()
+	})
+	return out, nil
+}
+
+func rankLookup(r *Ranking, db string) (sourceset.ID, bool) {
+	if r.reg == nil {
+		return 0, false
+	}
+	return r.reg.Lookup(db)
+}

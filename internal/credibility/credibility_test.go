@@ -1,0 +1,160 @@
+package credibility
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/identity"
+	"repro/internal/rel"
+	"repro/internal/sourceset"
+	"repro/internal/workload"
+)
+
+func setup() (*sourceset.Registry, *Ranking, sourceset.ID, sourceset.ID, sourceset.ID) {
+	reg := sourceset.NewRegistry()
+	ad := reg.Intern("AD")
+	pd := reg.Intern("PD")
+	cd := reg.Intern("CD")
+	rank := NewRanking(reg, map[string]float64{"AD": 0.9, "PD": 0.5, "CD": 0.7}, 0.3)
+	return reg, rank, ad, pd, cd
+}
+
+func TestSourceScores(t *testing.T) {
+	reg, rank, ad, _, _ := setup()
+	if rank.Source(ad) != 0.9 {
+		t.Errorf("AD score = %v", rank.Source(ad))
+	}
+	other := reg.Intern("XX")
+	if rank.Source(other) != 0.3 {
+		t.Errorf("default score = %v", rank.Source(other))
+	}
+}
+
+func TestSetMin(t *testing.T) {
+	_, rank, ad, pd, cd := setup()
+	if got := rank.SetMin(sourceset.Of(ad, pd, cd)); got != 0.5 {
+		t.Errorf("min = %v, want 0.5", got)
+	}
+	if got := rank.SetMin(sourceset.Of(ad)); got != 0.9 {
+		t.Errorf("single = %v", got)
+	}
+	if got := rank.SetMin(sourceset.Empty()); got != 0 {
+		t.Errorf("empty = %v, want 0", got)
+	}
+}
+
+func TestCellAndTupleScores(t *testing.T) {
+	_, rank, ad, pd, _ := setup()
+	c1 := core.Cell{D: rel.String("x"), O: sourceset.Of(ad), I: sourceset.Of(pd)}
+	if got := rank.Cell(c1); got != 0.9 {
+		t.Errorf("cell = %v (intermediates must not lower the score)", got)
+	}
+	c2 := core.Cell{D: rel.String("y"), O: sourceset.Of(pd)}
+	nilCell := core.NilCell(sourceset.Of(ad))
+	tup := core.Tuple{c1, c2, nilCell}
+	if got := rank.Tuple(tup); got != 0.5 {
+		t.Errorf("tuple = %v, want 0.5 (weakest non-nil cell)", got)
+	}
+	if got := rank.Tuple(core.Tuple{nilCell}); got != 0 {
+		t.Errorf("all-nil tuple = %v, want 0", got)
+	}
+}
+
+func TestHandlerPrefersCredibleSource(t *testing.T) {
+	reg, rank, ad, pd, _ := setup()
+	alg := core.NewAlgebra(nil)
+	alg.SetConflictHandler(rank.Handler())
+	p := core.NewRelation("P", reg, core.Attr{Name: "X"}, core.Attr{Name: "Y"})
+	// X from PD (0.5) conflicts with Y from AD (0.9): AD's datum must win.
+	p.Append(core.Tuple{
+		{D: rel.String("pd-says"), O: sourceset.Of(pd)},
+		{D: rel.String("ad-says"), O: sourceset.Of(ad)},
+	})
+	got, err := alg.Coalesce(p, "X", "Y", "W")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := got.Tuples[0][0]
+	if c.D.Str() != "ad-says" {
+		t.Errorf("winner = %q, want ad-says", c.D.Str())
+	}
+	if !c.O.Equal(sourceset.Of(ad)) {
+		t.Errorf("winner origin = %s", c.O.Format(reg))
+	}
+	if !c.I.Contains(pd) {
+		t.Error("loser source must appear as an intermediate")
+	}
+}
+
+func TestHandlerTieKeepsLeft(t *testing.T) {
+	reg, rank, ad, _, _ := setup()
+	alg := core.NewAlgebra(nil)
+	alg.SetConflictHandler(rank.Handler())
+	p := core.NewRelation("P", reg, core.Attr{Name: "X"}, core.Attr{Name: "Y"})
+	p.Append(core.Tuple{
+		{D: rel.String("left"), O: sourceset.Of(ad)},
+		{D: rel.String("right"), O: sourceset.Of(ad)},
+	})
+	got, err := alg.Coalesce(p, "X", "Y", "W")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tuples[0][0].D.Str() != "left" {
+		t.Error("tie should keep the left datum")
+	}
+}
+
+func TestFindConflicts(t *testing.T) {
+	f := workload.New(workload.Config{
+		Databases: 3, Entities: 100, Overlap: 1, Categories: 3,
+		ConflictRate: 0.5, Seed: 21,
+	})
+	rank := NewRanking(f.Registry, map[string]float64{"D0": 0.9, "D1": 0.4, "D2": 0.6}, 0.5)
+	conflicts, err := FindConflicts(f.Scheme, rank, identity.Exact{}, f.TaggedFragments()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conflicts) == 0 {
+		t.Fatal("no conflicts found in a conflict-seeded federation")
+	}
+	for _, c := range conflicts {
+		if c.Attr != "CAT" {
+			t.Errorf("conflict on %s; only CAT is shared", c.Attr)
+		}
+		if len(c.Values) < 2 {
+			t.Errorf("conflict with %d values", len(c.Values))
+		}
+		// Sorted by descending credibility.
+		for i := 1; i < len(c.Values); i++ {
+			if c.Values[i-1].Score < c.Values[i].Score {
+				t.Errorf("values not sorted by score: %v", c.Values)
+			}
+		}
+		if !strings.Contains(c.String(), "PENTITY.CAT") {
+			t.Errorf("render = %q", c.String())
+		}
+	}
+}
+
+func TestFindConflictsCleanFederation(t *testing.T) {
+	f := workload.New(workload.Config{Databases: 3, Entities: 50, Overlap: 1, Categories: 3, Seed: 2})
+	conflicts, err := FindConflicts(f.Scheme, nil, nil, f.TaggedFragments()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conflicts) != 0 {
+		t.Errorf("clean federation reported %d conflicts: %v", len(conflicts), conflicts[0])
+	}
+}
+
+func TestFindConflictsMissingKey(t *testing.T) {
+	f := workload.New(workload.Config{Databases: 2, Entities: 5, Overlap: 1, Categories: 2, Seed: 2})
+	frag := f.TaggedFragments()[0]
+	for i := range frag.Attrs {
+		frag.Attrs[i].Polygen = "" // strip annotations
+	}
+	if _, err := FindConflicts(f.Scheme, nil, nil, frag); err == nil {
+		t.Error("fragment without key annotation accepted")
+	}
+}

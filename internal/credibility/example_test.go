@@ -1,0 +1,35 @@
+package credibility_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/credibility"
+	"repro/internal/rel"
+	"repro/internal/sourceset"
+)
+
+// Example shows credibility-ranked conflict resolution during Coalesce:
+// two sources disagree and the more credible one's datum wins, with the
+// loser recorded as a consulted intermediate.
+func Example() {
+	reg := sourceset.NewRegistry()
+	rumor := reg.Intern("RUMOR")
+	wire := reg.Intern("WIRE")
+	rank := credibility.NewRanking(reg, map[string]float64{
+		"RUMOR": 0.2,
+		"WIRE":  0.9,
+	}, 0.5)
+
+	alg := core.NewAlgebra(nil)
+	alg.SetConflictHandler(rank.Handler())
+
+	p := core.NewRelation("P", reg, core.Attr{Name: "X"}, core.Attr{Name: "Y"})
+	p.Append(core.Tuple{
+		{D: rel.String("bankrupt!"), O: sourceset.Of(rumor)},
+		{D: rel.String("profitable"), O: sourceset.Of(wire)},
+	})
+	got, _ := alg.Coalesce(p, "X", "Y", "STATUS")
+	fmt.Println(got.Tuples[0][0].Format(reg))
+	// Output: profitable, {WIRE}, {RUMOR}
+}

@@ -1,0 +1,143 @@
+// Package domainmap implements the domain mapping the paper assumes has been
+// resolved during schema integration (§I): unit, scale and representation
+// conversions between a local attribute's domain and the polygen attribute's
+// domain. The mapping information is stored with the polygen schema and
+// applied by the PQP when a local relation is retrieved.
+//
+// The worked example uses one such mapping: FIRM.HQ in the Company Database
+// holds "city, state" strings ("Cambridge, MA"), while the polygen attribute
+// HEADQUARTERS holds states ("MA") — compare the Firm relation in §IV with
+// Table A3.
+package domainmap
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/rel"
+)
+
+// Func converts a value from a local attribute domain into the polygen
+// attribute domain.
+type Func func(rel.Value) rel.Value
+
+// Identity returns its argument unchanged.
+func Identity(v rel.Value) rel.Value { return v }
+
+// LastCommaField maps "city, state" to "state" — the FIRM.HQ → HEADQUARTERS
+// mapping of the worked example. Values without a comma pass through.
+func LastCommaField(v rel.Value) rel.Value {
+	if v.Kind() != rel.KindString {
+		return v
+	}
+	s := v.Str()
+	if i := strings.LastIndex(s, ","); i >= 0 {
+		return rel.String(strings.TrimSpace(s[i+1:]))
+	}
+	return v
+}
+
+// Scale returns a Func multiplying numeric values by factor, converting
+// ints to floats when the result is fractional. It models the paper's
+// "in billions vs. in millions" scale mismatch.
+func Scale(factor float64) Func {
+	return func(v rel.Value) rel.Value {
+		switch v.Kind() {
+		case rel.KindInt:
+			f := float64(v.IntVal()) * factor
+			if f == float64(int64(f)) {
+				return rel.Int(int64(f))
+			}
+			return rel.Float(f)
+		case rel.KindFloat:
+			return rel.Float(v.FloatVal() * factor)
+		default:
+			return v
+		}
+	}
+}
+
+// UnitSuffix returns a Func that parses strings like "1.7 bil" or "648 mil"
+// into plain numeric values in the given base unit, where units maps a
+// suffix to its multiplier (e.g. {"bil": 1e9, "mil": 1e6}). Unparseable
+// values pass through, preserving the raw local representation.
+func UnitSuffix(units map[string]float64) Func {
+	return func(v rel.Value) rel.Value {
+		if v.Kind() != rel.KindString {
+			return v
+		}
+		fields := strings.Fields(v.Str())
+		if len(fields) != 2 {
+			return v
+		}
+		mult, ok := units[fields[1]]
+		if !ok {
+			return v
+		}
+		f, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return v
+		}
+		return rel.Float(f * mult)
+	}
+}
+
+// Chain composes mappings left to right.
+func Chain(fns ...Func) Func {
+	return func(v rel.Value) rel.Value {
+		for _, fn := range fns {
+			v = fn(v)
+		}
+		return v
+	}
+}
+
+// Table stores mapping functions keyed by (local database, local scheme,
+// local attribute), mirroring how the paper stores attribute mapping
+// information in the polygen schema.
+type Table struct {
+	m map[key]Func
+}
+
+type key struct{ db, scheme, attr string }
+
+// NewTable returns an empty mapping table.
+func NewTable() *Table { return &Table{m: make(map[key]Func)} }
+
+// Set registers fn for the given local attribute, replacing any previous
+// mapping.
+func (t *Table) Set(db, scheme, attr string, fn Func) {
+	t.m[key{db, scheme, attr}] = fn
+}
+
+// Has reports whether a mapping is registered for the local attribute. The
+// query translator consults it: a selection on a domain-mapped attribute
+// cannot be pushed to the LQP, because the LQP would evaluate the condition
+// against unmapped local values.
+func (t *Table) Has(db, scheme, attr string) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.m[key{db, scheme, attr}]
+	return ok
+}
+
+// Lookup returns the mapping for the local attribute, or Identity when none
+// is registered.
+func (t *Table) Lookup(db, scheme, attr string) Func {
+	if t == nil {
+		return Identity
+	}
+	if fn, ok := t.m[key{db, scheme, attr}]; ok {
+		return fn
+	}
+	return Identity
+}
+
+// Len returns the number of registered mappings.
+func (t *Table) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.m)
+}

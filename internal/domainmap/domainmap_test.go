@@ -1,0 +1,120 @@
+package domainmap
+
+import (
+	"testing"
+
+	"repro/internal/rel"
+)
+
+func TestLastCommaField(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Cambridge, MA", "MA"},
+		{"NY, NY", "NY"},
+		{"So. San Francisco, CA", "CA"},
+		{"Dearborn,   MI", "MI"},
+		{"London", "London"}, // no comma: pass through
+	}
+	for _, c := range cases {
+		got := LastCommaField(rel.String(c.in))
+		if got.Str() != c.want {
+			t.Errorf("LastCommaField(%q) = %q, want %q", c.in, got.Str(), c.want)
+		}
+	}
+	if !LastCommaField(rel.Int(5)).Equal(rel.Int(5)) {
+		t.Error("non-string should pass through")
+	}
+	if !LastCommaField(rel.Null()).IsNull() {
+		t.Error("null should pass through")
+	}
+}
+
+func TestScale(t *testing.T) {
+	byThousand := Scale(1000)
+	if got := byThousand(rel.Int(5)); !got.Equal(rel.Int(5000)) {
+		t.Errorf("Scale int = %v", got)
+	}
+	if got := byThousand(rel.Float(1.5)); !got.Equal(rel.Float(1500)) {
+		t.Errorf("Scale float = %v", got)
+	}
+	half := Scale(0.5)
+	if got := half(rel.Int(5)); !got.Equal(rel.Float(2.5)) {
+		t.Errorf("fractional scale should produce float, got %v", got)
+	}
+	if got := half(rel.Int(4)); !got.Equal(rel.Int(2)) {
+		t.Errorf("integral result should stay int, got %v", got)
+	}
+	if got := half(rel.String("x")); !got.Equal(rel.String("x")) {
+		t.Error("non-numeric should pass through")
+	}
+}
+
+func TestUnitSuffix(t *testing.T) {
+	fn := UnitSuffix(map[string]float64{"bil": 1e9, "mil": 1e6})
+	cases := []struct {
+		in   string
+		want rel.Value
+	}{
+		{"1.7 bil", rel.Float(1.7e9)},
+		{"-1.7 bil", rel.Float(-1.7e9)},
+		{"648 mil", rel.Float(648e6)},
+		{"1 mil", rel.Float(1e6)},
+		{"unknown", rel.String("unknown")},
+		{"5 zorkmids", rel.String("5 zorkmids")},
+		{"not-a-number bil", rel.String("not-a-number bil")},
+	}
+	for _, c := range cases {
+		if got := fn(rel.String(c.in)); !got.Equal(c.want) {
+			t.Errorf("UnitSuffix(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if !fn(rel.Int(3)).Equal(rel.Int(3)) {
+		t.Error("non-string should pass through")
+	}
+}
+
+func TestChain(t *testing.T) {
+	fn := Chain(LastCommaField, func(v rel.Value) rel.Value {
+		return rel.String(v.Str() + "!")
+	})
+	if got := fn(rel.String("NY, NY")); got.Str() != "NY!" {
+		t.Errorf("Chain = %q", got.Str())
+	}
+	if got := Chain()(rel.Int(1)); !got.Equal(rel.Int(1)) {
+		t.Error("empty chain should be identity")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tbl := NewTable()
+	if tbl.Len() != 0 {
+		t.Error("new table not empty")
+	}
+	tbl.Set("CD", "FIRM", "HQ", LastCommaField)
+	if tbl.Len() != 1 {
+		t.Errorf("Len = %d", tbl.Len())
+	}
+	fn := tbl.Lookup("CD", "FIRM", "HQ")
+	if got := fn(rel.String("NY, NY")); got.Str() != "NY" {
+		t.Error("registered mapping not applied")
+	}
+	id := tbl.Lookup("AD", "BUSINESS", "BNAME")
+	if got := id(rel.String("NY, NY")); got.Str() != "NY, NY" {
+		t.Error("unregistered lookup should be identity")
+	}
+	// Overwrite.
+	tbl.Set("CD", "FIRM", "HQ", Identity)
+	if got := tbl.Lookup("CD", "FIRM", "HQ")(rel.String("NY, NY")); got.Str() != "NY, NY" {
+		t.Error("Set did not replace the mapping")
+	}
+}
+
+func TestNilTable(t *testing.T) {
+	var tbl *Table
+	if tbl.Len() != 0 {
+		t.Error("nil table Len != 0")
+	}
+	fn := tbl.Lookup("a", "b", "c")
+	if got := fn(rel.String("x")); got.Str() != "x" {
+		t.Error("nil table lookup should be identity")
+	}
+}

@@ -1,0 +1,88 @@
+package identity
+
+import (
+	"testing"
+
+	"repro/internal/rel"
+)
+
+func TestExact(t *testing.T) {
+	e := Exact{}
+	if e.Canonical(rel.String("IBM")) == e.Canonical(rel.String("ibm")) {
+		t.Error("Exact folded case")
+	}
+	if e.Canonical(rel.String("IBM")) != e.Canonical(rel.String("IBM")) {
+		t.Error("Exact unstable")
+	}
+	if e.Canonical(rel.Int(1)) == e.Canonical(rel.String("1")) {
+		t.Error("Exact conflated kinds")
+	}
+}
+
+func TestCaseFoldPaperCases(t *testing.T) {
+	cf := CaseFold{}
+	same := [][2]string{
+		{"CitiCorp", "Citicorp"}, // the worked example's mismatch
+		{"IBM", "I.B.M."},        // §I's example
+		{"IBM", "ibm"},
+		{"Banker's Trust", "Bankers Trust"},
+		{"AT&T", "at&t"},
+		{"Langley  Castle", "Langley Castle"}, // internal whitespace
+		{" DEC", "DEC"},                       // leading whitespace
+		{"DEC ", "DEC"},                       // trailing whitespace
+	}
+	for _, c := range same {
+		if cf.Canonical(rel.String(c[0])) != cf.Canonical(rel.String(c[1])) {
+			t.Errorf("CaseFold should match %q and %q", c[0], c[1])
+		}
+	}
+	diff := [][2]string{
+		{"IBM", "DEC"},
+		{"Ford", "Fordham"},
+		{"", "x"},
+	}
+	for _, c := range diff {
+		if cf.Canonical(rel.String(c[0])) == cf.Canonical(rel.String(c[1])) {
+			t.Errorf("CaseFold should distinguish %q and %q", c[0], c[1])
+		}
+	}
+}
+
+func TestCaseFoldNonStrings(t *testing.T) {
+	cf := CaseFold{}
+	if cf.Canonical(rel.Int(1)) == cf.Canonical(rel.Int(2)) {
+		t.Error("distinct ints conflated")
+	}
+	if cf.Canonical(rel.Int(1)) != cf.Canonical(rel.Int(1)) {
+		t.Error("int canonicalization unstable")
+	}
+	if cf.Canonical(rel.Null()) != rel.Null().Key() {
+		t.Error("null should fall back to exact key")
+	}
+}
+
+func TestSynonyms(t *testing.T) {
+	s := NewSynonyms(CaseFold{},
+		[]rel.Value{rel.String("Big Blue"), rel.String("IBM")},
+		[]rel.Value{rel.String("DEC"), rel.String("Digital Equipment")},
+	)
+	if s.Canonical(rel.String("big blue")) != s.Canonical(rel.String("I.B.M.")) {
+		t.Error("synonym group (via inner CaseFold) not matched")
+	}
+	if s.Canonical(rel.String("DEC")) != s.Canonical(rel.String("Digital Equipment")) {
+		t.Error("second synonym group not matched")
+	}
+	if s.Canonical(rel.String("IBM")) == s.Canonical(rel.String("DEC")) {
+		t.Error("distinct groups conflated")
+	}
+	if s.Canonical(rel.String("Oracle")) != (CaseFold{}).Canonical(rel.String("Oracle")) {
+		t.Error("non-synonym should fall through to inner resolver")
+	}
+}
+
+func TestSynonymsEmptyGroup(t *testing.T) {
+	s := NewSynonyms(Exact{}, nil, []rel.Value{})
+	if s.Canonical(rel.String("x")) != (Exact{}).Canonical(rel.String("x")) {
+		t.Error("empty groups should be ignored")
+	}
+}

@@ -1,0 +1,76 @@
+package lqp
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/rel"
+)
+
+// Counting wraps an LQP and counts the operations routed to it, optionally
+// injecting a fixed per-operation latency. It serves two purposes: tests use
+// it to assert that the translator pushed work to the right LQP (e.g. that a
+// selection executed locally instead of retrieving the whole relation), and
+// benchmarks use the latency injection to model wide-area local databases —
+// the paper's federation spanned the US, England and Canada.
+type Counting struct {
+	inner LQP
+	// Latency is added to every Execute call (0 = none).
+	Latency time.Duration
+
+	mu     sync.Mutex
+	counts map[OpKind]int
+	ops    []Op
+}
+
+// NewCounting wraps inner.
+func NewCounting(inner LQP) *Counting {
+	return &Counting{inner: inner, counts: make(map[OpKind]int)}
+}
+
+// Name implements LQP.
+func (c *Counting) Name() string { return c.inner.Name() }
+
+// Relations implements LQP.
+func (c *Counting) Relations() ([]string, error) { return c.inner.Relations() }
+
+// Execute implements LQP, recording the operation.
+func (c *Counting) Execute(op Op) (*rel.Relation, error) {
+	if c.Latency > 0 {
+		time.Sleep(c.Latency)
+	}
+	c.mu.Lock()
+	c.counts[op.Kind]++
+	c.ops = append(c.ops, op)
+	c.mu.Unlock()
+	return c.inner.Execute(op)
+}
+
+// Count returns how many operations of kind k have executed.
+func (c *Counting) Count(k OpKind) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts[k]
+}
+
+// Total returns the total number of executed operations.
+func (c *Counting) Total() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.ops)
+}
+
+// Ops returns a copy of the executed operations in order.
+func (c *Counting) Ops() []Op {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Op(nil), c.ops...)
+}
+
+// Reset clears the recorded operations.
+func (c *Counting) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.counts = make(map[OpKind]int)
+	c.ops = nil
+}

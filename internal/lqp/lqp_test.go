@@ -1,0 +1,150 @@
+package lqp
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/rel"
+)
+
+func testDB() *catalog.Database {
+	db := catalog.NewDatabase("AD")
+	db.MustCreate("ALUMNUS", rel.SchemaOf("AID#", "ANAME", "DEG"), "AID#")
+	for _, r := range [][3]string{
+		{"012", "John McCauley", "MBA"},
+		{"123", "Bob Swanson", "MBA"},
+		{"345", "James Yao", "BS"},
+	} {
+		if err := db.Insert("ALUMNUS", rel.Tuple{rel.String(r[0]), rel.String(r[1]), rel.String(r[2])}); err != nil {
+			panic(err)
+		}
+	}
+	return db
+}
+
+func TestLocalName(t *testing.T) {
+	l := NewLocal(testDB())
+	if l.Name() != "AD" {
+		t.Errorf("Name = %q", l.Name())
+	}
+}
+
+func TestLocalRelations(t *testing.T) {
+	l := NewLocal(testDB())
+	rels, err := l.Relations()
+	if err != nil || len(rels) != 1 || rels[0] != "ALUMNUS" {
+		t.Errorf("Relations = %v, %v", rels, err)
+	}
+}
+
+func TestLocalRetrieve(t *testing.T) {
+	l := NewLocal(testDB())
+	r, err := l.Execute(Retrieve("ALUMNUS"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cardinality() != 3 {
+		t.Errorf("retrieved %d tuples", r.Cardinality())
+	}
+	// The paper defines Retrieve as a Restrict without condition: full scan.
+	if r.Schema.Len() != 3 {
+		t.Errorf("degree = %d", r.Schema.Len())
+	}
+}
+
+func TestLocalSelect(t *testing.T) {
+	l := NewLocal(testDB())
+	r, err := l.Execute(Select("ALUMNUS", "DEG", rel.ThetaEQ, rel.String("MBA")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cardinality() != 2 {
+		t.Errorf("selected %d tuples, want 2", r.Cardinality())
+	}
+}
+
+func TestLocalRestrict(t *testing.T) {
+	db := catalog.NewDatabase("X")
+	db.MustCreate("T", rel.SchemaOf("A", "B"))
+	db.Insert("T", rel.Tuple{rel.Int(1), rel.Int(1)}, rel.Tuple{rel.Int(1), rel.Int(2)})
+	l := NewLocal(db)
+	r, err := l.Execute(Restrict("T", "A", rel.ThetaEQ, "B"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cardinality() != 1 {
+		t.Errorf("restricted to %d tuples, want 1", r.Cardinality())
+	}
+}
+
+func TestLocalProject(t *testing.T) {
+	l := NewLocal(testDB())
+	r, err := l.Execute(Project("ALUMNUS", "DEG"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cardinality() != 2 { // MBA, BS
+		t.Errorf("projected %d tuples, want 2", r.Cardinality())
+	}
+}
+
+func TestLocalErrors(t *testing.T) {
+	l := NewLocal(testDB())
+	if _, err := l.Execute(Retrieve("MISSING")); err == nil {
+		t.Error("retrieving missing relation should fail")
+	} else if !strings.Contains(err.Error(), "AD") {
+		t.Errorf("error should name the LQP: %v", err)
+	}
+	if _, err := l.Execute(Select("ALUMNUS", "NOPE", rel.ThetaEQ, rel.String("x"))); err == nil {
+		t.Error("selecting on missing attribute should fail")
+	}
+	if _, err := l.Execute(Op{Kind: OpKind(99), Relation: "ALUMNUS"}); err == nil {
+		t.Error("unknown op kind should fail")
+	}
+}
+
+func TestLocalSnapshotSemantics(t *testing.T) {
+	db := testDB()
+	l := NewLocal(db)
+	r, _ := l.Execute(Retrieve("ALUMNUS"))
+	r.Tuples[0][0] = rel.String("mutated")
+	r2, _ := l.Execute(Retrieve("ALUMNUS"))
+	if r2.Tuples[0][0].Str() == "mutated" {
+		t.Error("Execute result aliases the catalog storage")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want string
+	}{
+		{Retrieve("CAREER"), "CAREER"},
+		{Select("ALUMNUS", "DEG", rel.ThetaEQ, rel.String("MBA")), `ALUMNUS[DEG = "MBA"]`},
+		{Restrict("T", "A", rel.ThetaLT, "B"), "T[A < B]"},
+		{Project("T", "A", "B"), "T[A B]"},
+	}
+	for _, c := range cases {
+		if got := c.op.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+	if OpRetrieve.String() != "Retrieve" || OpSelect.String() != "Select" ||
+		OpRestrict.String() != "Restrict" || OpProject.String() != "Project" {
+		t.Error("OpKind.String wrong")
+	}
+}
+
+func TestCountingLatencyInjection(t *testing.T) {
+	c := NewCounting(NewLocal(testDB()))
+	c.Latency = 10 * time.Millisecond
+	start := time.Now()
+	if _, err := c.Execute(Retrieve("ALUMNUS")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Errorf("latency not injected: %v", elapsed)
+	}
+}

@@ -1,0 +1,142 @@
+package paperdata
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestFederationShape(t *testing.T) {
+	f := New()
+	if f.AD.Name() != "AD" || f.PD.Name() != "PD" || f.CD.Name() != "CD" {
+		t.Error("database names wrong")
+	}
+	// Registry interned in paper order so tags render {AD, PD, CD}.
+	if id, _ := f.Registry.Lookup("AD"); id != 0 {
+		t.Error("AD must intern first")
+	}
+	if id, _ := f.Registry.Lookup("CD"); id != 2 {
+		t.Error("CD must intern third")
+	}
+	if len(f.LQPs()) != 3 {
+		t.Error("expected 3 LQPs")
+	}
+	if len(f.Databases()) != 3 {
+		t.Error("expected 3 databases")
+	}
+}
+
+func TestPaperCardinalities(t *testing.T) {
+	f := New()
+	cases := []struct {
+		db   string
+		rel  string
+		card int
+	}{
+		{"AD", "ALUMNUS", 8},
+		{"AD", "CAREER", 9},
+		{"AD", "BUSINESS", 9},
+		{"PD", "STUDENT", 5},
+		{"PD", "INTERVIEW", 4},
+		{"PD", "CORPORATION", 7},
+		{"CD", "FIRM", 10},
+		{"CD", "FINANCE", 10},
+	}
+	dbs := map[string]interface {
+		Snapshot(string) (interface{ Cardinality() int }, error)
+	}{}
+	_ = dbs
+	for _, c := range cases {
+		var db = f.AD
+		switch c.db {
+		case "PD":
+			db = f.PD
+		case "CD":
+			db = f.CD
+		}
+		r, err := db.Snapshot(c.rel)
+		if err != nil {
+			t.Fatalf("%s.%s: %v", c.db, c.rel, err)
+		}
+		if r.Cardinality() != c.card {
+			t.Errorf("%s.%s has %d tuples, want %d (per §IV)", c.db, c.rel, r.Cardinality(), c.card)
+		}
+	}
+}
+
+func TestSchemaMatchesPaper(t *testing.T) {
+	s := Schema()
+	names := s.SchemeNames()
+	want := []string{"PALUMNUS", "PCAREER", "PORGANIZATION", "PSTUDENT", "PINTERVIEW", "PFINANCE"}
+	if len(names) != len(want) {
+		t.Fatalf("schemes = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("schemes = %v, want %v", names, want)
+		}
+	}
+	org, _ := s.Scheme("PORGANIZATION")
+	if org.Key != "ONAME" {
+		t.Errorf("PORGANIZATION key = %q", org.Key)
+	}
+	oname, _ := org.Attr("ONAME")
+	if len(oname.Mapping) != 3 {
+		t.Errorf("ONAME mapping = %v", oname.Mapping)
+	}
+	ceo, _ := org.Attr("CEO")
+	if len(ceo.Mapping) != 1 || ceo.Mapping[0] != (core.LocalAttr{DB: "CD", Scheme: "FIRM", Attr: "CEO"}) {
+		t.Errorf("CEO mapping = %v", ceo.Mapping)
+	}
+	hq, _ := org.Attr("HEADQUARTERS")
+	if len(hq.Mapping) != 2 {
+		t.Errorf("HEADQUARTERS mapping = %v", hq.Mapping)
+	}
+}
+
+func TestSchemaDomainMapping(t *testing.T) {
+	s := Schema()
+	if s.DomainMap.Len() != 1 {
+		t.Errorf("domain map has %d entries, want 1 (FIRM.HQ)", s.DomainMap.Len())
+	}
+}
+
+// TestLocalSchemaMatchesPaper: attribute names of each local relation.
+func TestLocalSchemaMatchesPaper(t *testing.T) {
+	f := New()
+	r, err := f.AD.Snapshot("ALUMNUS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := r.Schema.Names()
+	want := []string{"AID#", "ANAME", "DEG", "MAJ"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("ALUMNUS schema = %v", names)
+		}
+	}
+	// Keys per the paper's underlines.
+	key, err := f.AD.Key("ALUMNUS")
+	if err != nil || len(key) != 1 || key[0] != "AID#" {
+		t.Errorf("ALUMNUS key = %v", key)
+	}
+	key2, _ := f.AD.Key("CAREER")
+	if len(key2) != 2 {
+		t.Errorf("CAREER key = %v (composite per the paper's underline)", key2)
+	}
+}
+
+// TestNewIsDeterministic: two federations carry identical data.
+func TestNewIsDeterministic(t *testing.T) {
+	a, b := New(), New()
+	ra, _ := a.CD.Snapshot("FIRM")
+	rb, _ := b.CD.Snapshot("FIRM")
+	if ra.Cardinality() != rb.Cardinality() {
+		t.Fatal("non-deterministic load")
+	}
+	for i := range ra.Tuples {
+		if !ra.Tuples[i].Equal(rb.Tuples[i]) {
+			t.Fatalf("tuple %d differs", i)
+		}
+	}
+}

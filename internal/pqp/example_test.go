@@ -1,0 +1,33 @@
+package pqp_test
+
+import (
+	"fmt"
+
+	"repro/internal/identity"
+	"repro/internal/paperdata"
+	"repro/internal/pqp"
+)
+
+// Example runs the paper's §III polygen query end to end over the embedded
+// federation and prints the composite answer with its source tags (the
+// paper's Table 9).
+func Example() {
+	fed := paperdata.New()
+	processor := pqp.New(fed.Schema, fed.Registry, identity.CaseFold{}, fed.LQPs())
+
+	res, err := processor.QuerySQL(`SELECT ONAME, CEO FROM PORGANIZATION, PALUMNUS
+		WHERE CEO = ANAME AND ONAME IN
+		(SELECT ONAME FROM PCAREER WHERE AID# IN
+		(SELECT AID# FROM PALUMNUS WHERE DEGREE = "MBA"))`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, t := range res.Relation.Tuples {
+		fmt.Printf("%s | %s\n", t[0].Format(fed.Registry), t[1].Format(fed.Registry))
+	}
+	// Output:
+	// Genentech, {AD, CD}, {AD, CD} | Bob Swanson, {CD}, {AD, CD}
+	// Langley Castle, {AD, CD}, {AD, CD} | Stu Madnick, {CD}, {AD, CD}
+	// Citicorp, {AD, PD, CD}, {AD, PD, CD} | John Reed, {CD}, {AD, PD, CD}
+}

@@ -1,0 +1,143 @@
+package pqp
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/translate"
+)
+
+// ExecuteParallel evaluates an Intermediate Operation Matrix with
+// inter-row parallelism: every row starts as soon as the registers it
+// references are materialized, so independent local queries — the Retrieve
+// fan-out of a Merge, or the two sides of a relocated join — run against
+// their LQPs concurrently. The paper's federation spanned MIT, England and
+// Canada; with wide-area LQP latencies the fan-out dominates plan latency
+// and parallel retrieval recovers it (benchmark B-PAR).
+//
+// The result is identical to Execute's: the polygen algebra is purely
+// functional over immutable inputs, so evaluation order cannot affect tags
+// or data (TestParallelMatchesSerial).
+func (q *PQP) ExecuteParallel(iom *translate.Matrix) (*core.Relation, error) {
+	regs, err := q.ExecuteAllParallel(iom)
+	if err != nil {
+		return nil, err
+	}
+	return regs[iom.Rows[len(iom.Rows)-1].PR], nil
+}
+
+// ExecuteAllParallel is ExecuteParallel returning every register.
+func (q *PQP) ExecuteAllParallel(iom *translate.Matrix) (map[int]*core.Relation, error) {
+	if iom.Cardinality() == 0 {
+		return nil, fmt.Errorf("pqp: empty plan")
+	}
+	type slot struct {
+		rel  *core.Relation
+		err  error
+		done chan struct{}
+	}
+	slots := make(map[int]*slot, iom.Cardinality())
+	for _, row := range iom.Rows {
+		if _, dup := slots[row.PR]; dup {
+			return nil, fmt.Errorf("pqp: duplicate register R(%d) in plan", row.PR)
+		}
+		slots[row.PR] = &slot{done: make(chan struct{})}
+	}
+
+	deps := func(row translate.Row) ([]int, error) {
+		var out []int
+		add := func(o translate.Operand) error {
+			switch o.Kind {
+			case translate.OpdReg:
+				if _, ok := slots[o.Reg]; !ok {
+					return fmt.Errorf("pqp: plan references unknown register R(%d)", o.Reg)
+				}
+				out = append(out, o.Reg)
+			case translate.OpdRegs:
+				for _, r := range o.Regs {
+					if _, ok := slots[r]; !ok {
+						return fmt.Errorf("pqp: plan references unknown register R(%d)", r)
+					}
+					out = append(out, r)
+				}
+			}
+			return nil
+		}
+		if err := add(row.LHR); err != nil {
+			return nil, err
+		}
+		if err := add(row.RHR); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+
+	var wg sync.WaitGroup
+	for _, row := range iom.Rows {
+		row := row
+		s := slots[row.PR]
+		dd, err := deps(row)
+		if err != nil {
+			// Close every pending slot so spawned goroutines cannot leak.
+			s.err = err
+			close(s.done)
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer close(s.done)
+			view := make(map[int]*core.Relation, len(dd))
+			for _, d := range dd {
+				ds := slots[d]
+				<-ds.done
+				if ds.err != nil {
+					s.err = fmt.Errorf("dependency R(%d): %w", d, ds.err)
+					return
+				}
+				view[d] = ds.rel
+			}
+			s.rel, s.err = q.step(row, view)
+			if q.Trace != nil && s.err == nil {
+				q.Trace("%-60s -> %d tuples", row.String(), s.rel.Cardinality())
+			}
+		}()
+	}
+	wg.Wait()
+
+	out := make(map[int]*core.Relation, len(slots))
+	for _, row := range iom.Rows {
+		s := slots[row.PR]
+		if s.err != nil {
+			return nil, fmt.Errorf("pqp: executing %s: %w", row, s.err)
+		}
+		out[row.PR] = s.rel
+	}
+	return out, nil
+}
+
+// RunParallel is Run with ExecuteParallel as the evaluation strategy.
+func (q *PQP) RunParallel(e translate.Expr) (*Result, error) {
+	res := &Result{Expr: e}
+	var err error
+	if res.POM, err = translate.Analyze(e); err != nil {
+		return nil, err
+	}
+	if res.Half, err = translate.PassOne(res.POM, q.schema); err != nil {
+		return nil, err
+	}
+	if res.IOM, err = translate.PassTwo(res.Half, q.schema); err != nil {
+		return nil, err
+	}
+	res.Plan = res.IOM
+	if q.Optimize {
+		if res.Plan, err = translate.Optimize(res.IOM); err != nil {
+			return nil, err
+		}
+	}
+	if res.Relation, err = q.ExecuteParallel(res.Plan); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,120 @@
+package pqp
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/identity"
+	"repro/internal/lqp"
+	"repro/internal/paperdata"
+	"repro/internal/translate"
+)
+
+// TestParallelMatchesSerial: identical tagged answers (and intermediate
+// registers) under both evaluation strategies for the paper query.
+func TestParallelMatchesSerial(t *testing.T) {
+	q := newPQP(t)
+	e, err := translate.CompileSQL(`SELECT ONAME, CEO FROM PORGANIZATION, PALUMNUS WHERE CEO = ANAME AND ONAME IN
+		(SELECT ONAME FROM PCAREER WHERE AID# IN
+		(SELECT AID# FROM PALUMNUS WHERE DEGREE = "MBA"))`, q.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := q.Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := q.RunParallel(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := strings.Join(render(serial.Relation), "\n")
+	b := strings.Join(render(parallel.Relation), "\n")
+	if a != b {
+		t.Errorf("parallel answer differs:\nserial:\n%s\nparallel:\n%s", a, b)
+	}
+}
+
+// TestParallelOverlapsLQPLatency: with three LQPs at injected latency, the
+// Merge's retrieve fan-out overlaps; the plan's five local operations (three
+// of them independent retrieves) must complete in well under five full
+// round trips.
+func TestParallelOverlapsLQPLatency(t *testing.T) {
+	const latency = 20 * time.Millisecond
+	fed := paperdata.New()
+	lqps := make(map[string]lqp.LQP, 3)
+	for name, l := range fed.LQPs() {
+		c := lqp.NewCounting(l)
+		c.Latency = latency
+		lqps[name] = c
+	}
+	q := New(fed.Schema, fed.Registry, identity.CaseFold{}, lqps)
+	e, err := translate.CompileSQL(`SELECT ONAME FROM PORGANIZATION WHERE INDUSTRY = "Banking"`, q.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serial: 3 sequential retrieves = 3 × latency minimum.
+	start := time.Now()
+	if _, err := q.Run(e); err != nil {
+		t.Fatal(err)
+	}
+	serial := time.Since(start)
+	start = time.Now()
+	if _, err := q.RunParallel(e); err != nil {
+		t.Fatal(err)
+	}
+	parallel := time.Since(start)
+	if serial < 3*latency {
+		t.Fatalf("serial run too fast (%v); latency injection broken?", serial)
+	}
+	if parallel >= serial {
+		t.Errorf("parallel (%v) not faster than serial (%v)", parallel, serial)
+	}
+	if parallel > 2*latency {
+		t.Errorf("parallel run %v; the three retrieves should overlap into ~one latency (%v)", parallel, latency)
+	}
+}
+
+// TestParallelErrorPropagation: a failing dependency aborts downstream rows
+// with a chained error, and no goroutine deadlocks.
+func TestParallelErrorPropagation(t *testing.T) {
+	q := newPQP(t)
+	bad := &translate.Matrix{Rows: []translate.Row{
+		{PR: 1, Op: translate.OpRetrieve, LHR: translate.LocalOperand("NOSUCH"), RHA: translate.NoComparand(), RHR: translate.NoOperand(), EL: "AD"},
+		{PR: 2, Op: translate.OpProject, LHR: translate.RegOperand(1), LHA: []string{"X"}, RHA: translate.NoComparand(), RHR: translate.NoOperand(), EL: "PQP"},
+	}}
+	_, err := q.ExecuteParallel(bad)
+	if err == nil {
+		t.Fatal("missing relation accepted")
+	}
+	if !strings.Contains(err.Error(), "NOSUCH") && !strings.Contains(err.Error(), "dependency") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+// TestParallelUnknownRegister: dangling references fail cleanly.
+func TestParallelUnknownRegister(t *testing.T) {
+	q := newPQP(t)
+	bad := &translate.Matrix{Rows: []translate.Row{
+		{PR: 1, Op: translate.OpProject, LHR: translate.RegOperand(42), LHA: []string{"X"}, RHA: translate.NoComparand(), RHR: translate.NoOperand(), EL: "PQP"},
+	}}
+	if _, err := q.ExecuteParallel(bad); err == nil {
+		t.Error("dangling register accepted")
+	}
+	if _, err := q.ExecuteParallel(&translate.Matrix{}); err == nil {
+		t.Error("empty plan accepted")
+	}
+}
+
+// TestParallelDuplicateRegister: malformed plans are rejected up front.
+func TestParallelDuplicateRegister(t *testing.T) {
+	q := newPQP(t)
+	bad := &translate.Matrix{Rows: []translate.Row{
+		{PR: 1, Op: translate.OpRetrieve, LHR: translate.LocalOperand("ALUMNUS"), RHA: translate.NoComparand(), RHR: translate.NoOperand(), EL: "AD"},
+		{PR: 1, Op: translate.OpRetrieve, LHR: translate.LocalOperand("CAREER"), RHA: translate.NoComparand(), RHR: translate.NoOperand(), EL: "AD"},
+	}}
+	if _, err := q.ExecuteParallel(bad); err == nil {
+		t.Error("duplicate register accepted")
+	}
+}

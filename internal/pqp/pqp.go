@@ -1,0 +1,318 @@
+// Package pqp implements the Polygen Query Processor of the paper's Figure
+// 1: it translates polygen queries into Intermediate Operation Matrices
+// (delegating to package translate), routes the local rows to the Local
+// Query Processors, tags retrieved data with their originating sources, and
+// evaluates the PQP-resident polygen operations with the polygen algebra,
+// maintaining data and intermediate source tags throughout.
+package pqp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/identity"
+	"repro/internal/lqp"
+	"repro/internal/rel"
+	"repro/internal/sourceset"
+	"repro/internal/translate"
+)
+
+// PQP is a polygen query processor bound to a polygen schema and a set of
+// LQPs (one per local database).
+type PQP struct {
+	schema *core.Schema
+	reg    *sourceset.Registry
+	alg    *core.Algebra
+	lqps   map[string]lqp.LQP
+	// Optimize enables the Query Optimizer stage (Figure 2). It defaults to
+	// true; the optimizer ablation benchmarks turn it off.
+	Optimize bool
+	// BalancedMerge evaluates Merge rows with the balanced pairwise tree
+	// (core.MergeBalanced) instead of the paper's left fold; the answers are
+	// instance-identical and wide merges get cheaper (B-SRC ablation).
+	BalancedMerge bool
+	// Trace, when non-nil, receives one line per executed IOM row.
+	Trace func(format string, args ...any)
+}
+
+// New builds a PQP. resolver may be nil for exact instance matching; the
+// paper's worked example needs identity.CaseFold to match "CitiCorp" with
+// "Citicorp".
+func New(schema *core.Schema, reg *sourceset.Registry, resolver identity.Resolver, lqps map[string]lqp.LQP) *PQP {
+	return &PQP{
+		schema:   schema,
+		reg:      reg,
+		alg:      core.NewAlgebra(resolver),
+		lqps:     lqps,
+		Optimize: true,
+	}
+}
+
+// Algebra exposes the algebra evaluator (e.g. to install a conflict
+// handler).
+func (q *PQP) Algebra() *core.Algebra { return q.alg }
+
+// Registry returns the source registry shared by all results.
+func (q *PQP) Registry() *sourceset.Registry { return q.reg }
+
+// Schema returns the polygen schema.
+func (q *PQP) Schema() *core.Schema { return q.schema }
+
+// Result is a fully processed polygen query: every intermediate artifact of
+// Figure 2's pipeline plus the final polygen relation.
+type Result struct {
+	// Expr is the polygen algebraic expression.
+	Expr translate.Expr
+	// POM is the Polygen Operation Matrix (Syntax Analyzer output).
+	POM *translate.Matrix
+	// Half is the half-processed IOM (pass one output).
+	Half *translate.Matrix
+	// IOM is the Intermediate Operation Matrix (pass two output).
+	IOM *translate.Matrix
+	// Plan is the executed plan: the IOM after the Query Optimizer.
+	Plan *translate.Matrix
+	// Relation is the composite answer with source tags.
+	Relation *core.Relation
+}
+
+// QueryAlgebra runs a polygen algebraic expression (paper notation) through
+// the full pipeline: parse → POM → pass one → pass two → optimize → execute.
+func (q *PQP) QueryAlgebra(input string) (*Result, error) {
+	e, err := translate.ParseExpr(input)
+	if err != nil {
+		return nil, err
+	}
+	return q.Run(e)
+}
+
+// QuerySQL runs a polygen SQL query through the SQL front end and the full
+// pipeline.
+func (q *PQP) QuerySQL(input string) (*Result, error) {
+	e, err := translate.CompileSQL(input, q.schema)
+	if err != nil {
+		return nil, err
+	}
+	return q.Run(e)
+}
+
+// Run executes an already-built algebraic expression.
+func (q *PQP) Run(e translate.Expr) (*Result, error) {
+	res := &Result{Expr: e}
+	var err error
+	if res.POM, err = translate.Analyze(e); err != nil {
+		return nil, err
+	}
+	if res.Half, err = translate.PassOne(res.POM, q.schema); err != nil {
+		return nil, err
+	}
+	if res.IOM, err = translate.PassTwo(res.Half, q.schema); err != nil {
+		return nil, err
+	}
+	res.Plan = res.IOM
+	if q.Optimize {
+		if res.Plan, err = translate.Optimize(res.IOM); err != nil {
+			return nil, err
+		}
+	}
+	if res.Relation, err = q.Execute(res.Plan); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Execute evaluates an Intermediate Operation Matrix and returns the final
+// register's relation.
+func (q *PQP) Execute(iom *translate.Matrix) (*core.Relation, error) {
+	regs, err := q.ExecuteAll(iom)
+	if err != nil {
+		return nil, err
+	}
+	return regs[iom.Rows[len(iom.Rows)-1].PR], nil
+}
+
+// ExecuteAll evaluates an Intermediate Operation Matrix and returns every
+// register — the reproduction harness uses it to compare each intermediate
+// polygen relation against the paper's Tables 4–9.
+func (q *PQP) ExecuteAll(iom *translate.Matrix) (map[int]*core.Relation, error) {
+	if iom.Cardinality() == 0 {
+		return nil, fmt.Errorf("pqp: empty plan")
+	}
+	regs := make(map[int]*core.Relation, iom.Cardinality())
+	for _, row := range iom.Rows {
+		r, err := q.step(row, regs)
+		if err != nil {
+			return nil, fmt.Errorf("pqp: executing %s: %w", row, err)
+		}
+		regs[row.PR] = r
+		if q.Trace != nil {
+			q.Trace("%-60s -> %d tuples", row.String(), r.Cardinality())
+		}
+	}
+	return regs, nil
+}
+
+func (q *PQP) step(row translate.Row, regs map[int]*core.Relation) (*core.Relation, error) {
+	if row.EL != "PQP" {
+		return q.runLocal(row)
+	}
+	operand := func(o translate.Operand) (*core.Relation, error) {
+		if o.Kind != translate.OpdReg {
+			return nil, fmt.Errorf("PQP operand must be a register, found %s", o)
+		}
+		r, ok := regs[o.Reg]
+		if !ok {
+			return nil, fmt.Errorf("register R(%d) not computed", o.Reg)
+		}
+		return r, nil
+	}
+	switch row.Op {
+	case translate.OpSelect:
+		p, err := operand(row.LHR)
+		if err != nil {
+			return nil, err
+		}
+		if row.RHA.Kind != translate.CmpConst {
+			return nil, fmt.Errorf("Select requires a constant RHA")
+		}
+		return q.alg.Select(p, row.LHA[0], row.Theta, row.RHA.Const)
+	case translate.OpRestrict:
+		p, err := operand(row.LHR)
+		if err != nil {
+			return nil, err
+		}
+		switch row.RHA.Kind {
+		case translate.CmpAttr:
+			return q.alg.Restrict(p, row.LHA[0], row.Theta, row.RHA.Attr)
+		case translate.CmpConst:
+			return q.alg.Select(p, row.LHA[0], row.Theta, row.RHA.Const)
+		default:
+			return nil, fmt.Errorf("Restrict requires an RHA")
+		}
+	case translate.OpProject:
+		p, err := operand(row.LHR)
+		if err != nil {
+			return nil, err
+		}
+		return q.alg.Project(p, row.LHA)
+	case translate.OpJoin:
+		l, err := operand(row.LHR)
+		if err != nil {
+			return nil, err
+		}
+		r, err := operand(row.RHR)
+		if err != nil {
+			return nil, err
+		}
+		return q.alg.Join(l, row.LHA[0], row.Theta, r, row.RHA.Attr)
+	case translate.OpMerge:
+		if row.LHR.Kind != translate.OpdRegs {
+			return nil, fmt.Errorf("Merge requires a register list")
+		}
+		scheme, ok := q.schema.Scheme(row.Scheme)
+		if !ok {
+			return nil, fmt.Errorf("Merge row names unknown scheme %q", row.Scheme)
+		}
+		rels := make([]*core.Relation, 0, len(row.LHR.Regs))
+		for _, rn := range row.LHR.Regs {
+			r, ok := regs[rn]
+			if !ok {
+				return nil, fmt.Errorf("register R(%d) not computed", rn)
+			}
+			rels = append(rels, r)
+		}
+		if q.BalancedMerge {
+			return q.alg.MergeBalanced(scheme, rels...)
+		}
+		return q.alg.Merge(scheme, rels...)
+	case translate.OpUnion:
+		return q.binary(row, regs, q.alg.Union)
+	case translate.OpDifference:
+		return q.binary(row, regs, q.alg.Difference)
+	case translate.OpIntersect:
+		return q.binary(row, regs, q.alg.Intersect)
+	case translate.OpProduct:
+		return q.binary(row, regs, q.alg.Product)
+	default:
+		return nil, fmt.Errorf("unsupported PQP operation %q", row.Op)
+	}
+}
+
+func (q *PQP) binary(row translate.Row, regs map[int]*core.Relation, fn func(a, b *core.Relation) (*core.Relation, error)) (*core.Relation, error) {
+	if row.LHR.Kind != translate.OpdReg || row.RHR.Kind != translate.OpdReg {
+		return nil, fmt.Errorf("%s requires register operands", row.Op)
+	}
+	l, ok := regs[row.LHR.Reg]
+	if !ok {
+		return nil, fmt.Errorf("register R(%d) not computed", row.LHR.Reg)
+	}
+	r, ok := regs[row.RHR.Reg]
+	if !ok {
+		return nil, fmt.Errorf("register R(%d) not computed", row.RHR.Reg)
+	}
+	return fn(l, r)
+}
+
+// runLocal executes one LQP-resident row: it builds the local operation,
+// sends it to the LQP named by the row's execution location, applies the
+// schema's domain mappings, and tags every cell with the execution location
+// as its originating source and an empty intermediate set (paper §III:
+// "when the execution location is an LQP ... it is also used as the
+// originating source tag for each of the cells").
+func (q *PQP) runLocal(row translate.Row) (*core.Relation, error) {
+	processor, ok := q.lqps[row.EL]
+	if !ok {
+		return nil, fmt.Errorf("no LQP for local database %q", row.EL)
+	}
+	if row.LHR.Kind != translate.OpdLocal {
+		return nil, fmt.Errorf("local row requires a local relation operand, found %s", row.LHR)
+	}
+	var op lqp.Op
+	switch row.Op {
+	case translate.OpRetrieve:
+		op = lqp.Retrieve(row.LHR.Name)
+	case translate.OpSelect:
+		if row.RHA.Kind != translate.CmpConst {
+			return nil, fmt.Errorf("local Select requires a constant RHA")
+		}
+		op = lqp.Select(row.LHR.Name, row.LHA[0], row.Theta, row.RHA.Const)
+	case translate.OpRestrict:
+		if row.RHA.Kind != translate.CmpAttr {
+			return nil, fmt.Errorf("local Restrict requires an attribute RHA")
+		}
+		op = lqp.Restrict(row.LHR.Name, row.LHA[0], row.Theta, row.RHA.Attr)
+	case translate.OpProject:
+		op = lqp.Project(row.LHR.Name, row.LHA...)
+	default:
+		return nil, fmt.Errorf("operation %q cannot execute at an LQP", row.Op)
+	}
+	plain, err := processor.Execute(op)
+	if err != nil {
+		return nil, err
+	}
+	return q.TagRetrieved(plain, row.EL, row.LHR.Name)
+}
+
+// TagRetrieved converts a plain relation returned by the LQP of database db
+// into a polygen relation: domain mappings apply first, then every cell is
+// tagged with origin {db} and an empty intermediate set, and every column is
+// annotated with the polygen attribute the schema maps it to.
+func (q *PQP) TagRetrieved(plain *rel.Relation, db, localScheme string) (*core.Relation, error) {
+	// Apply domain mappings column-wise before tagging.
+	names := plain.Schema.Names()
+	for ci, attr := range names {
+		fn := q.schema.DomainMap.Lookup(db, localScheme, attr)
+		for _, t := range plain.Tuples {
+			t[ci] = fn(t[ci])
+		}
+	}
+	src := q.reg.Intern(db)
+	p := core.FromPlain(plain, src, q.reg)
+	p.Name = localScheme
+	for i := range p.Attrs {
+		la := core.LocalAttr{DB: db, Scheme: localScheme, Attr: p.Attrs[i].Name}
+		if sa, ok := q.schema.PolygenAttrOf(la); ok {
+			p.Attrs[i].Polygen = sa.Attr
+		}
+	}
+	return p, nil
+}

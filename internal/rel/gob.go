@@ -1,0 +1,67 @@
+package rel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// GobEncode implements gob.GobEncoder so that values can cross the LQP wire
+// protocol (package wire) without exposing Value's representation.
+func (v Value) GobEncode() ([]byte, error) {
+	switch v.kind {
+	case KindNull:
+		return []byte{byte(KindNull)}, nil
+	case KindString:
+		return append([]byte{byte(KindString)}, v.str...), nil
+	case KindInt:
+		buf := make([]byte, 1+8)
+		buf[0] = byte(KindInt)
+		binary.BigEndian.PutUint64(buf[1:], uint64(v.num))
+		return buf, nil
+	case KindFloat:
+		buf := make([]byte, 1+8)
+		buf[0] = byte(KindFloat)
+		binary.BigEndian.PutUint64(buf[1:], math.Float64bits(v.fnum))
+		return buf, nil
+	case KindBool:
+		b := byte(0)
+		if v.b {
+			b = 1
+		}
+		return []byte{byte(KindBool), b}, nil
+	default:
+		return nil, fmt.Errorf("rel: cannot encode value of kind %d", v.kind)
+	}
+}
+
+// GobDecode implements gob.GobDecoder.
+func (v *Value) GobDecode(data []byte) error {
+	if len(data) == 0 {
+		return fmt.Errorf("rel: empty value encoding")
+	}
+	switch Kind(data[0]) {
+	case KindNull:
+		*v = Null()
+	case KindString:
+		*v = String(string(data[1:]))
+	case KindInt:
+		if len(data) != 9 {
+			return fmt.Errorf("rel: bad int encoding length %d", len(data))
+		}
+		*v = Int(int64(binary.BigEndian.Uint64(data[1:])))
+	case KindFloat:
+		if len(data) != 9 {
+			return fmt.Errorf("rel: bad float encoding length %d", len(data))
+		}
+		*v = Float(math.Float64frombits(binary.BigEndian.Uint64(data[1:])))
+	case KindBool:
+		if len(data) != 2 {
+			return fmt.Errorf("rel: bad bool encoding length %d", len(data))
+		}
+		*v = Bool(data[1] == 1)
+	default:
+		return fmt.Errorf("rel: unknown value kind %d in encoding", data[0])
+	}
+	return nil
+}

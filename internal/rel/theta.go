@@ -1,0 +1,104 @@
+package rel
+
+import "fmt"
+
+// Theta is a binary comparison relation (the θ of a θ-restriction). Both the
+// plain relational algebra and the polygen algebra restrict tuples with a
+// Theta between two attributes or an attribute and a constant.
+type Theta uint8
+
+const (
+	// ThetaEQ is equality (=).
+	ThetaEQ Theta = iota
+	// ThetaNE is inequality (<>).
+	ThetaNE
+	// ThetaLT is less-than (<).
+	ThetaLT
+	// ThetaLE is less-than-or-equal (<=).
+	ThetaLE
+	// ThetaGT is greater-than (>).
+	ThetaGT
+	// ThetaGE is greater-than-or-equal (>=).
+	ThetaGE
+)
+
+// ParseTheta converts the SQL/algebra spelling of a comparison into a Theta.
+func ParseTheta(s string) (Theta, error) {
+	switch s {
+	case "=", "==":
+		return ThetaEQ, nil
+	case "<>", "!=":
+		return ThetaNE, nil
+	case "<":
+		return ThetaLT, nil
+	case "<=":
+		return ThetaLE, nil
+	case ">":
+		return ThetaGT, nil
+	case ">=":
+		return ThetaGE, nil
+	default:
+		return 0, fmt.Errorf("rel: unknown comparison operator %q", s)
+	}
+}
+
+// String returns the SQL spelling of the comparison.
+func (t Theta) String() string {
+	switch t {
+	case ThetaEQ:
+		return "="
+	case ThetaNE:
+		return "<>"
+	case ThetaLT:
+		return "<"
+	case ThetaLE:
+		return "<="
+	case ThetaGT:
+		return ">"
+	case ThetaGE:
+		return ">="
+	default:
+		return fmt.Sprintf("theta(%d)", uint8(t))
+	}
+}
+
+// Flip returns the comparison with its operands exchanged: a θ b holds iff
+// b θ.Flip() a holds.
+func (t Theta) Flip() Theta {
+	switch t {
+	case ThetaLT:
+		return ThetaGT
+	case ThetaLE:
+		return ThetaGE
+	case ThetaGT:
+		return ThetaLT
+	case ThetaGE:
+		return ThetaLE
+	default: // = and <> are symmetric
+		return t
+	}
+}
+
+// Eval applies the comparison to two values. Comparisons involving null are
+// false (three-valued logic collapsed to false, as in SQL WHERE).
+func (t Theta) Eval(a, b Value) bool {
+	if a.IsNull() || b.IsNull() {
+		return false
+	}
+	switch t {
+	case ThetaEQ:
+		return a.Compare(b) == 0
+	case ThetaNE:
+		return a.Compare(b) != 0
+	case ThetaLT:
+		return a.Compare(b) < 0
+	case ThetaLE:
+		return a.Compare(b) <= 0
+	case ThetaGT:
+		return a.Compare(b) > 0
+	case ThetaGE:
+		return a.Compare(b) >= 0
+	default:
+		return false
+	}
+}

@@ -1,0 +1,231 @@
+// Package rel provides the plain (untagged) relational substrate on which the
+// polygen model is built: typed values, attributes, schemas, tuples and
+// relations. Every local database in the federation — and the untagged
+// baseline used by the benchmarks — is expressed in terms of this package.
+package rel
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the primitive value types supported by the local databases.
+type Kind uint8
+
+const (
+	// KindNull is the type of the absent value. In the polygen model nil
+	// data appear as padding produced by outer joins (paper, Appendix A).
+	KindNull Kind = iota
+	// KindString is a character-string value.
+	KindString
+	// KindInt is a 64-bit signed integer value.
+	KindInt
+	// KindFloat is a 64-bit floating-point value.
+	KindFloat
+	// KindBool is a boolean value.
+	KindBool
+)
+
+// String returns the lowercase name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindString:
+		return "string"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is a single datum drawn from a simple domain of a local database.
+// The zero Value is the null value.
+//
+// Value is a small immutable struct and is passed by value throughout.
+type Value struct {
+	kind Kind
+	str  string
+	num  int64
+	fnum float64
+	b    bool
+}
+
+// Null returns the null value.
+func Null() Value { return Value{} }
+
+// String returns a string value.
+func String(s string) Value { return Value{kind: KindString, str: s} }
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{kind: KindInt, num: i} }
+
+// Float returns a floating-point value.
+func Float(f float64) Value { return Value{kind: KindFloat, fnum: f} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value { return Value{kind: KindBool, b: b} }
+
+// Kind reports the kind of the value.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is null.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Str returns the string payload. It is only meaningful for KindString.
+func (v Value) Str() string { return v.str }
+
+// IntVal returns the integer payload. It is only meaningful for KindInt.
+func (v Value) IntVal() int64 { return v.num }
+
+// FloatVal returns the float payload. It is only meaningful for KindFloat.
+func (v Value) FloatVal() float64 { return v.fnum }
+
+// BoolVal returns the boolean payload. It is only meaningful for KindBool.
+func (v Value) BoolVal() bool { return v.b }
+
+// String renders the value for display. Null renders as "nil", matching the
+// paper's tables.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "nil"
+	case KindString:
+		return v.str
+	case KindInt:
+		return strconv.FormatInt(v.num, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.fnum, 'g', -1, 64)
+	case KindBool:
+		return strconv.FormatBool(v.b)
+	default:
+		return fmt.Sprintf("value(kind=%d)", uint8(v.kind))
+	}
+}
+
+// Key returns a string that is equal for exactly those values that are Equal.
+// It is usable as a map key for hashing-based algorithms (duplicate
+// elimination, hash joins).
+func (v Value) Key() string {
+	switch v.kind {
+	case KindNull:
+		return "\x00n"
+	case KindString:
+		return "\x00s" + v.str
+	case KindInt:
+		return "\x00i" + strconv.FormatInt(v.num, 10)
+	case KindFloat:
+		return "\x00f" + strconv.FormatFloat(v.fnum, 'b', -1, 64)
+	case KindBool:
+		if v.b {
+			return "\x00bt"
+		}
+		return "\x00bf"
+	default:
+		return "\x00?"
+	}
+}
+
+// Equal reports whether two values are identical (same kind, same payload).
+// Null equals only null. No cross-kind numeric coercion is performed; use
+// Compare for ordered, coercing comparison.
+func (v Value) Equal(w Value) bool {
+	if v.kind != w.kind {
+		return false
+	}
+	switch v.kind {
+	case KindNull:
+		return true
+	case KindString:
+		return v.str == w.str
+	case KindInt:
+		return v.num == w.num
+	case KindFloat:
+		return v.fnum == w.fnum
+	case KindBool:
+		return v.b == w.b
+	default:
+		return false
+	}
+}
+
+// Compare orders two values. Nulls sort first; mismatched kinds order by kind
+// except that int and float compare numerically. The result is -1, 0 or +1.
+func (v Value) Compare(w Value) int {
+	if v.kind == KindInt && w.kind == KindFloat {
+		return cmpFloat(float64(v.num), w.fnum)
+	}
+	if v.kind == KindFloat && w.kind == KindInt {
+		return cmpFloat(v.fnum, float64(w.num))
+	}
+	if v.kind != w.kind {
+		if v.kind < w.kind {
+			return -1
+		}
+		return 1
+	}
+	switch v.kind {
+	case KindNull:
+		return 0
+	case KindString:
+		return strings.Compare(v.str, w.str)
+	case KindInt:
+		switch {
+		case v.num < w.num:
+			return -1
+		case v.num > w.num:
+			return 1
+		}
+		return 0
+	case KindFloat:
+		return cmpFloat(v.fnum, w.fnum)
+	case KindBool:
+		switch {
+		case !v.b && w.b:
+			return -1
+		case v.b && !w.b:
+			return 1
+		}
+		return 0
+	default:
+		return 0
+	}
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Parse converts a textual literal into a Value. It recognizes integers,
+// floats, the booleans "true"/"false", the null literal "nil", and falls back
+// to a string. CSV loading and the CLI tools use it.
+func Parse(s string) Value {
+	switch s {
+	case "nil", "NULL", "null":
+		return Null()
+	case "true":
+		return Bool(true)
+	case "false":
+		return Bool(false)
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return Int(i)
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return Float(f)
+	}
+	return String(s)
+}

@@ -1,0 +1,241 @@
+package rel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{Null(), KindNull, "nil"},
+		{String("x"), KindString, "x"},
+		{String(""), KindString, ""},
+		{Int(42), KindInt, "42"},
+		{Int(-7), KindInt, "-7"},
+		{Float(3.25), KindFloat, "3.25"},
+		{Bool(true), KindBool, "true"},
+		{Bool(false), KindBool, "false"},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v: kind = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+		if c.v.String() != c.str {
+			t.Errorf("kind %v: String() = %q, want %q", c.kind, c.v.String(), c.str)
+		}
+	}
+	if !Null().IsNull() {
+		t.Error("Null().IsNull() = false")
+	}
+	if String("nil").IsNull() {
+		t.Error(`String("nil").IsNull() = true`)
+	}
+	if String("a").Str() != "a" || Int(5).IntVal() != 5 || Float(1.5).FloatVal() != 1.5 || !Bool(true).BoolVal() {
+		t.Error("payload accessors returned wrong values")
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{Null(), Null(), true},
+		{Null(), String(""), false},
+		{String("a"), String("a"), true},
+		{String("a"), String("b"), false},
+		{Int(1), Int(1), true},
+		{Int(1), Int(2), false},
+		{Int(1), Float(1), false}, // Equal is strict about kinds
+		{Float(2.5), Float(2.5), true},
+		{Bool(true), Bool(true), true},
+		{Bool(true), Bool(false), false},
+		{String("1"), Int(1), false},
+	}
+	for _, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("%v.Equal(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Equal(c.a); got != c.want {
+			t.Errorf("Equal not symmetric for %v, %v", c.a, c.b)
+		}
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(1), 1},
+		{Int(2), Int(2), 0},
+		{Float(1.5), Float(2.5), -1},
+		{Int(1), Float(1.5), -1}, // numeric coercion
+		{Float(1.5), Int(1), 1},
+		{Int(3), Float(3.0), 0},
+		{String("a"), String("b"), -1},
+		{String("b"), String("b"), 0},
+		{Null(), Null(), 0},
+		{Null(), Int(0), -1}, // nulls sort first (below every kind)
+		{Bool(false), Bool(true), -1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("%v.Compare(%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestValueKeyAgreesWithEqual is the property Key is designed for: equal keys
+// iff Equal values.
+func TestValueKeyAgreesWithEqual(t *testing.T) {
+	vals := []Value{
+		Null(), String(""), String("a"), String("nil"), String("1"),
+		Int(0), Int(1), Int(-1), Float(0), Float(1), Float(-1.5),
+		Bool(true), Bool(false),
+	}
+	for _, a := range vals {
+		for _, b := range vals {
+			if (a.Key() == b.Key()) != a.Equal(b) {
+				t.Errorf("Key/Equal disagree for %v (%v) and %v (%v)", a, a.Kind(), b, b.Kind())
+			}
+		}
+	}
+}
+
+func TestValueKeyQuick(t *testing.T) {
+	f := func(a, b string) bool {
+		return (String(a).Key() == String(b).Key()) == (a == b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b int64) bool {
+		return (Int(a).Key() == Int(b).Key()) == (a == b)
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Value
+	}{
+		{"nil", Null()},
+		{"NULL", Null()},
+		{"true", Bool(true)},
+		{"false", Bool(false)},
+		{"42", Int(42)},
+		{"-3", Int(-3)},
+		{"3.5", Float(3.5)},
+		{"-1.25", Float(-1.25)},
+		{"IBM", String("IBM")},
+		{"NY, NY", String("NY, NY")},
+		{"", String("")},
+		{"012", Int(12)}, // leading zeros parse as ints; paper IDs are inserted as strings deliberately
+	}
+	for _, c := range cases {
+		if got := Parse(c.in); !got.Equal(c.want) {
+			t.Errorf("Parse(%q) = %v (%v), want %v (%v)", c.in, got, got.Kind(), c.want, c.want.Kind())
+		}
+	}
+}
+
+func TestThetaEval(t *testing.T) {
+	cases := []struct {
+		theta Theta
+		a, b  Value
+		want  bool
+	}{
+		{ThetaEQ, Int(1), Int(1), true},
+		{ThetaEQ, Int(1), Float(1), true}, // Compare coerces
+		{ThetaEQ, String("a"), String("a"), true},
+		{ThetaNE, Int(1), Int(2), true},
+		{ThetaLT, Int(1), Int(2), true},
+		{ThetaLE, Int(2), Int(2), true},
+		{ThetaGT, Int(3), Int(2), true},
+		{ThetaGE, Int(2), Int(2), true},
+		{ThetaGE, Int(1), Int(2), false},
+		// Null comparisons are always false.
+		{ThetaEQ, Null(), Null(), false},
+		{ThetaNE, Null(), Int(1), false},
+		{ThetaLT, Null(), Int(1), false},
+	}
+	for _, c := range cases {
+		if got := c.theta.Eval(c.a, c.b); got != c.want {
+			t.Errorf("%v %v %v = %v, want %v", c.a, c.theta, c.b, got, c.want)
+		}
+	}
+}
+
+func TestParseTheta(t *testing.T) {
+	for _, s := range []string{"=", "<>", "!=", "<", "<=", ">", ">="} {
+		if _, err := ParseTheta(s); err != nil {
+			t.Errorf("ParseTheta(%q) failed: %v", s, err)
+		}
+	}
+	if _, err := ParseTheta("~"); err == nil {
+		t.Error(`ParseTheta("~") should fail`)
+	}
+	if ThetaEQ.String() != "=" || ThetaNE.String() != "<>" {
+		t.Error("Theta.String() wrong spelling")
+	}
+}
+
+// TestThetaFlip checks a θ b == b θ.Flip() a over all kinds and thetas.
+func TestThetaFlip(t *testing.T) {
+	vals := []Value{Int(1), Int(2), Float(1.5), String("a"), String("b")}
+	thetas := []Theta{ThetaEQ, ThetaNE, ThetaLT, ThetaLE, ThetaGT, ThetaGE}
+	for _, th := range thetas {
+		for _, a := range vals {
+			for _, b := range vals {
+				if th.Eval(a, b) != th.Flip().Eval(b, a) {
+					t.Errorf("flip mismatch: %v %v %v", a, th, b)
+				}
+			}
+		}
+	}
+}
+
+func TestGobRoundTrip(t *testing.T) {
+	vals := []Value{
+		Null(), String(""), String("Banker's Trust"), Int(42), Int(-42),
+		Float(3.99), Float(-1.7e9), Bool(true), Bool(false),
+	}
+	for _, v := range vals {
+		data, err := v.GobEncode()
+		if err != nil {
+			t.Fatalf("encoding %v: %v", v, err)
+		}
+		var back Value
+		if err := back.GobDecode(data); err != nil {
+			t.Fatalf("decoding %v: %v", v, err)
+		}
+		if !back.Equal(v) {
+			t.Errorf("round trip changed %v (%v) to %v (%v)", v, v.Kind(), back, back.Kind())
+		}
+	}
+}
+
+func TestGobDecodeErrors(t *testing.T) {
+	var v Value
+	if err := v.GobDecode(nil); err == nil {
+		t.Error("decoding empty payload should fail")
+	}
+	if err := v.GobDecode([]byte{99}); err == nil {
+		t.Error("decoding unknown kind should fail")
+	}
+	if err := v.GobDecode([]byte{byte(KindInt), 1, 2}); err == nil {
+		t.Error("decoding truncated int should fail")
+	}
+	if err := v.GobDecode([]byte{byte(KindBool)}); err == nil {
+		t.Error("decoding truncated bool should fail")
+	}
+}

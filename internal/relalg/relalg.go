@@ -1,0 +1,250 @@
+// Package relalg implements the classical (untagged) relational algebra over
+// rel.Relation values: Select, Project, Cartesian Product, Union, Difference,
+// and the derived Join and Intersect.
+//
+// It serves two roles in the reproduction:
+//
+//   - it is the execution engine inside each Local Query Processor, which the
+//     paper requires to "behave as a local relational system" (§I); and
+//   - it is the untagged baseline against which the polygen algebra's source
+//     tagging overhead is measured (bench B-OV in DESIGN.md).
+package relalg
+
+import (
+	"fmt"
+
+	"repro/internal/rel"
+)
+
+// Select returns the tuples of r for which attr θ constant holds.
+func Select(r *rel.Relation, attr string, theta rel.Theta, constant rel.Value) (*rel.Relation, error) {
+	ci, err := r.Col(attr)
+	if err != nil {
+		return nil, err
+	}
+	out := rel.NewRelation("", r.Schema)
+	for _, t := range r.Tuples {
+		if theta.Eval(t[ci], constant) {
+			out.Tuples = append(out.Tuples, t)
+		}
+	}
+	return out, nil
+}
+
+// Restrict returns the tuples of r for which x θ y holds between two of r's
+// attributes.
+func Restrict(r *rel.Relation, x string, theta rel.Theta, y string) (*rel.Relation, error) {
+	xi, err := r.Col(x)
+	if err != nil {
+		return nil, err
+	}
+	yi, err := r.Col(y)
+	if err != nil {
+		return nil, err
+	}
+	out := rel.NewRelation("", r.Schema)
+	for _, t := range r.Tuples {
+		if theta.Eval(t[xi], t[yi]) {
+			out.Tuples = append(out.Tuples, t)
+		}
+	}
+	return out, nil
+}
+
+// Project returns r restricted to the named attributes, with duplicate
+// tuples eliminated (set semantics).
+func Project(r *rel.Relation, attrs []string) (*rel.Relation, error) {
+	idx := make([]int, len(attrs))
+	outAttrs := make([]rel.Attr, len(attrs))
+	for i, a := range attrs {
+		ci, err := r.Col(a)
+		if err != nil {
+			return nil, err
+		}
+		idx[i] = ci
+		outAttrs[i] = r.Schema.Attr(ci)
+	}
+	out := rel.NewRelation("", rel.NewSchema(outAttrs...))
+	seen := make(map[string]struct{}, len(r.Tuples))
+	for _, t := range r.Tuples {
+		proj := make(rel.Tuple, len(idx))
+		for i, ci := range idx {
+			proj[i] = t[ci]
+		}
+		k := proj.Key()
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out.Tuples = append(out.Tuples, proj)
+	}
+	return out, nil
+}
+
+// Product returns the Cartesian product of a and b. Attribute names of b that
+// collide with names of a are disambiguated with the relation name or a
+// positional suffix, mirroring how the polygen processor keeps both columns
+// until an explicit Coalesce.
+func Product(a, b *rel.Relation) (*rel.Relation, error) {
+	attrs := a.Schema.Attrs()
+	for i := 0; i < b.Schema.Len(); i++ {
+		at := b.Schema.Attr(i)
+		name := at.Name
+		if containsAttr(attrs, name) {
+			name = disambiguate(attrs, b.Name, at.Name)
+		}
+		attrs = append(attrs, rel.Attr{Name: name, Kind: at.Kind})
+	}
+	out := rel.NewRelation("", rel.NewSchema(attrs...))
+	for _, ta := range a.Tuples {
+		for _, tb := range b.Tuples {
+			row := make(rel.Tuple, 0, len(ta)+len(tb))
+			row = append(row, ta...)
+			row = append(row, tb...)
+			out.Tuples = append(out.Tuples, row)
+		}
+	}
+	return out, nil
+}
+
+func containsAttr(attrs []rel.Attr, name string) bool {
+	for _, a := range attrs {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func disambiguate(attrs []rel.Attr, relName, attrName string) string {
+	cand := attrName
+	if relName != "" {
+		cand = relName + "." + attrName
+	}
+	for i := 2; containsAttr(attrs, cand); i++ {
+		cand = fmt.Sprintf("%s#%d", attrName, i)
+	}
+	return cand
+}
+
+// Union returns the set union of two union-compatible relations.
+func Union(a, b *rel.Relation) (*rel.Relation, error) {
+	if a.Degree() != b.Degree() {
+		return nil, fmt.Errorf("relalg: union of degree %d with degree %d", a.Degree(), b.Degree())
+	}
+	out := rel.NewRelation("", a.Schema)
+	seen := make(map[string]struct{}, len(a.Tuples)+len(b.Tuples))
+	for _, src := range [...]*rel.Relation{a, b} {
+		for _, t := range src.Tuples {
+			k := t.Key()
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			out.Tuples = append(out.Tuples, t)
+		}
+	}
+	return out, nil
+}
+
+// Difference returns the tuples of a not present in b.
+func Difference(a, b *rel.Relation) (*rel.Relation, error) {
+	if a.Degree() != b.Degree() {
+		return nil, fmt.Errorf("relalg: difference of degree %d with degree %d", a.Degree(), b.Degree())
+	}
+	drop := make(map[string]struct{}, len(b.Tuples))
+	for _, t := range b.Tuples {
+		drop[t.Key()] = struct{}{}
+	}
+	out := rel.NewRelation("", a.Schema)
+	seen := make(map[string]struct{}, len(a.Tuples))
+	for _, t := range a.Tuples {
+		k := t.Key()
+		if _, gone := drop[k]; gone {
+			continue
+		}
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out.Tuples = append(out.Tuples, t)
+	}
+	return out, nil
+}
+
+// Intersect returns the tuples present in both a and b.
+func Intersect(a, b *rel.Relation) (*rel.Relation, error) {
+	if a.Degree() != b.Degree() {
+		return nil, fmt.Errorf("relalg: intersect of degree %d with degree %d", a.Degree(), b.Degree())
+	}
+	keep := make(map[string]struct{}, len(b.Tuples))
+	for _, t := range b.Tuples {
+		keep[t.Key()] = struct{}{}
+	}
+	out := rel.NewRelation("", a.Schema)
+	seen := make(map[string]struct{}, len(a.Tuples))
+	for _, t := range a.Tuples {
+		k := t.Key()
+		if _, in := keep[k]; !in {
+			continue
+		}
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out.Tuples = append(out.Tuples, t)
+	}
+	return out, nil
+}
+
+// Join returns the equi-join of a and b on a.x = b.y, keeping a single join
+// column (named after x), mirroring the polygen Join which coalesces the two
+// join columns (paper, Tables 5 and 7). It is implemented as a hash join.
+func Join(a *rel.Relation, x string, b *rel.Relation, y string) (*rel.Relation, error) {
+	xi, err := a.Col(x)
+	if err != nil {
+		return nil, err
+	}
+	yi, err := b.Col(y)
+	if err != nil {
+		return nil, err
+	}
+	attrs := a.Schema.Attrs()
+	var bKeep []int
+	for i := 0; i < b.Schema.Len(); i++ {
+		if i == yi {
+			continue
+		}
+		at := b.Schema.Attr(i)
+		name := at.Name
+		if containsAttr(attrs, name) {
+			name = disambiguate(attrs, b.Name, at.Name)
+		}
+		attrs = append(attrs, rel.Attr{Name: name, Kind: at.Kind})
+		bKeep = append(bKeep, i)
+	}
+	out := rel.NewRelation("", rel.NewSchema(attrs...))
+
+	index := make(map[string][]rel.Tuple, len(b.Tuples))
+	for _, tb := range b.Tuples {
+		if tb[yi].IsNull() {
+			continue
+		}
+		k := tb[yi].Key()
+		index[k] = append(index[k], tb)
+	}
+	for _, ta := range a.Tuples {
+		if ta[xi].IsNull() {
+			continue
+		}
+		for _, tb := range index[ta[xi].Key()] {
+			row := make(rel.Tuple, 0, len(ta)+len(bKeep))
+			row = append(row, ta...)
+			for _, i := range bKeep {
+				row = append(row, tb[i])
+			}
+			out.Tuples = append(out.Tuples, row)
+		}
+	}
+	return out, nil
+}

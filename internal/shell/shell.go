@@ -1,0 +1,212 @@
+// Package shell implements the interactive front end of cmd/polygen: a
+// line-oriented console over one PQP, in the spirit of the System P
+// prototype the paper's §V announces. Plain lines are SQL polygen queries;
+// backslash commands expose the federation's metadata — the polygen schema,
+// attribute mappings, source lineage and the cardinality-inconsistency
+// audit. The shell is an ordinary struct over io.Reader/io.Writer so that
+// tests can drive it.
+package shell
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/audit"
+	"repro/internal/catalog"
+	"repro/internal/identity"
+	"repro/internal/pqp"
+	"repro/internal/tables"
+)
+
+// Shell is one interactive session.
+type Shell struct {
+	PQP *pqp.PQP
+	// Databases, when non-nil, enables \audit.
+	Databases map[string]*catalog.Database
+	// Resolver is used by \audit; nil means exact matching.
+	Resolver identity.Resolver
+	// ShowPlan echoes the optimized plan before each answer.
+	ShowPlan bool
+	// Prompt is printed before each input line (default "polygen> ").
+	Prompt string
+}
+
+// New returns a shell over processor.
+func New(processor *pqp.PQP) *Shell {
+	return &Shell{PQP: processor, Prompt: "polygen> "}
+}
+
+// Run reads commands from in until EOF or \quit, writing results to out.
+// The error is non-nil only for I/O failures; query errors are printed and
+// the session continues.
+func (s *Shell) Run(in io.Reader, out io.Writer) error {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	fmt.Fprint(out, s.Prompt)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line != "" {
+			if quit := s.Exec(line, out); quit {
+				return nil
+			}
+		}
+		fmt.Fprint(out, s.Prompt)
+	}
+	fmt.Fprintln(out)
+	return sc.Err()
+}
+
+// Exec runs a single shell line and reports whether the session should end.
+func (s *Shell) Exec(line string, out io.Writer) (quit bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(out, "panic: %v\n", r)
+		}
+	}()
+	if strings.HasPrefix(line, `\`) {
+		return s.command(line, out)
+	}
+	if kw := strings.ToLower(firstWord(line)); kw == "quit" || kw == "exit" {
+		return true
+	}
+	s.query(line, out)
+	return false
+}
+
+func firstWord(s string) string {
+	if i := strings.IndexByte(s, ' '); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func (s *Shell) command(line string, out io.Writer) bool {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case `\q`, `\quit`:
+		return true
+	case `\help`, `\h`, `\?`:
+		s.help(out)
+	case `\schemes`:
+		s.schemes(out)
+	case `\describe`, `\d`:
+		if len(fields) < 2 {
+			fmt.Fprintln(out, `usage: \describe SCHEME`)
+			break
+		}
+		s.describe(fields[1], out)
+	case `\plan`:
+		switch {
+		case len(fields) >= 2 && fields[1] == "on":
+			s.ShowPlan = true
+		case len(fields) >= 2 && fields[1] == "off":
+			s.ShowPlan = false
+		default:
+			fmt.Fprintln(out, `usage: \plan on|off`)
+			return false
+		}
+		fmt.Fprintf(out, "plan display %v\n", map[bool]string{true: "on", false: "off"}[s.ShowPlan])
+	case `\alg`:
+		rest := strings.TrimSpace(strings.TrimPrefix(line, fields[0]))
+		if rest == "" {
+			fmt.Fprintln(out, `usage: \alg POLYGEN-ALGEBRA-EXPRESSION`)
+			break
+		}
+		s.algebra(rest, out)
+	case `\audit`:
+		s.audit(out)
+	default:
+		fmt.Fprintf(out, "unknown command %s (try \\help)\n", fields[0])
+	}
+	return false
+}
+
+func (s *Shell) help(out io.Writer) {
+	fmt.Fprint(out, `commands:
+  SELECT ...            run a SQL polygen query
+  \alg EXPR             run a polygen algebraic expression
+  \schemes              list the polygen schemes
+  \describe SCHEME      show a scheme's attribute mappings
+  \audit                cardinality-inconsistency report (multi-source attrs)
+  \plan on|off          echo the optimized plan before answers
+  \quit                 leave
+`)
+}
+
+func (s *Shell) schemes(out io.Writer) {
+	for _, name := range s.PQP.Schema().SchemeNames() {
+		scheme, _ := s.PQP.Schema().Scheme(name)
+		fmt.Fprintf(out, "%s(%s) key=%s\n", name, strings.Join(scheme.AttrNames(), ", "), scheme.Key)
+	}
+}
+
+func (s *Shell) describe(name string, out io.Writer) {
+	scheme, ok := s.PQP.Schema().Scheme(name)
+	if !ok {
+		fmt.Fprintf(out, "no polygen scheme %q\n", name)
+		return
+	}
+	fmt.Fprintf(out, "%s (key: %s)\n", scheme.Name, scheme.Key)
+	for _, pa := range scheme.Attrs {
+		ms := make([]string, len(pa.Mapping))
+		for i, la := range pa.Mapping {
+			ms[i] = la.String()
+		}
+		fmt.Fprintf(out, "  %-14s <- %s\n", pa.Name, strings.Join(ms, ", "))
+	}
+}
+
+func (s *Shell) audit(out io.Writer) {
+	if s.Databases == nil {
+		fmt.Fprintln(out, `\audit needs direct catalog access (not available over remote LQPs)`)
+		return
+	}
+	covs, err := audit.AuditSchema(s.PQP.Schema(), s.Resolver, s.Databases)
+	if err != nil {
+		fmt.Fprintln(out, err)
+		return
+	}
+	if len(covs) == 0 {
+		fmt.Fprintln(out, "no multi-source attributes to audit")
+		return
+	}
+	sort.Slice(covs, func(i, j int) bool { return covs[i].Scheme+covs[i].Attr < covs[j].Scheme+covs[j].Attr })
+	for _, c := range covs {
+		fmt.Fprint(out, c.String())
+	}
+}
+
+func (s *Shell) query(sql string, out io.Writer) {
+	res, err := s.PQP.QuerySQL(sql)
+	if err != nil {
+		fmt.Fprintln(out, err)
+		return
+	}
+	s.printResult(res, out)
+}
+
+func (s *Shell) algebra(expr string, out io.Writer) {
+	res, err := s.PQP.QueryAlgebra(expr)
+	if err != nil {
+		fmt.Fprintln(out, err)
+		return
+	}
+	s.printResult(res, out)
+}
+
+func (s *Shell) printResult(res *pqp.Result, out io.Writer) {
+	if s.ShowPlan {
+		for _, row := range res.Plan.Rows {
+			fmt.Fprintln(out, "  "+row.String())
+		}
+	}
+	header, rows := tables.RenderRelation(res.Relation)
+	fmt.Fprintln(out, header)
+	for _, r := range rows {
+		fmt.Fprintln(out, r)
+	}
+	fmt.Fprintf(out, "(%d tuples)\n", len(rows))
+}

@@ -1,0 +1,145 @@
+package shell
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/identity"
+	"repro/internal/paperdata"
+	"repro/internal/pqp"
+)
+
+func newShell() *Shell {
+	fed := paperdata.New()
+	processor := pqp.New(fed.Schema, fed.Registry, identity.CaseFold{}, fed.LQPs())
+	sh := New(processor)
+	sh.Databases = map[string]*catalog.Database{"AD": fed.AD, "PD": fed.PD, "CD": fed.CD}
+	sh.Resolver = identity.CaseFold{}
+	return sh
+}
+
+func runLines(t *testing.T, sh *Shell, lines ...string) string {
+	t.Helper()
+	var out strings.Builder
+	if err := sh.Run(strings.NewReader(strings.Join(lines, "\n")+"\n"), &out); err != nil {
+		t.Fatal(err)
+	}
+	return out.String()
+}
+
+func TestShellQuery(t *testing.T) {
+	out := runLines(t, newShell(), `SELECT ANAME FROM PALUMNUS WHERE DEGREE = "MBA"`)
+	if !strings.Contains(out, "Stu Madnick, {AD}, {}") {
+		t.Errorf("output = %q", out)
+	}
+	if !strings.Contains(out, "(5 tuples)") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestShellAlgebra(t *testing.T) {
+	out := runLines(t, newShell(), `\alg PALUMNUS [DEGREE = "MS"]`)
+	if !strings.Contains(out, "Ken Olsen") || !strings.Contains(out, "(1 tuples)") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestShellSchemes(t *testing.T) {
+	out := runLines(t, newShell(), `\schemes`)
+	for _, want := range []string{"PALUMNUS", "PORGANIZATION", "key=ONAME"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestShellDescribe(t *testing.T) {
+	out := runLines(t, newShell(), `\describe PORGANIZATION`)
+	for _, want := range []string{"(AD, BUSINESS, BNAME)", "(CD, FIRM, FNAME)", "HEADQUARTERS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in %q", want, out)
+		}
+	}
+	out2 := runLines(t, newShell(), `\describe NOPE`)
+	if !strings.Contains(out2, `no polygen scheme "NOPE"`) {
+		t.Errorf("output = %q", out2)
+	}
+	out3 := runLines(t, newShell(), `\describe`)
+	if !strings.Contains(out3, "usage") {
+		t.Errorf("output = %q", out3)
+	}
+}
+
+func TestShellPlanToggle(t *testing.T) {
+	sh := newShell()
+	out := runLines(t, sh, `\plan on`, `SELECT ANAME FROM PALUMNUS WHERE DEGREE = "MBA"`)
+	if !strings.Contains(out, "R(1) | Select | ALUMNUS") {
+		t.Errorf("plan not echoed: %q", out)
+	}
+	out2 := runLines(t, sh, `\plan off`, `SELECT ANAME FROM PALUMNUS WHERE DEGREE = "MBA"`)
+	if strings.Contains(out2, "R(1) | Select") {
+		t.Errorf("plan echoed after off: %q", out2)
+	}
+	out3 := runLines(t, sh, `\plan maybe`)
+	if !strings.Contains(out3, "usage") {
+		t.Errorf("output = %q", out3)
+	}
+}
+
+func TestShellAudit(t *testing.T) {
+	out := runLines(t, newShell(), `\audit`)
+	if !strings.Contains(out, "PORGANIZATION.ONAME: 12 distinct instances") {
+		t.Errorf("audit output = %q", out)
+	}
+	// Without catalogs the command degrades gracefully.
+	sh := newShell()
+	sh.Databases = nil
+	out2 := runLines(t, sh, `\audit`)
+	if !strings.Contains(out2, "needs direct catalog access") {
+		t.Errorf("output = %q", out2)
+	}
+}
+
+func TestShellQuitForms(t *testing.T) {
+	for _, q := range []string{`\q`, `\quit`, "quit", "exit"} {
+		var out strings.Builder
+		sh := newShell()
+		if err := sh.Run(strings.NewReader(q+"\nSELECT * FROM PALUMNUS\n"), &out); err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(out.String(), "tuples") {
+			t.Errorf("%q did not quit before the query ran", q)
+		}
+	}
+}
+
+func TestShellErrorsKeepSessionAlive(t *testing.T) {
+	out := runLines(t, newShell(),
+		"SELECT FROM nonsense",
+		`\nosuch`,
+		`SELECT ANAME FROM PALUMNUS WHERE DEGREE = "MS"`,
+	)
+	if !strings.Contains(out, "unknown command") {
+		t.Errorf("output = %q", out)
+	}
+	if !strings.Contains(out, "Ken Olsen") {
+		t.Errorf("session died after error: %q", out)
+	}
+}
+
+func TestShellHelp(t *testing.T) {
+	out := runLines(t, newShell(), `\help`)
+	for _, want := range []string{`\schemes`, `\describe`, `\audit`, `\plan`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("help missing %q", want)
+		}
+	}
+}
+
+func TestShellEmptyLinesIgnored(t *testing.T) {
+	out := runLines(t, newShell(), "", "   ", `\schemes`)
+	if !strings.Contains(out, "PALUMNUS") {
+		t.Errorf("output = %q", out)
+	}
+}

@@ -1,0 +1,36 @@
+package sqlparse
+
+import (
+	"testing"
+)
+
+// FuzzParse checks that the SQL parser never panics and that accepted
+// queries have a stable rendering under re-parsing.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`SELECT CEO FROM PORGANIZATION WHERE INDUSTRY = "Banking"`,
+		`SELECT * FROM PALUMNUS`,
+		`SELECT ONAME, CEO FROM PORGANIZATION, PALUMNUS WHERE CEO = ANAME AND ONAME IN (SELECT ONAME FROM PCAREER WHERE AID# IN (SELECT AID# FROM PALUMNUS WHERE DEGREE = "MBA"))`,
+		`SELECT A FROM B WHERE C >= 3.99 AND D <> 'x'`,
+		`select a from b where c in (select d from e)`,
+		`SELECT FROM`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input)
+		if err != nil {
+			return
+		}
+		s1 := q.String()
+		q2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its rendering %q: %v", input, s1, err)
+		}
+		if s2 := q2.String(); s1 != s2 {
+			t.Fatalf("rendering unstable: %q -> %q", s1, s2)
+		}
+	})
+}

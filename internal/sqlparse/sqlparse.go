@@ -1,0 +1,370 @@
+// Package sqlparse implements the SQL front end for polygen queries: the
+// subset of SQL the paper uses to state polygen queries (§I, §III) —
+//
+//	SELECT attr, ... FROM scheme, ... WHERE cond AND cond ...
+//
+// where a condition is attr θ attr, attr θ constant, or attr IN (subquery).
+// The parser produces an AST; package translate compiles the AST into a
+// polygen algebraic expression against a polygen schema.
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"repro/internal/rel"
+)
+
+// Query is one (sub)query block.
+type Query struct {
+	// Select lists the projected attributes; Star reports SELECT *.
+	Select []string
+	Star   bool
+	// From lists the polygen scheme names.
+	From []string
+	// Where is the conjunction of conditions (possibly empty).
+	Where []Cond
+}
+
+// CondKind classifies a WHERE condition.
+type CondKind uint8
+
+const (
+	// CondCompare is attr θ (attr | constant).
+	CondCompare CondKind = iota
+	// CondIn is attr IN (subquery).
+	CondIn
+)
+
+// Cond is one conjunct of a WHERE clause.
+type Cond struct {
+	Kind CondKind
+	// X is the left attribute.
+	X string
+	// Theta is the comparison for CondCompare.
+	Theta rel.Theta
+	// YAttr / YConst carry the right side for CondCompare; IsConst selects.
+	YAttr   string
+	YConst  rel.Value
+	IsConst bool
+	// Sub is the subquery for CondIn.
+	Sub *Query
+}
+
+// String renders the query in SQL.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if q.Star {
+		b.WriteString("*")
+	} else {
+		b.WriteString(strings.Join(q.Select, ", "))
+	}
+	b.WriteString(" FROM ")
+	b.WriteString(strings.Join(q.From, ", "))
+	if len(q.Where) > 0 {
+		b.WriteString(" WHERE ")
+		parts := make([]string, len(q.Where))
+		for i, c := range q.Where {
+			parts[i] = c.String()
+		}
+		b.WriteString(strings.Join(parts, " AND "))
+	}
+	return b.String()
+}
+
+// String renders the condition in SQL.
+func (c Cond) String() string {
+	switch c.Kind {
+	case CondIn:
+		return fmt.Sprintf("%s IN (%s)", c.X, c.Sub)
+	default:
+		if c.IsConst {
+			if c.YConst.Kind() == rel.KindString {
+				return fmt.Sprintf("%s %s %q", c.X, c.Theta, c.YConst.Str())
+			}
+			return fmt.Sprintf("%s %s %s", c.X, c.Theta, c.YConst)
+		}
+		return fmt.Sprintf("%s %s %s", c.X, c.Theta, c.YAttr)
+	}
+}
+
+// Parse parses one SQL polygen query.
+func Parse(input string) (*Query, error) {
+	toks, err := lexSQL(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != sEOF {
+		return nil, fmt.Errorf("sqlparse: trailing input at %s", p.peek())
+	}
+	return q, nil
+}
+
+// MustParse is Parse for statically-known queries.
+func MustParse(input string) *Query {
+	q, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type sKind uint8
+
+const (
+	sEOF sKind = iota
+	sIdent
+	sString
+	sNumber
+	sLParen
+	sRParen
+	sComma
+	sOp
+	sStar
+)
+
+type sTok struct {
+	kind sKind
+	text string
+	pos  int
+}
+
+func (t sTok) String() string {
+	if t.kind == sEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+func lexSQL(input string) ([]sTok, error) {
+	var toks []sTok
+	i := 0
+	for i < len(input) {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, sTok{sLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, sTok{sRParen, ")", i})
+			i++
+		case c == ',':
+			toks = append(toks, sTok{sComma, ",", i})
+			i++
+		case c == '*':
+			toks = append(toks, sTok{sStar, "*", i})
+			i++
+		case c == '=':
+			toks = append(toks, sTok{sOp, "=", i})
+			i++
+		case c == '<':
+			switch {
+			case strings.HasPrefix(input[i:], "<>"):
+				toks = append(toks, sTok{sOp, "<>", i})
+				i += 2
+			case strings.HasPrefix(input[i:], "<="):
+				toks = append(toks, sTok{sOp, "<=", i})
+				i += 2
+			default:
+				toks = append(toks, sTok{sOp, "<", i})
+				i++
+			}
+		case c == '>':
+			if strings.HasPrefix(input[i:], ">=") {
+				toks = append(toks, sTok{sOp, ">=", i})
+				i += 2
+			} else {
+				toks = append(toks, sTok{sOp, ">", i})
+				i++
+			}
+		case c == '"':
+			// Double-quoted strings support Go escape sequences so that the
+			// renderer's %q output re-parses to the same value.
+			j := i + 1
+			for j < len(input) && input[j] != '"' {
+				if input[j] == '\\' {
+					j++
+				}
+				j++
+			}
+			if j >= len(input) {
+				return nil, fmt.Errorf("sqlparse: unterminated string at offset %d", i)
+			}
+			text, err := strconv.Unquote(input[i : j+1])
+			if err != nil {
+				return nil, fmt.Errorf("sqlparse: bad string literal at offset %d: %v", i, err)
+			}
+			toks = append(toks, sTok{sString, text, i})
+			i = j + 1
+		case c == '\'':
+			j := i + 1
+			for j < len(input) && input[j] != '\'' {
+				j++
+			}
+			if j >= len(input) {
+				return nil, fmt.Errorf("sqlparse: unterminated string at offset %d", i)
+			}
+			toks = append(toks, sTok{sString, input[i+1 : j], i})
+			i = j + 1
+		case c >= '0' && c <= '9' || (c == '-' && i+1 < len(input) && input[i+1] >= '0' && input[i+1] <= '9'):
+			j := i + 1
+			for j < len(input) && (input[j] >= '0' && input[j] <= '9' || input[j] == '.') {
+				j++
+			}
+			toks = append(toks, sTok{sNumber, input[i:j], i})
+			i = j
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i + 1
+			for j < len(input) {
+				r := rune(input[j])
+				if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '#' || r == '.' {
+					j++
+					continue
+				}
+				break
+			}
+			toks = append(toks, sTok{sIdent, input[i:j], i})
+			i = j
+		default:
+			return nil, fmt.Errorf("sqlparse: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, sTok{sEOF, "", len(input)})
+	return toks, nil
+}
+
+type parser struct {
+	toks []sTok
+	i    int
+}
+
+func (p *parser) peek() sTok { return p.toks[p.i] }
+func (p *parser) next() sTok { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if t.kind != sIdent || !strings.EqualFold(t.text, kw) {
+		return fmt.Errorf("sqlparse: expected %s, found %s", kw, t)
+	}
+	return nil
+}
+
+func (p *parser) isKeyword(kw string) bool {
+	t := p.peek()
+	return t.kind == sIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	if p.peek().kind == sStar {
+		p.next()
+		q.Star = true
+	} else {
+		for {
+			t := p.next()
+			if t.kind != sIdent {
+				return nil, fmt.Errorf("sqlparse: expected an attribute in SELECT, found %s", t)
+			}
+			q.Select = append(q.Select, t.text)
+			if p.peek().kind != sComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		t := p.next()
+		if t.kind != sIdent {
+			return nil, fmt.Errorf("sqlparse: expected a relation in FROM, found %s", t)
+		}
+		q.From = append(q.From, t.text)
+		if p.peek().kind != sComma {
+			break
+		}
+		p.next()
+	}
+	if p.isKeyword("WHERE") {
+		p.next()
+		for {
+			c, err := p.parseCond()
+			if err != nil {
+				return nil, err
+			}
+			q.Where = append(q.Where, c)
+			if !p.isKeyword("AND") {
+				break
+			}
+			p.next()
+		}
+	}
+	return q, nil
+}
+
+func (p *parser) parseCond() (Cond, error) {
+	x := p.next()
+	if x.kind != sIdent {
+		return Cond{}, fmt.Errorf("sqlparse: expected an attribute in WHERE, found %s", x)
+	}
+	if p.isKeyword("IN") {
+		p.next()
+		if t := p.next(); t.kind != sLParen {
+			return Cond{}, fmt.Errorf("sqlparse: expected '(' after IN, found %s", t)
+		}
+		sub, err := p.parseQuery()
+		if err != nil {
+			return Cond{}, err
+		}
+		if t := p.next(); t.kind != sRParen {
+			return Cond{}, fmt.Errorf("sqlparse: expected ')' closing subquery, found %s", t)
+		}
+		if sub.Star || len(sub.Select) != 1 {
+			return Cond{}, fmt.Errorf("sqlparse: IN subquery must select exactly one attribute")
+		}
+		return Cond{Kind: CondIn, X: x.text, Sub: sub}, nil
+	}
+	op := p.next()
+	if op.kind != sOp {
+		return Cond{}, fmt.Errorf("sqlparse: expected a comparison after %q, found %s", x.text, op)
+	}
+	theta, err := rel.ParseTheta(op.text)
+	if err != nil {
+		return Cond{}, err
+	}
+	rhs := p.next()
+	switch rhs.kind {
+	case sIdent:
+		return Cond{Kind: CondCompare, X: x.text, Theta: theta, YAttr: rhs.text}, nil
+	case sString:
+		return Cond{Kind: CondCompare, X: x.text, Theta: theta, YConst: rel.String(rhs.text), IsConst: true}, nil
+	case sNumber:
+		var v rel.Value
+		if i64, err := strconv.ParseInt(rhs.text, 10, 64); err == nil {
+			v = rel.Int(i64)
+		} else {
+			f, err := strconv.ParseFloat(rhs.text, 64)
+			if err != nil {
+				return Cond{}, fmt.Errorf("sqlparse: bad numeric literal %q", rhs.text)
+			}
+			v = rel.Float(f)
+		}
+		return Cond{Kind: CondCompare, X: x.text, Theta: theta, YConst: v, IsConst: true}, nil
+	default:
+		return Cond{}, fmt.Errorf("sqlparse: expected an attribute or literal, found %s", rhs)
+	}
+}

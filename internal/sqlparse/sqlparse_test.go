@@ -1,0 +1,208 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rel"
+)
+
+func TestParseSimpleQuery(t *testing.T) {
+	q, err := Parse(`SELECT CEO FROM PORGANIZATION WHERE INDUSTRY = "Banking"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Select) != 1 || q.Select[0] != "CEO" || q.Star {
+		t.Errorf("select = %v", q.Select)
+	}
+	if len(q.From) != 1 || q.From[0] != "PORGANIZATION" {
+		t.Errorf("from = %v", q.From)
+	}
+	if len(q.Where) != 1 {
+		t.Fatalf("where = %v", q.Where)
+	}
+	c := q.Where[0]
+	if c.Kind != CondCompare || c.X != "INDUSTRY" || !c.IsConst || !c.YConst.Equal(rel.String("Banking")) {
+		t.Errorf("cond = %+v", c)
+	}
+}
+
+func TestParseStar(t *testing.T) {
+	q, err := Parse(`SELECT * FROM PALUMNUS`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Star || len(q.Where) != 0 {
+		t.Errorf("query = %+v", q)
+	}
+}
+
+func TestParseMultipleFromAndConds(t *testing.T) {
+	q, err := Parse(`SELECT CEO FROM PORGANIZATION, PALUMNUS WHERE CEO = ANAME AND DEGREE = "MBA"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.From) != 2 || len(q.Where) != 2 {
+		t.Fatalf("query = %+v", q)
+	}
+	if q.Where[0].YAttr != "ANAME" || q.Where[0].IsConst {
+		t.Errorf("first cond = %+v", q.Where[0])
+	}
+}
+
+func TestParseNestedIN(t *testing.T) {
+	q, err := Parse(`SELECT ONAME, CEO FROM PORGANIZATION, PALUMNUS WHERE CEO = ANAME AND ONAME IN
+		(SELECT ONAME FROM PCAREER WHERE AID# IN
+		(SELECT AID# FROM PALUMNUS WHERE DEGREE = "MBA"))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Where) != 2 {
+		t.Fatalf("where = %v", q.Where)
+	}
+	in := q.Where[1]
+	if in.Kind != CondIn || in.X != "ONAME" {
+		t.Fatalf("IN cond = %+v", in)
+	}
+	mid := in.Sub
+	if mid.From[0] != "PCAREER" || mid.Where[0].Kind != CondIn {
+		t.Fatalf("middle subquery = %+v", mid)
+	}
+	inner := mid.Where[0].Sub
+	if inner.From[0] != "PALUMNUS" || inner.Where[0].YConst.Str() != "MBA" {
+		t.Fatalf("inner subquery = %+v", inner)
+	}
+}
+
+func TestParseNumericLiterals(t *testing.T) {
+	q, err := Parse(`SELECT SNAME FROM PSTUDENT WHERE GPA >= 3.5 AND SID# <> 12`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Where[0].YConst.Equal(rel.Float(3.5)) {
+		t.Errorf("float literal = %v", q.Where[0].YConst)
+	}
+	if !q.Where[1].YConst.Equal(rel.Int(12)) {
+		t.Errorf("int literal = %v", q.Where[1].YConst)
+	}
+	if q.Where[1].Theta != rel.ThetaNE {
+		t.Errorf("theta = %v", q.Where[1].Theta)
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	q, err := Parse(`select CEO from PORGANIZATION where CEO = "x"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Select) != 1 {
+		t.Errorf("query = %+v", q)
+	}
+}
+
+func TestParseSingleQuotedLiterals(t *testing.T) {
+	q, err := Parse(`SELECT CEO FROM PORGANIZATION WHERE ONAME = 'Langley Castle'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Where[0].YConst.Str() != "Langley Castle" {
+		t.Errorf("literal = %v", q.Where[0].YConst)
+	}
+}
+
+func TestQueryStringRoundTrip(t *testing.T) {
+	inputs := []string{
+		`SELECT CEO FROM PORGANIZATION WHERE INDUSTRY = "Banking"`,
+		`SELECT * FROM PALUMNUS`,
+		`SELECT ONAME, CEO FROM PORGANIZATION, PALUMNUS WHERE CEO = ANAME AND ONAME IN (SELECT ONAME FROM PCAREER WHERE AID# IN (SELECT AID# FROM PALUMNUS WHERE DEGREE = "MBA"))`,
+		`SELECT SNAME FROM PSTUDENT WHERE GPA >= 3.5`,
+	}
+	for _, in := range inputs {
+		q1, err := Parse(in)
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		s1 := q1.String()
+		q2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("re-parsing %q: %v", s1, err)
+		}
+		if s2 := q2.String(); s1 != s2 {
+			t.Errorf("round trip changed rendering:\n  %s\n  %s", s1, s2)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM T",
+		"SELECT a",
+		"SELECT a FROM",
+		"SELECT a FROM T WHERE",
+		"SELECT a FROM T WHERE x",
+		"SELECT a FROM T WHERE x =",
+		"SELECT a FROM T WHERE x IN",
+		"SELECT a FROM T WHERE x IN (SELECT a FROM U",
+		"SELECT a FROM T WHERE x IN (SELECT a, b FROM U)", // multi-attr IN
+		"SELECT a FROM T WHERE x IN (SELECT * FROM U)",    // star IN
+		"SELECT a FROM T extra",
+		`SELECT a FROM T WHERE x = "unterminated`,
+		"SELECT a, FROM T",
+		"SELECT a FROM T WHERE x ! y",
+	}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) should fail", in)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse did not panic")
+		}
+	}()
+	MustParse("SELECT")
+}
+
+func TestCondString(t *testing.T) {
+	c := Cond{Kind: CondCompare, X: "A", Theta: rel.ThetaLT, YConst: rel.Int(3), IsConst: true}
+	if got := c.String(); got != "A < 3" {
+		t.Errorf("cond string = %q", got)
+	}
+	c2 := Cond{Kind: CondCompare, X: "A", Theta: rel.ThetaEQ, YAttr: "B"}
+	if got := c2.String(); got != "A = B" {
+		t.Errorf("cond string = %q", got)
+	}
+	c3 := Cond{Kind: CondIn, X: "A", Sub: MustParse("SELECT B FROM T")}
+	if got := c3.String(); !strings.Contains(got, "A IN (SELECT B FROM T)") {
+		t.Errorf("cond string = %q", got)
+	}
+}
+
+func TestIdentifiersWithHashAndDot(t *testing.T) {
+	q, err := Parse(`SELECT AID# FROM PALUMNUS WHERE AID# = "012"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Select[0] != "AID#" {
+		t.Errorf("select = %v", q.Select)
+	}
+}
+
+// TestParseStringEscapes mirrors the algebra lexer's escape handling.
+func TestParseStringEscapes(t *testing.T) {
+	q, err := Parse(`SELECT A FROM B WHERE C = "x\"y"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Where[0].YConst.Str(); got != `x"y` {
+		t.Errorf("escaped literal = %q", got)
+	}
+	if _, err := Parse(`SELECT A FROM B WHERE C = "bad \q"`); err == nil {
+		t.Error("invalid escape accepted")
+	}
+}

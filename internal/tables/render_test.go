@@ -1,0 +1,93 @@
+package tables
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rel"
+	"repro/internal/sourceset"
+	"repro/internal/translate"
+)
+
+func TestParseExpected(t *testing.T) {
+	header, rows := ParseExpected(`
+A | B
+x, {AD}, {} | y, {AD}, {}
+
+z, {PD}, {} | w, {PD}, {}
+`)
+	if header != "A | B" {
+		t.Errorf("header = %q", header)
+	}
+	if len(rows) != 2 || !strings.HasPrefix(rows[1], "z,") {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestDiffRows(t *testing.T) {
+	if d := DiffRows([]string{"a", "b"}, []string{"b", "a"}); d != "" {
+		t.Errorf("order should not matter: %q", d)
+	}
+	d := DiffRows([]string{"a", "b"}, []string{"a", "c"})
+	if !strings.Contains(d, "missing: b") || !strings.Contains(d, "extra:   c") {
+		t.Errorf("diff = %q", d)
+	}
+	// Multiset semantics: duplicates count.
+	if d := DiffRows([]string{"a", "a"}, []string{"a"}); !strings.Contains(d, "missing: a") {
+		t.Errorf("diff = %q", d)
+	}
+	if d := DiffRows(nil, nil); d != "" {
+		t.Errorf("empty diff = %q", d)
+	}
+}
+
+func TestDiffHeaderMismatch(t *testing.T) {
+	reg := sourceset.NewRegistry()
+	reg.Intern("AD")
+	p := core.NewRelation("P", reg, core.Attr{Name: "WRONG"})
+	p.Append(core.Tuple{{D: rel.String("x"), O: sourceset.Of(0)}})
+	d := Diff("A\nx, {AD}, {}", p)
+	if !strings.Contains(d, "header") {
+		t.Errorf("diff = %q", d)
+	}
+}
+
+func TestDiffMatrix(t *testing.T) {
+	m := &translate.Matrix{Rows: []translate.Row{
+		{PR: 1, Op: translate.OpRetrieve, LHR: translate.LocalOperand("T"), RHA: translate.NoComparand(), RHR: translate.NoOperand(), EL: "AD"},
+	}}
+	if d := DiffMatrix("R(1) | Retrieve | T | nil | nil | nil | nil | AD", m); d != "" {
+		t.Errorf("diff = %q", d)
+	}
+	if d := DiffMatrix("R(1) | Retrieve | U | nil | nil | nil | nil | AD", m); !strings.Contains(d, "row 1") {
+		t.Errorf("diff = %q", d)
+	}
+	// Matrix row order is semantic: extra/missing rows are reported.
+	if d := DiffMatrix("", m); !strings.Contains(d, "extra row") {
+		t.Errorf("diff = %q", d)
+	}
+	two := "R(1) | Retrieve | T | nil | nil | nil | nil | AD\nR(2) | Retrieve | U | nil | nil | nil | nil | AD"
+	if d := DiffMatrix(two, m); !strings.Contains(d, "missing row") {
+		t.Errorf("diff = %q", d)
+	}
+}
+
+func TestRenderRelationCellFormat(t *testing.T) {
+	reg := sourceset.NewRegistry()
+	ad := reg.Intern("AD")
+	cd := reg.Intern("CD")
+	p := core.NewRelation("P", reg, core.Attr{Name: "A"})
+	p.Append(core.Tuple{{D: rel.String("x"), O: sourceset.Of(ad, cd), I: sourceset.Of(ad)}})
+	p.Append(core.Tuple{core.NilCell(sourceset.Of(ad))})
+	header, rows := RenderRelation(p)
+	if header != "A" {
+		t.Errorf("header = %q", header)
+	}
+	if rows[0] != "x, {AD, CD}, {AD}" {
+		t.Errorf("row 0 = %q", rows[0])
+	}
+	if rows[1] != "nil, {}, {AD}" {
+		t.Errorf("row 1 = %q (the paper's nil-cell notation)", rows[1])
+	}
+}

@@ -1,0 +1,211 @@
+// Package tables is the reproduction harness for the paper's evaluation
+// artifacts: it renders polygen relations and operation matrices in the
+// paper's notation, carries the expected content of every table (Tables 1–9
+// and A1–A9), and recomputes all of them from the embedded federation so
+// that tests and cmd/paper-tables can diff paper-vs-got cell by cell.
+package tables
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/identity"
+	"repro/internal/paperdata"
+	"repro/internal/pqp"
+	"repro/internal/translate"
+)
+
+// PaperExpr is the polygen algebraic expression of §III for the example
+// polygen query (Table 1's source).
+const PaperExpr = `( ( ( ( PALUMNUS [DEGREE = "MBA"] ) [AID# = AID#] PCAREER) [ONAME = ONAME] PORGANIZATION) [CEO = ANAME ] ) [ONAME, CEO]`
+
+// PaperSQL is the SQL polygen query of §III.
+const PaperSQL = `SELECT ONAME, CEO
+FROM PORGANIZATION, PALUMNUS
+WHERE CEO = ANAME AND ONAME IN
+(SELECT ONAME FROM PCAREER WHERE AID# IN
+(SELECT AID# FROM PALUMNUS WHERE DEGREE = "MBA"))`
+
+// SectionOneSQL is the simpler polygen query of §I.
+const SectionOneSQL = `SELECT CEO FROM PORGANIZATION, PALUMNUS WHERE CEO = ANAME AND DEGREE = "MBA"`
+
+// RenderRelation renders a polygen relation as a header plus one line per
+// tuple, each cell in the paper's "datum, {o...}, {i...}" notation and cells
+// separated by " | ".
+func RenderRelation(p *core.Relation) (header string, rows []string) {
+	header = strings.Join(p.AttrNames(), " | ")
+	rows = make([]string, 0, len(p.Tuples))
+	for _, t := range p.Tuples {
+		parts := make([]string, len(t))
+		for i, c := range t {
+			parts[i] = c.Format(p.Reg)
+		}
+		rows = append(rows, strings.Join(parts, " | "))
+	}
+	return header, rows
+}
+
+// ParseExpected splits a multi-line expected table literal into header and
+// rows, trimming indentation and blank lines.
+func ParseExpected(s string) (header string, rows []string) {
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	for i, ln := range lines {
+		ln = strings.TrimSpace(ln)
+		if ln == "" {
+			continue
+		}
+		if i == 0 {
+			header = ln
+			continue
+		}
+		rows = append(rows, ln)
+	}
+	return header, rows
+}
+
+// DiffRows compares two relations as multisets of rendered rows (polygen
+// relations are sets; the paper's row order is presentational). It returns
+// "" when equal, otherwise a human-readable description of the differences.
+func DiffRows(want, got []string) string {
+	w := append([]string(nil), want...)
+	g := append([]string(nil), got...)
+	sort.Strings(w)
+	sort.Strings(g)
+	var b strings.Builder
+	i, j := 0, 0
+	for i < len(w) || j < len(g) {
+		switch {
+		case i < len(w) && (j >= len(g) || w[i] < g[j]):
+			fmt.Fprintf(&b, "missing: %s\n", w[i])
+			i++
+		case j < len(g) && (i >= len(w) || g[j] < w[i]):
+			fmt.Fprintf(&b, "extra:   %s\n", g[j])
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	return b.String()
+}
+
+// Diff compares a computed relation against an expected table literal,
+// checking the header and the row multiset.
+func Diff(expected string, p *core.Relation) string {
+	wantHeader, wantRows := ParseExpected(expected)
+	gotHeader, gotRows := RenderRelation(p)
+	var b strings.Builder
+	if wantHeader != gotHeader {
+		fmt.Fprintf(&b, "header: want %q, got %q\n", wantHeader, gotHeader)
+	}
+	b.WriteString(DiffRows(wantRows, gotRows))
+	return b.String()
+}
+
+// DiffMatrix compares a computed operation matrix against an expected
+// literal (one row per line, in order — matrix row order is semantic).
+func DiffMatrix(expected string, m *translate.Matrix) string {
+	_, wantRows := ParseExpected("HEADER\n" + strings.TrimSpace(expected))
+	var b strings.Builder
+	got := make([]string, 0, len(m.Rows))
+	for _, r := range m.Rows {
+		got = append(got, r.String())
+	}
+	for i := 0; i < len(wantRows) || i < len(got); i++ {
+		switch {
+		case i >= len(wantRows):
+			fmt.Fprintf(&b, "extra row:   %s\n", got[i])
+		case i >= len(got):
+			fmt.Fprintf(&b, "missing row: %s\n", wantRows[i])
+		case wantRows[i] != got[i]:
+			fmt.Fprintf(&b, "row %d:\n  want %s\n  got  %s\n", i+1, wantRows[i], got[i])
+		}
+	}
+	return b.String()
+}
+
+// Artifacts holds every intermediate artifact of the worked example: the
+// three matrices of §III and all polygen relations of §IV and Appendix A.
+type Artifacts struct {
+	Fed  *paperdata.Federation
+	PQP  *pqp.PQP
+	Expr translate.Expr
+	POM  *translate.Matrix // Table 1
+	Half *translate.Matrix // Table 2
+	IOM  *translate.Matrix // Table 3
+	// R maps Table 3's register numbers to computed relations: R[1] is
+	// Table 4's relation, R[3] Table 5's, R[7] Table 6's, R[8] Table 7's,
+	// R[9] Table 8's, R[10] Table 9's.
+	R map[int]*core.Relation
+	// A maps Appendix A step numbers (1–9) to relations: A[1]–A[3] are the
+	// retrieved base relations, A[4] the outer join, A[5] the ONPJ, A[6]
+	// the ONTJ of A1 and A2, A[7]–A[9] the corresponding steps against A3.
+	A map[int]*core.Relation
+}
+
+// Compute builds the federation, runs the §III translation pipeline and the
+// §IV execution, and recomputes every Appendix A step.
+func Compute() (*Artifacts, error) {
+	fed := paperdata.New()
+	processor := pqp.New(fed.Schema, fed.Registry, identity.CaseFold{}, fed.LQPs())
+	art := &Artifacts{Fed: fed, PQP: processor}
+
+	var err error
+	if art.Expr, err = translate.ParseExpr(PaperExpr); err != nil {
+		return nil, err
+	}
+	if art.POM, err = translate.Analyze(art.Expr); err != nil {
+		return nil, err
+	}
+	if art.Half, err = translate.PassOne(art.POM, fed.Schema); err != nil {
+		return nil, err
+	}
+	if art.IOM, err = translate.PassTwo(art.Half, fed.Schema); err != nil {
+		return nil, err
+	}
+	// §IV executes Table 3 as the plan "without further optimization".
+	if art.R, err = processor.ExecuteAll(art.IOM); err != nil {
+		return nil, err
+	}
+	if art.A, err = computeAppendixA(art); err != nil {
+		return nil, err
+	}
+	return art, nil
+}
+
+// computeAppendixA replays the Merge of Table 3's row 7 step by step: two
+// Outer Natural Total Joins, each decomposed into its outer join, primary
+// coalesce and remaining coalesces, as Appendix A presents them.
+func computeAppendixA(art *Artifacts) (map[int]*core.Relation, error) {
+	alg := art.PQP.Algebra()
+	a := make(map[int]*core.Relation, 9)
+	// A1–A3 are the Retrieve results — registers 4–6 of Table 3.
+	a[1], a[2], a[3] = art.R[4], art.R[5], art.R[6]
+
+	var err error
+	if a[4], err = alg.OuterJoin(a[1], "BNAME", a[2], "CNAME"); err != nil {
+		return nil, fmt.Errorf("A4: %w", err)
+	}
+	if a[5], err = alg.Coalesce(a[4], "BNAME", "CNAME", "ONAME"); err != nil {
+		return nil, fmt.Errorf("A5: %w", err)
+	}
+	a6, err := alg.Coalesce(a[5], "IND", "TRADE", "INDUSTRY")
+	if err != nil {
+		return nil, fmt.Errorf("A6 coalesce: %w", err)
+	}
+	if a[6], err = alg.Rename(a6, "STATE", "HEADQUARTERS"); err != nil {
+		return nil, fmt.Errorf("A6 rename: %w", err)
+	}
+	if a[7], err = alg.OuterJoin(a[6], "ONAME", a[3], "FNAME"); err != nil {
+		return nil, fmt.Errorf("A7: %w", err)
+	}
+	if a[8], err = alg.Coalesce(a[7], "ONAME", "FNAME", "ONAME"); err != nil {
+		return nil, fmt.Errorf("A8: %w", err)
+	}
+	if a[9], err = alg.Coalesce(a[8], "HEADQUARTERS", "HQ", "HEADQUARTERS"); err != nil {
+		return nil, fmt.Errorf("A9: %w", err)
+	}
+	return a, nil
+}

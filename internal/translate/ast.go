@@ -1,0 +1,118 @@
+// Package translate implements the paper's polygen query translation
+// pipeline (§III, Figure 2): the Syntax Analyzer that turns a polygen
+// algebraic expression into a Polygen Operation Matrix (Table 1), the
+// two-pass Polygen Operation Interpreter of Figures 3 and 4 that expands it
+// into an Intermediate Operation Matrix (Tables 2 and 3) using the polygen
+// schema's attribute mappings, a practical Query Optimizer (the paper names
+// the component but leaves it "beyond the scope"), and the SQL front end
+// that compiles the polygen SQL subset into algebraic expressions.
+package translate
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/rel"
+)
+
+// Expr is a polygen algebraic expression.
+type Expr interface {
+	// String renders the expression in the paper's notation, e.g.
+	// ( PALUMNUS [DEGREE = "MBA"] ) [AID# = AID#] PCAREER.
+	String() string
+	isExpr()
+}
+
+// SchemeRef names a polygen scheme.
+type SchemeRef struct {
+	Name string
+}
+
+func (e *SchemeRef) isExpr()        {}
+func (e *SchemeRef) String() string { return e.Name }
+
+// SelectExpr is p[x θ constant].
+type SelectExpr struct {
+	In    Expr
+	Attr  string
+	Theta rel.Theta
+	Const rel.Value
+}
+
+func (e *SelectExpr) isExpr() {}
+func (e *SelectExpr) String() string {
+	return fmt.Sprintf("(%s [%s %s %s])", e.In, e.Attr, e.Theta, formatConst(e.Const))
+}
+
+// RestrictExpr is p[x θ y] between two attributes of one expression.
+type RestrictExpr struct {
+	In    Expr
+	X     string
+	Theta rel.Theta
+	Y     string
+}
+
+func (e *RestrictExpr) isExpr() {}
+func (e *RestrictExpr) String() string {
+	return fmt.Sprintf("(%s [%s %s %s])", e.In, e.X, e.Theta, e.Y)
+}
+
+// JoinExpr is p1[x θ y]p2.
+type JoinExpr struct {
+	L     Expr
+	X     string
+	Theta rel.Theta
+	Y     string
+	R     Expr
+}
+
+func (e *JoinExpr) isExpr() {}
+func (e *JoinExpr) String() string {
+	return fmt.Sprintf("(%s [%s %s %s] %s)", e.L, e.X, e.Theta, e.Y, e.R)
+}
+
+// ProjectExpr is p[x1, ..., xn].
+type ProjectExpr struct {
+	In    Expr
+	Attrs []string
+}
+
+func (e *ProjectExpr) isExpr() {}
+func (e *ProjectExpr) String() string {
+	return fmt.Sprintf("(%s [%s])", e.In, strings.Join(e.Attrs, ", "))
+}
+
+// BinaryExpr covers the set-level operators the algebra inherits from the
+// relational model: UNION, MINUS (Difference), INTERSECT and TIMES
+// (Cartesian product). The paper's example uses none, but the polygen
+// algebra defines them and the executor implements their tag semantics.
+type BinaryExpr struct {
+	Op OpName // OpUnion, OpDifference, OpIntersect, OpProduct
+	L  Expr
+	R  Expr
+}
+
+func (e *BinaryExpr) isExpr() {}
+func (e *BinaryExpr) String() string {
+	var kw string
+	switch e.Op {
+	case OpUnion:
+		kw = "UNION"
+	case OpDifference:
+		kw = "MINUS"
+	case OpIntersect:
+		kw = "INTERSECT"
+	case OpProduct:
+		kw = "TIMES"
+	default:
+		kw = string(e.Op)
+	}
+	return fmt.Sprintf("(%s %s %s)", e.L, kw, e.R)
+}
+
+func formatConst(v rel.Value) string {
+	if v.Kind() == rel.KindString {
+		return fmt.Sprintf("%q", v.Str())
+	}
+	return v.String()
+}

@@ -1,0 +1,64 @@
+package translate_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/translate"
+)
+
+func exampleSchema() *core.Schema {
+	la := func(db, scheme, attr string) core.LocalAttr {
+		return core.LocalAttr{DB: db, Scheme: scheme, Attr: attr}
+	}
+	return core.MustSchema(
+		&core.Scheme{Name: "PALUMNUS", Key: "AID#", Attrs: []core.PolygenAttr{
+			{Name: "AID#", Mapping: []core.LocalAttr{la("AD", "ALUMNUS", "AID#")}},
+			{Name: "ANAME", Mapping: []core.LocalAttr{la("AD", "ALUMNUS", "ANAME")}},
+			{Name: "DEGREE", Mapping: []core.LocalAttr{la("AD", "ALUMNUS", "DEG")}},
+		}},
+		&core.Scheme{Name: "PORGANIZATION", Key: "ONAME", Attrs: []core.PolygenAttr{
+			{Name: "ONAME", Mapping: []core.LocalAttr{
+				la("AD", "BUSINESS", "BNAME"),
+				la("PD", "CORPORATION", "CNAME"),
+				la("CD", "FIRM", "FNAME"),
+			}},
+			{Name: "CEO", Mapping: []core.LocalAttr{la("CD", "FIRM", "CEO")}},
+		}},
+	)
+}
+
+// Example walks a polygen algebraic expression through the paper's
+// translation pipeline: Syntax Analyzer (POM), pass one, pass two (IOM).
+func Example() {
+	schema := exampleSchema()
+	expr := translate.MustParseExpr(`(PALUMNUS [DEGREE = "MBA"]) [ANAME = ONAME] PORGANIZATION`)
+
+	pom, _ := translate.Analyze(expr)
+	fmt.Println("POM:")
+	fmt.Print(pom)
+
+	iom, _ := translate.Interpret(pom, schema)
+	fmt.Println("IOM:")
+	fmt.Print(iom)
+	// Output:
+	// POM:
+	// R(1) | Select | PALUMNUS | DEGREE | = | "MBA" | nil
+	// R(2) | Join | R(1) | ANAME | = | ONAME | PORGANIZATION
+	// IOM:
+	// R(1) | Select | ALUMNUS | DEG | = | "MBA" | nil | AD
+	// R(2) | Retrieve | BUSINESS | nil | nil | nil | nil | AD
+	// R(3) | Retrieve | CORPORATION | nil | nil | nil | nil | PD
+	// R(4) | Retrieve | FIRM | nil | nil | nil | nil | CD
+	// R(5) | Merge | R(2), R(3), R(4) | nil | nil | nil | nil | PQP
+	// R(6) | Join | R(1) | ANAME | = | ONAME | R(5) | PQP
+}
+
+// ExampleCompileSQL shows the SQL front end producing the paper's algebra.
+func ExampleCompileSQL() {
+	schema := exampleSchema()
+	e, _ := translate.CompileSQL(
+		`SELECT CEO FROM PORGANIZATION, PALUMNUS WHERE CEO = ANAME AND DEGREE = "MBA"`, schema)
+	fmt.Println(e)
+	// Output: (((PORGANIZATION [CEO = ANAME] PALUMNUS) [DEGREE = "MBA"]) [CEO])
+}

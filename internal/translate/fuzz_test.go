@@ -1,0 +1,39 @@
+package translate
+
+import (
+	"testing"
+)
+
+// FuzzParseExpr checks that the algebra parser never panics and that any
+// expression it accepts renders to a form it accepts again with a stable
+// rendering (parse ∘ render is idempotent).
+func FuzzParseExpr(f *testing.F) {
+	seeds := []string{
+		`PALUMNUS [DEGREE = "MBA"]`,
+		`( ( ( ( PALUMNUS [DEGREE = "MBA"] ) [AID#=AID#] PCAREER) [ONAME = ONAME] PORGANIZATION) [CEO = ANAME ] ) [ONAME, CEO]`,
+		`A [X <= 3.5]`,
+		`A UNION B MINUS C`,
+		`A [P, Q]`,
+		`(((`,
+		`A [X = Y] [Z]`,
+		`A ['quoted literal' = X]`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		e, err := ParseExpr(input)
+		if err != nil {
+			return
+		}
+		s1 := e.String()
+		e2, err := ParseExpr(s1)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its rendering %q: %v", input, s1, err)
+		}
+		if s2 := e2.String(); s1 != s2 {
+			t.Fatalf("rendering unstable: %q -> %q", s1, s2)
+		}
+	})
+}

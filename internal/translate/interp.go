@@ -1,0 +1,437 @@
+package translate
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Interpret runs the two-pass Polygen Operation Interpreter over a Polygen
+// Operation Matrix, producing the Intermediate Operation Matrix (Figure 2's
+// POI component; the passes are the algorithms of Figures 3 and 4).
+func Interpret(pom *Matrix, schema *core.Schema) (*Matrix, error) {
+	h, err := PassOne(pom, schema)
+	if err != nil {
+		return nil, err
+	}
+	return PassTwo(h, schema)
+}
+
+// PassOne processes the left-hand side of every POM row (Figure 3). A
+// left-hand relation defined in the polygen schema is resolved through the
+// attribute mapping: if all referenced attributes map into one local
+// relation, the operation is pushed to that LQP (the row's EL becomes the
+// local database and the attribute names become local names); if the
+// mapping fans out over several local relations, Retrieve rows for each and
+// a Merge row are emitted first and the operation runs at the PQP. Register
+// references are renumbered into the output matrix.
+func PassOne(pom *Matrix, schema *core.Schema) (*Matrix, error) {
+	h := &Matrix{}
+	regMap := make(map[int]int) // POM register -> H register
+	for k := range pom.Rows {
+		row := pom.Rows[k]
+		if err := passOneRow(row, schema, h, regMap); err != nil {
+			return nil, fmt.Errorf("translate: pass one, POM row R(%d): %w", row.PR, err)
+		}
+	}
+	return h, nil
+}
+
+func passOneRow(row Row, schema *core.Schema, h *Matrix, regMap map[int]int) error {
+	out := row // copy; operands rewritten below
+	// Pass one renumbers rows when it expands a scheme into
+	// retrieve-and-merge sequences, so a register-valued RHR must be
+	// remapped here as well (Figure 3 elides this: its example's RHRs are
+	// schemes or nil).
+	if row.RHR.Kind == OpdReg {
+		mapped, ok := regMap[row.RHR.Reg]
+		if !ok {
+			return fmt.Errorf("right-hand register R(%d) not yet computed", row.RHR.Reg)
+		}
+		out.RHR = RegOperand(mapped)
+	}
+	switch row.LHR.Kind {
+	case OpdScheme:
+		scheme, ok := schema.Scheme(row.LHR.Name)
+		if !ok {
+			return fmt.Errorf("no polygen scheme %q", row.LHR.Name)
+		}
+		lr, localAttrs, single, err := localTarget(scheme, row, schema)
+		if err != nil {
+			return err
+		}
+		if single {
+			// Case: MAi has a single element — push the operation down.
+			out.LHR = LocalOperand(lr.Scheme)
+			out.LHA = localAttrs
+			if row.RHA.Kind == CmpAttr && row.RHR.Kind == OpdNone {
+				la, err := localNameOf(scheme, lr, row.RHA.Attr)
+				if err != nil {
+					return err
+				}
+				out.RHA = AttrComparand(la)
+			}
+			out.EL = lr.DB
+			out.PR = len(h.Rows) + 1
+			h.Rows = append(h.Rows, out)
+			regMap[row.PR] = out.PR
+			return nil
+		}
+		// Case: MAi = {(LD1,LS1,LA1), ..., (LDJ,LSJ,LAJ)} — retrieve all
+		// local relations, merge at the PQP, then operate on the merge.
+		mergeReg, err := emitRetrieveMerge(scheme, h)
+		if err != nil {
+			return err
+		}
+		if row.Op == OpRetrieve {
+			// Retrieving a multi-source scheme IS the merge; no further
+			// operation row is needed.
+			regMap[row.PR] = mergeReg
+			return nil
+		}
+		out.LHR = RegOperand(mergeReg)
+		out.EL = "PQP"
+		out.PR = len(h.Rows) + 1
+		h.Rows = append(h.Rows, out)
+		regMap[row.PR] = out.PR
+		return nil
+	case OpdReg:
+		// Case: R(#) — update the register reference; the relation resides
+		// in the PQP.
+		mapped, ok := regMap[row.LHR.Reg]
+		if !ok {
+			return fmt.Errorf("left-hand register R(%d) not yet computed", row.LHR.Reg)
+		}
+		out.LHR = RegOperand(mapped)
+		out.EL = "PQP"
+		out.PR = len(h.Rows) + 1
+		h.Rows = append(h.Rows, out)
+		regMap[row.PR] = out.PR
+		return nil
+	default:
+		return fmt.Errorf("unsupported left-hand operand %s", row.LHR)
+	}
+}
+
+// localTarget decides, for an operation whose LHR is a polygen scheme,
+// whether it can execute at a single LQP. It returns the local relation and
+// the localized attribute list when it can (single == true). The decision
+// follows Figure 3 — MAi of the operand attribute — generalized to rows
+// that reference zero (Retrieve, set operations) or several (Project)
+// polygen attributes: all referenced attributes must map into one common
+// local relation; rows referencing none use the scheme's full fan-out.
+func localTarget(scheme *core.Scheme, row Row, schema *core.Schema) (core.LocalRelation, []string, bool, error) {
+	referenced := append([]string(nil), row.LHA...)
+	if row.RHA.Kind == CmpAttr && row.RHR.Kind == OpdNone {
+		// A Restrict's RHA is an attribute of the same relation.
+		referenced = append(referenced, row.RHA.Attr)
+	}
+	lrs := scheme.LocalSchemes()
+	if len(referenced) == 0 {
+		if len(lrs) == 1 {
+			return lrs[0], nil, true, nil
+		}
+		return core.LocalRelation{}, nil, false, nil
+	}
+	// Candidate local relations: those providing every referenced attribute.
+	var candidates []core.LocalRelation
+	for _, lr := range lrs {
+		ok := true
+		for _, attr := range referenced {
+			if _, err := localNameOf(scheme, lr, attr); err != nil {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			candidates = append(candidates, lr)
+		}
+	}
+	// The operation is local only when the referenced attributes resolve to
+	// exactly one source overall — i.e. each referenced attribute has a
+	// singleton mapping (Figure 3's MAi singleton test) and they agree.
+	if len(candidates) >= 1 {
+		allSingleton := true
+		for _, attr := range referenced {
+			pa, ok := scheme.Attr(attr)
+			if !ok {
+				return core.LocalRelation{}, nil, false, fmt.Errorf("scheme %q has no attribute %q", scheme.Name, attr)
+			}
+			if len(pa.Mapping) != 1 {
+				allSingleton = false
+				break
+			}
+		}
+		// A condition on a domain-mapped attribute cannot run at the LQP:
+		// the mapping applies when the PQP tags the retrieved data, so the
+		// LQP would compare against unmapped local values. Force the
+		// retrieve-then-operate path for such rows.
+		if allSingleton && (row.Op == OpSelect || row.Op == OpRestrict) {
+			lr := candidates[0]
+			for _, attr := range referenced {
+				la, err := localNameOf(scheme, lr, attr)
+				if err != nil {
+					return core.LocalRelation{}, nil, false, err
+				}
+				if schema.DomainMap.Has(lr.DB, lr.Scheme, la) {
+					allSingleton = false
+					break
+				}
+			}
+		}
+		if allSingleton {
+			lr := candidates[0]
+			locals := make([]string, len(row.LHA))
+			for i, attr := range row.LHA {
+				la, err := localNameOf(scheme, lr, attr)
+				if err != nil {
+					return core.LocalRelation{}, nil, false, err
+				}
+				locals[i] = la
+			}
+			return lr, locals, true, nil
+		}
+	}
+	// Verify the referenced attributes at least exist before falling back to
+	// retrieve-and-merge.
+	for _, attr := range referenced {
+		if _, ok := scheme.Attr(attr); !ok {
+			return core.LocalRelation{}, nil, false, fmt.Errorf("scheme %q has no attribute %q", scheme.Name, attr)
+		}
+	}
+	return core.LocalRelation{}, nil, false, nil
+}
+
+// localNameOf maps a polygen attribute name to its local name within one
+// local relation.
+func localNameOf(scheme *core.Scheme, lr core.LocalRelation, attr string) (string, error) {
+	pa, ok := scheme.Attr(attr)
+	if !ok {
+		return "", fmt.Errorf("scheme %q has no attribute %q", scheme.Name, attr)
+	}
+	for _, la := range pa.Mapping {
+		if la.DB == lr.DB && la.Scheme == lr.Scheme {
+			return la.Attr, nil
+		}
+	}
+	return "", fmt.Errorf("attribute %q of scheme %q has no mapping in %s", attr, scheme.Name, lr)
+}
+
+// emitRetrieveMerge emits Retrieve rows for every local relation of the
+// scheme followed by a Merge row, returning the Merge's register.
+func emitRetrieveMerge(scheme *core.Scheme, m *Matrix) (int, error) {
+	lrs := scheme.LocalSchemes()
+	if len(lrs) == 0 {
+		return 0, fmt.Errorf("scheme %q maps to no local relations", scheme.Name)
+	}
+	regs := make([]int, 0, len(lrs))
+	for _, lr := range lrs {
+		pr := len(m.Rows) + 1
+		m.Rows = append(m.Rows, Row{
+			PR: pr, Op: OpRetrieve, LHR: LocalOperand(lr.Scheme),
+			RHA: NoComparand(), RHR: NoOperand(), EL: lr.DB,
+		})
+		regs = append(regs, pr)
+	}
+	if len(regs) == 1 {
+		return regs[0], nil
+	}
+	pr := len(m.Rows) + 1
+	m.Rows = append(m.Rows, Row{
+		PR: pr, Op: OpMerge, LHR: RegsOperand(regs...),
+		RHA: NoComparand(), RHR: NoOperand(), EL: "PQP", Scheme: scheme.Name,
+	})
+	return pr, nil
+}
+
+// PassTwo processes the right-hand side of every half-processed row (Figure
+// 4), expanding scheme-valued RHRs into Retrieves (and a Merge when the
+// mapping fans out) and relocating to the PQP any operation whose left-hand
+// side pass one had kept at an LQP — the "LHR and RHR both as defined in the
+// polygen schema" case, where "separate LQP operations need to be performed
+// first".
+func PassTwo(h *Matrix, schema *core.Schema) (*Matrix, error) {
+	iom := &Matrix{}
+	regMap := make(map[int]int) // H register -> IOM register
+	for k := range h.Rows {
+		row := h.Rows[k]
+		if err := passTwoRow(row, schema, iom, regMap); err != nil {
+			return nil, fmt.Errorf("translate: pass two, row R(%d): %w", row.PR, err)
+		}
+	}
+	return iom, nil
+}
+
+func passTwoRow(row Row, schema *core.Schema, iom *Matrix, regMap map[int]int) error {
+	mapReg := func(o Operand) (Operand, error) {
+		switch o.Kind {
+		case OpdReg:
+			m, ok := regMap[o.Reg]
+			if !ok {
+				return o, fmt.Errorf("register R(%d) not yet computed", o.Reg)
+			}
+			return RegOperand(m), nil
+		case OpdRegs:
+			regs := make([]int, len(o.Regs))
+			for i, r := range o.Regs {
+				m, ok := regMap[r]
+				if !ok {
+					return o, fmt.Errorf("register R(%d) not yet computed", r)
+				}
+				regs[i] = m
+			}
+			return RegsOperand(regs...), nil
+		default:
+			return o, nil
+		}
+	}
+
+	if row.RHR.Kind != OpdScheme {
+		// Case: R(#) or nil. A row whose RHS is a PQP-resident register but
+		// whose LHS pass one pushed to an LQP must be relocated: retrieve
+		// the LHS and run the operation at the PQP. Otherwise copy the row
+		// with registers renumbered.
+		if row.RHR.Kind == OpdReg && row.EL != "PQP" && row.EL != "" {
+			rhr, err := mapReg(row.RHR)
+			if err != nil {
+				return err
+			}
+			lhsReg := emitRetrieve(iom, row.LHR.Name, row.EL)
+			if err := emitRelocatedOp(iom, row, schema, lhsReg, rhr.Reg, regMap); err != nil {
+				return err
+			}
+			return nil
+		}
+		out := row
+		var err error
+		if out.LHR, err = mapReg(out.LHR); err != nil {
+			return err
+		}
+		if out.RHR, err = mapReg(out.RHR); err != nil {
+			return err
+		}
+		out.PR = len(iom.Rows) + 1
+		iom.Rows = append(iom.Rows, out)
+		regMap[row.PR] = out.PR
+		return nil
+	}
+
+	scheme, ok := schema.Scheme(row.RHR.Name)
+	if !ok {
+		return fmt.Errorf("no polygen scheme %q", row.RHR.Name)
+	}
+	// Resolve the RHS relation: single local relation, or retrieve+merge.
+	var rhsReg int
+	single, lr, err := rhsTarget(scheme, row)
+	if err != nil {
+		return err
+	}
+	// When the LHS is still local (pass one pushed the operation to an LQP
+	// but the RHS needs PQP work), the LHS local relation must be retrieved
+	// first and the operation relocated to the PQP. Figure 4 interleaves
+	// this with the RHS handling; the emission order below reproduces the
+	// register numbering of the paper's cases.
+	lhsLocal := row.EL != "PQP" && row.EL != ""
+
+	if single {
+		if lhsLocal {
+			// Retrieve the LHS local relation at its LQP.
+			lhsReg := emitRetrieve(iom, row.LHR.Name, row.EL)
+			rhsReg = emitRetrieve(iom, lr.Scheme, lr.DB)
+			return emitRelocatedOp(iom, row, schema, lhsReg, rhsReg, regMap)
+		}
+		rhsReg = emitRetrieve(iom, lr.Scheme, lr.DB)
+		return emitPQPOp(iom, row, rhsReg, regMap, mapReg)
+	}
+
+	// Multi-source RHS: retrieve every local relation of the scheme, merge.
+	lrs := scheme.LocalSchemes()
+	regs := make([]int, 0, len(lrs))
+	for _, l := range lrs {
+		regs = append(regs, emitRetrieve(iom, l.Scheme, l.DB))
+	}
+	pr := len(iom.Rows) + 1
+	iom.Rows = append(iom.Rows, Row{
+		PR: pr, Op: OpMerge, LHR: RegsOperand(regs...),
+		RHA: NoComparand(), RHR: NoOperand(), EL: "PQP", Scheme: scheme.Name,
+	})
+	rhsReg = pr
+	if lhsLocal {
+		lhsReg := emitRetrieve(iom, row.LHR.Name, row.EL)
+		return emitRelocatedOp(iom, row, schema, lhsReg, rhsReg, regMap)
+	}
+	return emitPQPOp(iom, row, rhsReg, regMap, mapReg)
+}
+
+// rhsTarget decides whether the RHS scheme resolves to one local relation.
+// Per Figure 4 this is MAi of the right-hand attribute; rows without an RHA
+// (set operations against a scheme) use the scheme's full fan-out.
+func rhsTarget(scheme *core.Scheme, row Row) (bool, core.LocalRelation, error) {
+	if row.RHA.Kind != CmpAttr {
+		lrs := scheme.LocalSchemes()
+		if len(lrs) == 1 {
+			return true, lrs[0], nil
+		}
+		return false, core.LocalRelation{}, nil
+	}
+	pa, ok := scheme.Attr(row.RHA.Attr)
+	if !ok {
+		return false, core.LocalRelation{}, fmt.Errorf("scheme %q has no attribute %q", scheme.Name, row.RHA.Attr)
+	}
+	if len(pa.Mapping) == 1 {
+		la := pa.Mapping[0]
+		return true, core.LocalRelation{DB: la.DB, Scheme: la.Scheme}, nil
+	}
+	return false, core.LocalRelation{}, nil
+}
+
+func emitRetrieve(m *Matrix, localScheme, db string) int {
+	pr := len(m.Rows) + 1
+	m.Rows = append(m.Rows, Row{
+		PR: pr, Op: OpRetrieve, LHR: LocalOperand(localScheme),
+		RHA: NoComparand(), RHR: NoOperand(), EL: db,
+	})
+	return pr
+}
+
+// emitPQPOp emits the operation row for the case where the LHS already
+// resides in the PQP: LHR is the renumbered register, RHR the retrieved (or
+// merged) RHS.
+func emitPQPOp(iom *Matrix, row Row, rhsReg int, regMap map[int]int, mapReg func(Operand) (Operand, error)) error {
+	out := row
+	var err error
+	if out.LHR, err = mapReg(out.LHR); err != nil {
+		return err
+	}
+	out.RHR = RegOperand(rhsReg)
+	out.EL = "PQP"
+	out.PR = len(iom.Rows) + 1
+	iom.Rows = append(iom.Rows, out)
+	regMap[row.PR] = out.PR
+	return nil
+}
+
+// emitRelocatedOp emits the operation row for the "LHR and RHR both as
+// defined in the polygen schema" case: both sides have been retrieved, the
+// operation executes at the PQP, and the pass-one localization of the LHA is
+// undone through PA(local scheme, local attribute) — Figure 4, footnote 12.
+func emitRelocatedOp(iom *Matrix, row Row, schema *core.Schema, lhsReg, rhsReg int, regMap map[int]int) error {
+	out := row
+	out.LHR = RegOperand(lhsReg)
+	out.RHR = RegOperand(rhsReg)
+	// Undo pass one: map local attribute names back to polygen names.
+	lha := make([]string, len(row.LHA))
+	for i, la := range row.LHA {
+		sa, ok := schema.PolygenAttrOf(core.LocalAttr{DB: row.EL, Scheme: row.LHR.Name, Attr: la})
+		if !ok {
+			return fmt.Errorf("no polygen attribute for local %s.%s.%s", row.EL, row.LHR.Name, la)
+		}
+		lha[i] = sa.Attr
+	}
+	out.LHA = lha
+	out.EL = "PQP"
+	out.PR = len(iom.Rows) + 1
+	iom.Rows = append(iom.Rows, out)
+	regMap[row.PR] = out.PR
+	return nil
+}

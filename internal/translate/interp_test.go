@@ -1,0 +1,313 @@
+package translate
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rel"
+)
+
+// testSchema builds the paper's polygen schema inline (package translate
+// cannot import paperdata without a cycle in the test build graph; the
+// schema literal also keeps these tests self-contained).
+func testSchema() *core.Schema {
+	la := func(db, scheme, attr string) core.LocalAttr {
+		return core.LocalAttr{DB: db, Scheme: scheme, Attr: attr}
+	}
+	pa := func(name string, mapping ...core.LocalAttr) core.PolygenAttr {
+		return core.PolygenAttr{Name: name, Mapping: mapping}
+	}
+	return core.MustSchema(
+		&core.Scheme{Name: "PALUMNUS", Key: "AID#", Attrs: []core.PolygenAttr{
+			pa("AID#", la("AD", "ALUMNUS", "AID#")),
+			pa("ANAME", la("AD", "ALUMNUS", "ANAME")),
+			pa("DEGREE", la("AD", "ALUMNUS", "DEG")),
+			pa("MAJOR", la("AD", "ALUMNUS", "MAJ")),
+		}},
+		&core.Scheme{Name: "PCAREER", Key: "AID#", Attrs: []core.PolygenAttr{
+			pa("AID#", la("AD", "CAREER", "AID#")),
+			pa("ONAME", la("AD", "CAREER", "BNAME")),
+			pa("POSITION", la("AD", "CAREER", "POS")),
+		}},
+		&core.Scheme{Name: "PORGANIZATION", Key: "ONAME", Attrs: []core.PolygenAttr{
+			pa("ONAME", la("AD", "BUSINESS", "BNAME"), la("PD", "CORPORATION", "CNAME"), la("CD", "FIRM", "FNAME")),
+			pa("INDUSTRY", la("AD", "BUSINESS", "IND"), la("PD", "CORPORATION", "TRADE")),
+			pa("CEO", la("CD", "FIRM", "CEO")),
+			pa("HEADQUARTERS", la("PD", "CORPORATION", "STATE"), la("CD", "FIRM", "HQ")),
+		}},
+		&core.Scheme{Name: "PSTUDENT", Key: "SID#", Attrs: []core.PolygenAttr{
+			pa("SID#", la("PD", "STUDENT", "SID#")),
+			pa("SNAME", la("PD", "STUDENT", "SNAME")),
+			pa("GPA", la("PD", "STUDENT", "GPA")),
+			pa("MAJOR", la("PD", "STUDENT", "MAJOR")),
+		}},
+	)
+}
+
+func matrixLines(m *Matrix) string {
+	var b strings.Builder
+	for _, r := range m.Rows {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func wantMatrix(t *testing.T, m *Matrix, want ...string) {
+	t.Helper()
+	got := make([]string, 0, len(m.Rows))
+	for _, r := range m.Rows {
+		got = append(got, r.String())
+	}
+	if len(got) != len(want) {
+		t.Fatalf("matrix has %d rows, want %d:\n%s", len(got), len(want), matrixLines(m))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("row %d:\n  got  %s\n  want %s", i+1, got[i], want[i])
+		}
+	}
+}
+
+func translateAll(t *testing.T, expr string) (*Matrix, *Matrix, *Matrix) {
+	t.Helper()
+	schema := testSchema()
+	e, err := ParseExpr(expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pom, err := Analyze(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := PassOne(pom, schema)
+	if err != nil {
+		t.Fatalf("pass one: %v\nPOM:\n%s", err, matrixLines(pom))
+	}
+	iom, err := PassTwo(h, schema)
+	if err != nil {
+		t.Fatalf("pass two: %v\nH:\n%s", err, matrixLines(h))
+	}
+	return pom, h, iom
+}
+
+// TestPassOneSingleSourceSelect is Figure 3's singleton-MAi case: the Select
+// localizes to the Alumni Database with local attribute names.
+func TestPassOneSingleSourceSelect(t *testing.T) {
+	_, h, _ := translateAll(t, `PALUMNUS [DEGREE = "MBA"]`)
+	wantMatrix(t, h, `R(1) | Select | ALUMNUS | DEG | = | "MBA" | nil | AD`)
+}
+
+// TestPassOneMultiSourceSelect is Figure 3's multi-element-MAi case: the
+// scheme's local relations are retrieved and merged before the Select runs
+// at the PQP.
+func TestPassOneMultiSourceSelect(t *testing.T) {
+	_, h, _ := translateAll(t, `PORGANIZATION [INDUSTRY = "Banking"]`)
+	wantMatrix(t, h,
+		"R(1) | Retrieve | BUSINESS | nil | nil | nil | nil | AD",
+		"R(2) | Retrieve | CORPORATION | nil | nil | nil | nil | PD",
+		"R(3) | Retrieve | FIRM | nil | nil | nil | nil | CD",
+		"R(4) | Merge | R(1), R(2), R(3) | nil | nil | nil | nil | PQP",
+		`R(5) | Select | R(4) | INDUSTRY | = | "Banking" | nil | PQP`,
+	)
+}
+
+// TestPassOneRestrictBothAttrsLocalized: a Restrict on a single-source
+// scheme localizes both attribute names.
+func TestPassOneRestrictBothAttrsLocalized(t *testing.T) {
+	_, h, _ := translateAll(t, `PALUMNUS [DEGREE = MAJOR]`)
+	wantMatrix(t, h, "R(1) | Restrict | ALUMNUS | DEG | = | MAJ | nil | AD")
+}
+
+// TestPassOneProjectSingleSource: a multi-attribute Project on a
+// single-source scheme localizes the projection list.
+func TestPassOneProjectSingleSource(t *testing.T) {
+	_, h, _ := translateAll(t, `PALUMNUS [ANAME, DEGREE]`)
+	wantMatrix(t, h, "R(1) | Project | ALUMNUS | ANAME, DEG | nil | nil | nil | AD")
+}
+
+// TestPassOneProjectMultiSource: projecting attributes that fan out over
+// several databases forces retrieve-and-merge.
+func TestPassOneProjectMultiSource(t *testing.T) {
+	_, h, _ := translateAll(t, `PORGANIZATION [ONAME, CEO]`)
+	wantMatrix(t, h,
+		"R(1) | Retrieve | BUSINESS | nil | nil | nil | nil | AD",
+		"R(2) | Retrieve | CORPORATION | nil | nil | nil | nil | PD",
+		"R(3) | Retrieve | FIRM | nil | nil | nil | nil | CD",
+		"R(4) | Merge | R(1), R(2), R(3) | nil | nil | nil | nil | PQP",
+		"R(5) | Project | R(4) | ONAME, CEO | nil | nil | nil | PQP",
+	)
+}
+
+// TestPassTwoSingletonRHRWithPQPLHS reproduces Table 3's rows 2–3: a join
+// whose LHS is already a PQP register and whose RHS is a single-source
+// scheme becomes Retrieve + Join.
+func TestPassTwoSingletonRHRWithPQPLHS(t *testing.T) {
+	_, _, iom := translateAll(t, `(PALUMNUS [DEGREE = "MBA"]) [AID# = AID#] PCAREER`)
+	wantMatrix(t, iom,
+		`R(1) | Select | ALUMNUS | DEG | = | "MBA" | nil | AD`,
+		"R(2) | Retrieve | CAREER | nil | nil | nil | nil | AD",
+		"R(3) | Join | R(1) | AID# | = | AID# | R(2) | PQP",
+	)
+}
+
+// TestPassTwoBothSidesLocal reproduces the §I scenario Figure 4 describes:
+// a join between two schemes that both localized in pass one requires
+// separate LQP retrievals, and the pass-one localization of the LHA is
+// undone (CEO stays CEO via PA(CD, FIRM, CEO)).
+func TestPassTwoBothSidesLocal(t *testing.T) {
+	_, h, iom := translateAll(t, `PORGANIZATION [CEO = ANAME] PALUMNUS`)
+	wantMatrix(t, h, "R(1) | Join | FIRM | CEO | = | ANAME | PALUMNUS | CD")
+	wantMatrix(t, iom,
+		"R(1) | Retrieve | FIRM | nil | nil | nil | nil | CD",
+		"R(2) | Retrieve | ALUMNUS | nil | nil | nil | nil | AD",
+		"R(3) | Join | R(1) | CEO | = | ANAME | R(2) | PQP",
+	)
+}
+
+// TestPassTwoMultiSourceRHR reproduces Table 3's rows 4–8.
+func TestPassTwoMultiSourceRHR(t *testing.T) {
+	_, _, iom := translateAll(t, `(PALUMNUS [DEGREE = "MBA"]) [ANAME = ONAME] PORGANIZATION`)
+	wantMatrix(t, iom,
+		`R(1) | Select | ALUMNUS | DEG | = | "MBA" | nil | AD`,
+		"R(2) | Retrieve | BUSINESS | nil | nil | nil | nil | AD",
+		"R(3) | Retrieve | CORPORATION | nil | nil | nil | nil | PD",
+		"R(4) | Retrieve | FIRM | nil | nil | nil | nil | CD",
+		"R(5) | Merge | R(2), R(3), R(4) | nil | nil | nil | nil | PQP",
+		"R(6) | Join | R(1) | ANAME | = | ONAME | R(5) | PQP",
+	)
+}
+
+// TestPassTwoMultiSourceRHRLocalLHS: both sides need work — local LHS plus
+// multi-source RHS.
+func TestPassTwoMultiSourceRHRLocalLHS(t *testing.T) {
+	_, h, iom := translateAll(t, `PALUMNUS [ANAME = ONAME] PORGANIZATION`)
+	wantMatrix(t, h, "R(1) | Join | ALUMNUS | ANAME | = | ONAME | PORGANIZATION | AD")
+	wantMatrix(t, iom,
+		"R(1) | Retrieve | BUSINESS | nil | nil | nil | nil | AD",
+		"R(2) | Retrieve | CORPORATION | nil | nil | nil | nil | PD",
+		"R(3) | Retrieve | FIRM | nil | nil | nil | nil | CD",
+		"R(4) | Merge | R(1), R(2), R(3) | nil | nil | nil | nil | PQP",
+		"R(5) | Retrieve | ALUMNUS | nil | nil | nil | nil | AD",
+		"R(6) | Join | R(5) | ANAME | = | ONAME | R(4) | PQP",
+	)
+}
+
+// TestPassTwoJoinLocalLHSRegisterRHS: pass one localizes the LHS but the
+// RHS is a register; the LHS must be retrieved and the join relocated.
+func TestPassTwoJoinLocalLHSRegisterRHS(t *testing.T) {
+	_, _, iom := translateAll(t, `PALUMNUS [AID# = AID#] (PCAREER [POSITION = "CEO"])`)
+	wantMatrix(t, iom,
+		`R(1) | Select | CAREER | POS | = | "CEO" | nil | AD`,
+		"R(2) | Retrieve | ALUMNUS | nil | nil | nil | nil | AD",
+		"R(3) | Join | R(2) | AID# | = | AID# | R(1) | PQP",
+	)
+}
+
+// TestPassOneUnknownScheme and friends: error paths.
+func TestInterpErrors(t *testing.T) {
+	schema := testSchema()
+	for _, expr := range []string{
+		`NOSUCH [A = "x"]`,
+		`PALUMNUS [NOSUCH = "x"]`,
+		`PALUMNUS [AID# = AID#] NOSUCH`,
+		`PALUMNUS [AID# = NOSUCH] PCAREER`,
+	} {
+		e, err := ParseExpr(expr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pom, err := Analyze(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Interpret(pom, schema); err == nil {
+			t.Errorf("Interpret(%q) should fail", expr)
+		}
+	}
+}
+
+// TestSetOperationsTranslate: UNION of two schemes expands both sides.
+func TestSetOperationsTranslate(t *testing.T) {
+	_, _, iom := translateAll(t, `PALUMNUS UNION PALUMNUS`)
+	wantMatrix(t, iom,
+		"R(1) | Retrieve | ALUMNUS | nil | nil | nil | nil | AD",
+		"R(2) | Retrieve | ALUMNUS | nil | nil | nil | nil | AD",
+		"R(3) | Union | R(1) | nil | nil | nil | R(2) | PQP",
+	)
+}
+
+func TestInterpretConvenience(t *testing.T) {
+	schema := testSchema()
+	pom, err := Analyze(MustParseExpr(`PALUMNUS [DEGREE = "MBA"]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	iom, err := Interpret(pom, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iom.Cardinality() != 1 {
+		t.Errorf("IOM:\n%s", matrixLines(iom))
+	}
+}
+
+// TestOperandAndComparandStrings covers the rendering helpers.
+func TestOperandAndComparandStrings(t *testing.T) {
+	if NoOperand().String() != "nil" || RegOperand(3).String() != "R(3)" {
+		t.Error("operand rendering wrong")
+	}
+	if RegsOperand(1, 2).String() != "R(1), R(2)" {
+		t.Error("register list rendering wrong")
+	}
+	if SchemeOperand("P").String() != "P" || LocalOperand("L").String() != "L" {
+		t.Error("scheme operand rendering wrong")
+	}
+	if NoComparand().String() != "nil" || AttrComparand("A").String() != "A" {
+		t.Error("comparand rendering wrong")
+	}
+}
+
+// TestPassOneDomainMappedSelectNotPushed: a selection on an attribute with a
+// registered domain mapping must NOT execute at the LQP — the LQP would
+// compare against unmapped local values. The translator retrieves and
+// selects at the PQP instead.
+func TestPassOneDomainMappedSelectNotPushed(t *testing.T) {
+	schema := testSchema()
+	schema.DomainMap.Set("AD", "ALUMNUS", "DEG", func(v rel.Value) rel.Value { return v })
+	e := MustParseExpr(`PALUMNUS [DEGREE = "MBA"]`)
+	pom, err := Analyze(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := PassOne(pom, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMatrix(t, h,
+		"R(1) | Retrieve | ALUMNUS | nil | nil | nil | nil | AD",
+		`R(2) | Select | R(1) | DEGREE | = | "MBA" | nil | PQP`,
+	)
+	// An un-mapped attribute on the same scheme still pushes down.
+	pom2, _ := Analyze(MustParseExpr(`PALUMNUS [MAJOR = "IS"]`))
+	h2, err := PassOne(pom2, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMatrix(t, h2, `R(1) | Select | ALUMNUS | MAJ | = | "IS" | nil | AD`)
+}
+
+// TestPassOneDomainMappedRestrict: same guard for two-attribute restricts.
+func TestPassOneDomainMappedRestrict(t *testing.T) {
+	schema := testSchema()
+	schema.DomainMap.Set("AD", "ALUMNUS", "MAJ", func(v rel.Value) rel.Value { return v })
+	pom, _ := Analyze(MustParseExpr(`PALUMNUS [DEGREE = MAJOR]`))
+	h, err := PassOne(pom, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Rows[0].Op != OpRetrieve || h.Rows[1].EL != "PQP" {
+		t.Errorf("restrict on mapped attribute pushed down:\n%s", matrixLines(h))
+	}
+}

@@ -1,0 +1,163 @@
+package translate
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies lexer tokens shared by the algebra parser and the SQL
+// parser.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokString // quoted literal
+	tokNumber
+	tokLParen
+	tokRParen
+	tokLBracket
+	tokRBracket
+	tokComma
+	tokOp   // = <> < <= > >=
+	tokStar // *
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lex tokenizes an algebra or SQL string. Identifiers may contain '#' (the
+// paper's AID#, SID#), '.', '_' and '&' ("AT&T" never appears as an
+// identifier, but qualified names like PD.STUDENT do). Both single- and
+// double-quoted string literals are accepted.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == '[':
+			toks = append(toks, token{tokLBracket, "[", i})
+			i++
+		case c == ']':
+			toks = append(toks, token{tokRBracket, "]", i})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == '*':
+			toks = append(toks, token{tokStar, "*", i})
+			i++
+		case c == '=':
+			toks = append(toks, token{tokOp, "=", i})
+			i++
+		case c == '<':
+			switch {
+			case strings.HasPrefix(input[i:], "<>"):
+				toks = append(toks, token{tokOp, "<>", i})
+				i += 2
+			case strings.HasPrefix(input[i:], "<="):
+				toks = append(toks, token{tokOp, "<=", i})
+				i += 2
+			default:
+				toks = append(toks, token{tokOp, "<", i})
+				i++
+			}
+		case c == '>':
+			if strings.HasPrefix(input[i:], ">=") {
+				toks = append(toks, token{tokOp, ">=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokOp, ">", i})
+				i++
+			}
+		case c == '!':
+			if strings.HasPrefix(input[i:], "!=") {
+				toks = append(toks, token{tokOp, "!=", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("translate: unexpected '!' at offset %d", i)
+			}
+		case c == '"':
+			// Double-quoted strings support Go escape sequences, so that
+			// the renderer's %q output always re-parses to the same value.
+			j := i + 1
+			for j < len(input) && input[j] != '"' {
+				if input[j] == '\\' {
+					j++
+				}
+				j++
+			}
+			if j >= len(input) {
+				return nil, fmt.Errorf("translate: unterminated string starting at offset %d", i)
+			}
+			text, err := strconv.Unquote(input[i : j+1])
+			if err != nil {
+				return nil, fmt.Errorf("translate: bad string literal at offset %d: %v", i, err)
+			}
+			toks = append(toks, token{tokString, text, i})
+			i = j + 1
+		case c == '\'':
+			// Single-quoted strings are raw (no escapes).
+			j := i + 1
+			var sb strings.Builder
+			for j < len(input) && input[j] != '\'' {
+				sb.WriteByte(input[j])
+				j++
+			}
+			if j >= len(input) {
+				return nil, fmt.Errorf("translate: unterminated string starting at offset %d", i)
+			}
+			toks = append(toks, token{tokString, sb.String(), i})
+			i = j + 1
+		case c >= '0' && c <= '9' || (c == '-' && i+1 < len(input) && input[i+1] >= '0' && input[i+1] <= '9'):
+			j := i + 1
+			for j < len(input) && (input[j] >= '0' && input[j] <= '9' || input[j] == '.') {
+				j++
+			}
+			toks = append(toks, token{tokNumber, input[i:j], i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i + 1
+			for j < len(input) && isIdentPart(rune(input[j])) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, input[i:j], i})
+			i = j
+		default:
+			return nil, fmt.Errorf("translate: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(input)})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '#' || r == '.'
+}

@@ -1,0 +1,144 @@
+package translate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Optimize is the Query Optimizer stage of Figure 2. The paper declares its
+// details beyond scope; this implementation applies two safe, plan-level
+// rewrites that matter in a federation:
+//
+//   - common-subexpression elimination: duplicate rows (most commonly the
+//     Retrieve/Merge fan-outs that pass two emits once per reference to a
+//     multi-source scheme) collapse into a single computation;
+//   - dead-row elimination: rows whose results no later row (and not the
+//     final row) consumes are dropped.
+//
+// Registers are renumbered densely. The rewrite never changes the final
+// relation — TestOptimizePreservesResult and the optimizer ablation bench
+// (B-OPT) check exactly that.
+func Optimize(iom *Matrix) (*Matrix, error) {
+	out := &Matrix{}
+	regMap := make(map[int]int)  // input register -> output register
+	seen := make(map[string]int) // row signature -> output register
+	for _, row := range iom.Rows {
+		mapped, err := remapRow(row, regMap)
+		if err != nil {
+			return nil, fmt.Errorf("translate: optimize: %w", err)
+		}
+		sig := signature(mapped)
+		if existing, dup := seen[sig]; dup {
+			regMap[row.PR] = existing
+			continue
+		}
+		mapped.PR = len(out.Rows) + 1
+		out.Rows = append(out.Rows, mapped)
+		regMap[row.PR] = mapped.PR
+		seen[sig] = mapped.PR
+	}
+	return eliminateDead(out)
+}
+
+func remapRow(row Row, regMap map[int]int) (Row, error) {
+	out := row
+	var err error
+	if out.LHR, err = remapOperand(out.LHR, regMap); err != nil {
+		return out, err
+	}
+	if out.RHR, err = remapOperand(out.RHR, regMap); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+func remapOperand(o Operand, regMap map[int]int) (Operand, error) {
+	switch o.Kind {
+	case OpdReg:
+		m, ok := regMap[o.Reg]
+		if !ok {
+			return o, fmt.Errorf("register R(%d) not yet computed", o.Reg)
+		}
+		return RegOperand(m), nil
+	case OpdRegs:
+		regs := make([]int, len(o.Regs))
+		for i, r := range o.Regs {
+			m, ok := regMap[r]
+			if !ok {
+				return o, fmt.Errorf("register R(%d) not yet computed", r)
+			}
+			regs[i] = m
+		}
+		return RegsOperand(regs...), nil
+	default:
+		return o, nil
+	}
+}
+
+// signature canonicalizes a row (ignoring its own PR) for duplicate
+// detection. Merge register lists are order-normalized: §II proves merge
+// order immaterial, so {R(1),R(2),R(3)} and {R(2),R(1),R(3)} coincide.
+func signature(r Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|%s|%s|%s|%s|%s|%s", r.Op, operandSig(r.LHR), r.lhaString(), r.thetaString(), r.RHA, operandSig(r.RHR), r.EL)
+	if r.Scheme != "" {
+		fmt.Fprintf(&b, "|%s", r.Scheme)
+	}
+	return b.String()
+}
+
+func operandSig(o Operand) string {
+	if o.Kind == OpdRegs {
+		regs := append([]int(nil), o.Regs...)
+		sort.Ints(regs)
+		parts := make([]string, len(regs))
+		for i, r := range regs {
+			parts[i] = fmt.Sprintf("R(%d)", r)
+		}
+		return strings.Join(parts, ",")
+	}
+	return o.String()
+}
+
+// eliminateDead removes rows unreachable from the final row and renumbers.
+func eliminateDead(m *Matrix) (*Matrix, error) {
+	if len(m.Rows) == 0 {
+		return m, nil
+	}
+	needed := make([]bool, len(m.Rows)+1)
+	mark := func(o Operand) {
+		switch o.Kind {
+		case OpdReg:
+			needed[o.Reg] = true
+		case OpdRegs:
+			for _, r := range o.Regs {
+				needed[r] = true
+			}
+		}
+	}
+	needed[m.Rows[len(m.Rows)-1].PR] = true
+	for i := len(m.Rows) - 1; i >= 0; i-- {
+		row := m.Rows[i]
+		if !needed[row.PR] {
+			continue
+		}
+		mark(row.LHR)
+		mark(row.RHR)
+	}
+	out := &Matrix{}
+	regMap := make(map[int]int)
+	for _, row := range m.Rows {
+		if !needed[row.PR] {
+			continue
+		}
+		mapped, err := remapRow(row, regMap)
+		if err != nil {
+			return nil, err
+		}
+		mapped.PR = len(out.Rows) + 1
+		out.Rows = append(out.Rows, mapped)
+		regMap[row.PR] = mapped.PR
+	}
+	return out, nil
+}

@@ -1,0 +1,144 @@
+package translate
+
+import (
+	"testing"
+
+	"repro/internal/rel"
+)
+
+// TestOptimizeDeduplicatesRetrieveMerge: a query touching the same
+// multi-source scheme twice retrieves and merges it once after optimization.
+func TestOptimizeDeduplicatesRetrieveMerge(t *testing.T) {
+	_, _, iom := translateAll(t, `(PORGANIZATION [INDUSTRY = "Banking"]) UNION (PORGANIZATION [INDUSTRY = "Energy"])`)
+	if iom.Cardinality() != 11 {
+		t.Fatalf("unoptimized IOM has %d rows, want 11:\n%s", iom.Cardinality(), matrixLines(iom))
+	}
+	opt, err := Optimize(iom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMatrix(t, opt,
+		"R(1) | Retrieve | BUSINESS | nil | nil | nil | nil | AD",
+		"R(2) | Retrieve | CORPORATION | nil | nil | nil | nil | PD",
+		"R(3) | Retrieve | FIRM | nil | nil | nil | nil | CD",
+		"R(4) | Merge | R(1), R(2), R(3) | nil | nil | nil | nil | PQP",
+		`R(5) | Select | R(4) | INDUSTRY | = | "Banking" | nil | PQP`,
+		`R(6) | Select | R(4) | INDUSTRY | = | "Energy" | nil | PQP`,
+		"R(7) | Union | R(5) | nil | nil | nil | R(6) | PQP",
+	)
+}
+
+// TestOptimizeIdenticalSelectsCollapse: byte-identical rows collapse even
+// when they carry constants.
+func TestOptimizeIdenticalSelectsCollapse(t *testing.T) {
+	_, _, iom := translateAll(t, `(PALUMNUS [DEGREE = "MBA"]) UNION (PALUMNUS [DEGREE = "MBA"])`)
+	opt, err := Optimize(iom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMatrix(t, opt,
+		`R(1) | Select | ALUMNUS | DEG | = | "MBA" | nil | AD`,
+		"R(2) | Union | R(1) | nil | nil | nil | R(1) | PQP",
+	)
+}
+
+// TestOptimizeKeepsDistinctConstants: selects with different constants must
+// NOT collapse.
+func TestOptimizeKeepsDistinctConstants(t *testing.T) {
+	_, _, iom := translateAll(t, `(PALUMNUS [DEGREE = "MBA"]) UNION (PALUMNUS [DEGREE = "MS"])`)
+	opt, err := Optimize(iom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Cardinality() != 3 {
+		t.Fatalf("optimized to %d rows, want 3:\n%s", opt.Cardinality(), matrixLines(opt))
+	}
+}
+
+// TestOptimizeDeadRowElimination: rows not feeding the final result drop.
+func TestOptimizeDeadRowElimination(t *testing.T) {
+	iom := &Matrix{Rows: []Row{
+		{PR: 1, Op: OpRetrieve, LHR: LocalOperand("ALUMNUS"), RHA: NoComparand(), RHR: NoOperand(), EL: "AD"},
+		{PR: 2, Op: OpRetrieve, LHR: LocalOperand("CAREER"), RHA: NoComparand(), RHR: NoOperand(), EL: "AD"}, // dead
+		{PR: 3, Op: OpProject, LHR: RegOperand(1), LHA: []string{"ANAME"}, RHA: NoComparand(), RHR: NoOperand(), EL: "PQP"},
+	}}
+	opt, err := Optimize(iom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMatrix(t, opt,
+		"R(1) | Retrieve | ALUMNUS | nil | nil | nil | nil | AD",
+		"R(2) | Project | R(1) | ANAME | nil | nil | nil | PQP",
+	)
+}
+
+// TestOptimizeMergeOrderInsensitive: Merge rows differing only in register
+// order collapse (§II: merge order immaterial).
+func TestOptimizeMergeOrderInsensitive(t *testing.T) {
+	retrieve := func(pr int, ls, db string) Row {
+		return Row{PR: pr, Op: OpRetrieve, LHR: LocalOperand(ls), RHA: NoComparand(), RHR: NoOperand(), EL: db}
+	}
+	iom := &Matrix{Rows: []Row{
+		retrieve(1, "BUSINESS", "AD"),
+		retrieve(2, "CORPORATION", "PD"),
+		{PR: 3, Op: OpMerge, LHR: RegsOperand(1, 2), RHA: NoComparand(), RHR: NoOperand(), EL: "PQP", Scheme: "PORGANIZATION"},
+		{PR: 4, Op: OpMerge, LHR: RegsOperand(2, 1), RHA: NoComparand(), RHR: NoOperand(), EL: "PQP", Scheme: "PORGANIZATION"},
+		{PR: 5, Op: OpUnion, LHR: RegOperand(3), RHA: NoComparand(), RHR: RegOperand(4), EL: "PQP"},
+	}}
+	opt, err := Optimize(iom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both merges collapse to one; the union references it twice.
+	if opt.Cardinality() != 4 {
+		t.Fatalf("optimized to %d rows, want 4:\n%s", opt.Cardinality(), matrixLines(opt))
+	}
+	last := opt.Rows[3]
+	if last.LHR.Reg != last.RHR.Reg {
+		t.Errorf("union should reference the single merge twice:\n%s", matrixLines(opt))
+	}
+}
+
+func TestOptimizeEmptyMatrix(t *testing.T) {
+	opt, err := Optimize(&Matrix{})
+	if err != nil || opt.Cardinality() != 0 {
+		t.Errorf("optimize empty = %v, %v", opt, err)
+	}
+}
+
+func TestOptimizeForwardReferenceFails(t *testing.T) {
+	iom := &Matrix{Rows: []Row{
+		{PR: 1, Op: OpProject, LHR: RegOperand(99), LHA: []string{"A"}, RHA: NoComparand(), RHR: NoOperand(), EL: "PQP"},
+	}}
+	if _, err := Optimize(iom); err == nil {
+		t.Error("forward register reference accepted")
+	}
+}
+
+// TestOptimizePreservesPaperPlanSemantics: Table 3 has no redundancy, so
+// optimization only renumbers (identity here).
+func TestOptimizePaperPlanUnchanged(t *testing.T) {
+	_, _, iom := translateAll(t, `( ( ( ( PALUMNUS [DEGREE = "MBA"] ) [AID#=AID#] PCAREER) [ONAME = ONAME] PORGANIZATION) [CEO = ANAME ] ) [ONAME, CEO]`)
+	opt, err := Optimize(iom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matrixLines(opt) != matrixLines(iom) {
+		t.Errorf("Table 3 should be unchanged by optimization:\nbefore:\n%s\nafter:\n%s",
+			matrixLines(iom), matrixLines(opt))
+	}
+}
+
+func TestSignatureDistinguishesThetas(t *testing.T) {
+	r1 := Row{Op: OpSelect, LHR: LocalOperand("T"), LHA: []string{"A"}, Theta: rel.ThetaLT, HasTheta: true, RHA: ConstComparand(rel.Int(1)), RHR: NoOperand(), EL: "AD"}
+	r2 := r1
+	r2.Theta = rel.ThetaGT
+	if signature(r1) == signature(r2) {
+		t.Error("signatures conflate different thetas")
+	}
+	r3 := r1
+	r3.EL = "PD"
+	if signature(r1) == signature(r3) {
+		t.Error("signatures conflate different execution locations")
+	}
+}

@@ -1,0 +1,208 @@
+package translate
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/rel"
+)
+
+// ParseExpr parses a polygen algebraic expression in the paper's notation:
+//
+//	( ( ( ( PALUMNUS [DEGREE = "MBA"] ) [AID#=AID#] PCAREER )
+//	    [ONAME = ONAME] PORGANIZATION ) [CEO = ANAME] ) [ONAME, CEO]
+//
+// Grammar (brackets bind postfix, joins take a following operand):
+//
+//	expr    = operand { suffix }
+//	          | expr ("UNION" | "MINUS" | "INTERSECT" | "TIMES") expr
+//	suffix  = "[" attr θ literal "]"            -- Select
+//	        | "[" attr θ attr "]" [ operand ]   -- Restrict, or Join if an
+//	                                               operand follows
+//	        | "[" attr { "," attr } "]"         -- Project
+//	operand = IDENT | "(" expr ")"
+func ParseExpr(input string) (Expr, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &exprParser{toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("translate: trailing input at %s", p.peek())
+	}
+	return e, nil
+}
+
+// MustParseExpr is ParseExpr for statically-known expressions.
+func MustParseExpr(input string) Expr {
+	e, err := ParseExpr(input)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type exprParser struct {
+	toks []token
+	i    int
+}
+
+func (p *exprParser) peek() token { return p.toks[p.i] }
+func (p *exprParser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *exprParser) expect(k tokKind, what string) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, fmt.Errorf("translate: expected %s, found %s", what, t)
+	}
+	return t, nil
+}
+
+func (p *exprParser) parseExpr() (Expr, error) {
+	e, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokIdent {
+		var op OpName
+		switch strings.ToUpper(p.peek().text) {
+		case "UNION":
+			op = OpUnion
+		case "MINUS":
+			op = OpDifference
+		case "INTERSECT":
+			op = OpIntersect
+		case "TIMES":
+			op = OpProduct
+		default:
+			return e, nil
+		}
+		p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		e = &BinaryExpr{Op: op, L: e, R: r}
+	}
+	return e, nil
+}
+
+// parseUnary parses an operand followed by any number of bracket suffixes.
+func (p *exprParser) parseUnary() (Expr, error) {
+	e, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokLBracket {
+		e, err = p.parseSuffix(e)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+func (p *exprParser) parseOperand() (Expr, error) {
+	t := p.next()
+	switch t.kind {
+	case tokIdent:
+		return &SchemeRef{Name: t.text}, nil
+	case tokLParen:
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		// A parenthesized expression may itself take suffixes before being
+		// used as an operand, e.g. ( ... ) [CEO = ANAME].
+		for p.peek().kind == tokLBracket {
+			e, err = p.parseSuffix(e)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return e, nil
+	default:
+		return nil, fmt.Errorf("translate: expected a relation or '(', found %s", t)
+	}
+}
+
+func (p *exprParser) parseSuffix(in Expr) (Expr, error) {
+	if _, err := p.expect(tokLBracket, "'['"); err != nil {
+		return nil, err
+	}
+	first, err := p.expect(tokIdent, "an attribute name")
+	if err != nil {
+		return nil, err
+	}
+	switch p.peek().kind {
+	case tokComma, tokRBracket:
+		// Projection list.
+		attrs := []string{first.text}
+		for p.peek().kind == tokComma {
+			p.next()
+			a, err := p.expect(tokIdent, "an attribute name")
+			if err != nil {
+				return nil, err
+			}
+			attrs = append(attrs, a.text)
+		}
+		if _, err := p.expect(tokRBracket, "']'"); err != nil {
+			return nil, err
+		}
+		return &ProjectExpr{In: in, Attrs: attrs}, nil
+	case tokOp:
+		theta, err := rel.ParseTheta(p.next().text)
+		if err != nil {
+			return nil, err
+		}
+		rhs := p.next()
+		switch rhs.kind {
+		case tokString:
+			if _, err := p.expect(tokRBracket, "']'"); err != nil {
+				return nil, err
+			}
+			return &SelectExpr{In: in, Attr: first.text, Theta: theta, Const: rel.String(rhs.text)}, nil
+		case tokNumber:
+			if _, err := p.expect(tokRBracket, "']'"); err != nil {
+				return nil, err
+			}
+			return &SelectExpr{In: in, Attr: first.text, Theta: theta, Const: rel.Parse(rhs.text)}, nil
+		case tokIdent:
+			if _, err := p.expect(tokRBracket, "']'"); err != nil {
+				return nil, err
+			}
+			// A following operand turns the restriction into a join.
+			if k := p.peek().kind; k == tokIdent || k == tokLParen {
+				if k == tokIdent && isKeyword(p.peek().text) {
+					return &RestrictExpr{In: in, X: first.text, Theta: theta, Y: rhs.text}, nil
+				}
+				r, err := p.parseOperand()
+				if err != nil {
+					return nil, err
+				}
+				return &JoinExpr{L: in, X: first.text, Theta: theta, Y: rhs.text, R: r}, nil
+			}
+			return &RestrictExpr{In: in, X: first.text, Theta: theta, Y: rhs.text}, nil
+		default:
+			return nil, fmt.Errorf("translate: expected an attribute or literal after %q, found %s", theta, rhs)
+		}
+	default:
+		return nil, fmt.Errorf("translate: expected ',', ']' or a comparison after %q, found %s", first.text, p.peek())
+	}
+}
+
+func isKeyword(s string) bool {
+	switch strings.ToUpper(s) {
+	case "UNION", "MINUS", "INTERSECT", "TIMES":
+		return true
+	default:
+		return false
+	}
+}

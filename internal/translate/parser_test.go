@@ -1,0 +1,300 @@
+package translate
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rel"
+)
+
+func TestParseSelectExpr(t *testing.T) {
+	e, err := ParseExpr(`PALUMNUS [DEGREE = "MBA"]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, ok := e.(*SelectExpr)
+	if !ok {
+		t.Fatalf("parsed %T, want *SelectExpr", e)
+	}
+	if sel.Attr != "DEGREE" || sel.Theta != rel.ThetaEQ || !sel.Const.Equal(rel.String("MBA")) {
+		t.Errorf("select = %+v", sel)
+	}
+	if _, ok := sel.In.(*SchemeRef); !ok {
+		t.Errorf("select input = %T", sel.In)
+	}
+}
+
+func TestParseSelectNumericConst(t *testing.T) {
+	e, err := ParseExpr(`PSTUDENT [GPA >= 3.5]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := e.(*SelectExpr)
+	if sel.Theta != rel.ThetaGE || !sel.Const.Equal(rel.Float(3.5)) {
+		t.Errorf("select = %+v", sel)
+	}
+	e2, err := ParseExpr(`PFINANCE [YEAR = 1989]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e2.(*SelectExpr).Const.Equal(rel.Int(1989)) {
+		t.Error("integer constant parsed wrong")
+	}
+}
+
+func TestParseRestrictExpr(t *testing.T) {
+	e, err := ParseExpr(`R [CEO = ANAME]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, ok := e.(*RestrictExpr)
+	if !ok {
+		t.Fatalf("parsed %T, want *RestrictExpr", e)
+	}
+	if res.X != "CEO" || res.Y != "ANAME" {
+		t.Errorf("restrict = %+v", res)
+	}
+}
+
+func TestParseJoinExpr(t *testing.T) {
+	e, err := ParseExpr(`A [X = Y] B`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, ok := e.(*JoinExpr)
+	if !ok {
+		t.Fatalf("parsed %T, want *JoinExpr", e)
+	}
+	if j.X != "X" || j.Y != "Y" {
+		t.Errorf("join = %+v", j)
+	}
+	if j.L.(*SchemeRef).Name != "A" || j.R.(*SchemeRef).Name != "B" {
+		t.Error("join operands wrong")
+	}
+}
+
+func TestParseProjectExpr(t *testing.T) {
+	e, err := ParseExpr(`A [ONAME, CEO]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := e.(*ProjectExpr)
+	if !ok {
+		t.Fatalf("parsed %T, want *ProjectExpr", e)
+	}
+	if len(p.Attrs) != 2 || p.Attrs[0] != "ONAME" || p.Attrs[1] != "CEO" {
+		t.Errorf("project = %+v", p)
+	}
+	// Single attribute also parses as a projection.
+	e2, err := ParseExpr(`A [CEO]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 := e2.(*ProjectExpr); len(p2.Attrs) != 1 {
+		t.Errorf("single project = %+v", p2)
+	}
+}
+
+func TestParsePaperExpression(t *testing.T) {
+	const paper = `( ( ( ( PALUMNUS [DEGREE = "MBA"] ) [AID#=AID#] PCAREER) [ONAME = ONAME] PORGANIZATION) [CEO = ANAME ] ) [ONAME, CEO]`
+	e, err := ParseExpr(paper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, ok := e.(*ProjectExpr)
+	if !ok {
+		t.Fatalf("top = %T, want *ProjectExpr", e)
+	}
+	restr, ok := proj.In.(*RestrictExpr)
+	if !ok {
+		t.Fatalf("next = %T, want *RestrictExpr", proj.In)
+	}
+	join2, ok := restr.In.(*JoinExpr)
+	if !ok {
+		t.Fatalf("next = %T, want *JoinExpr", restr.In)
+	}
+	if join2.R.(*SchemeRef).Name != "PORGANIZATION" {
+		t.Error("outer join RHS wrong")
+	}
+	join1 := join2.L.(*JoinExpr)
+	if join1.R.(*SchemeRef).Name != "PCAREER" {
+		t.Error("inner join RHS wrong")
+	}
+	sel := join1.L.(*SelectExpr)
+	if sel.In.(*SchemeRef).Name != "PALUMNUS" {
+		t.Error("innermost select input wrong")
+	}
+}
+
+func TestParseBinaryOps(t *testing.T) {
+	cases := map[string]OpName{
+		"A UNION B":     OpUnion,
+		"A MINUS B":     OpDifference,
+		"A INTERSECT B": OpIntersect,
+		"A TIMES B":     OpProduct,
+		"A union B":     OpUnion, // case-insensitive keywords
+	}
+	for in, op := range cases {
+		e, err := ParseExpr(in)
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		b, ok := e.(*BinaryExpr)
+		if !ok || b.Op != op {
+			t.Errorf("%q parsed to %T/%v", in, e, op)
+		}
+	}
+	// Left associativity.
+	e, err := ParseExpr("A UNION B UNION C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := e.(*BinaryExpr)
+	if _, ok := top.L.(*BinaryExpr); !ok {
+		t.Error("UNION should left-associate")
+	}
+}
+
+func TestParseBinaryWithSuffix(t *testing.T) {
+	e, err := ParseExpr(`(A UNION B) [X = "v"]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, ok := e.(*SelectExpr)
+	if !ok {
+		t.Fatalf("parsed %T", e)
+	}
+	if _, ok := sel.In.(*BinaryExpr); !ok {
+		t.Errorf("select input = %T", sel.In)
+	}
+}
+
+func TestParseJoinAgainstRestrict(t *testing.T) {
+	// Followed by UNION keyword: the bracket is a restrict, not a join.
+	e, err := ParseExpr(`A [X = Y] UNION B`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := e.(*BinaryExpr)
+	if !ok || b.Op != OpUnion {
+		t.Fatalf("parsed %T", e)
+	}
+	if _, ok := b.L.(*RestrictExpr); !ok {
+		t.Errorf("left operand = %T, want *RestrictExpr", b.L)
+	}
+}
+
+func TestParseSingleQuotedString(t *testing.T) {
+	e, err := ParseExpr(`A [X = 'Langley Castle']`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.(*SelectExpr).Const.Equal(rel.String("Langley Castle")) {
+		t.Error("single-quoted literal wrong")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"(A",
+		"A [",
+		"A [X",
+		"A [X =",
+		`A [X = "unterminated`,
+		"A ]",
+		"A [X = Y] [",
+		"A UNION",
+		"[X]",
+		"A B",       // trailing input
+		"A [X ~ Y]", // unknown comparison
+		"A [X = Y, Z]",
+	}
+	for _, in := range bad {
+		if _, err := ParseExpr(in); err == nil {
+			t.Errorf("ParseExpr(%q) should fail", in)
+		}
+	}
+}
+
+func TestMustParseExprPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseExpr did not panic")
+		}
+	}()
+	MustParseExpr("(")
+}
+
+// TestExprStringRoundTrips: the rendered form of an expression re-parses to
+// an expression with the same rendered form.
+func TestExprStringRoundTrips(t *testing.T) {
+	inputs := []string{
+		`PALUMNUS [DEGREE = "MBA"]`,
+		`A [X = Y] B`,
+		`A [X < Y]`,
+		`A [P, Q, R]`,
+		`A UNION B`,
+		`A MINUS B`,
+		`(A [X = "v"]) [Y = Z] (B [W])`,
+		`( ( ( ( PALUMNUS [DEGREE = "MBA"] ) [AID#=AID#] PCAREER) [ONAME = ONAME] PORGANIZATION) [CEO = ANAME ] ) [ONAME, CEO]`,
+	}
+	for _, in := range inputs {
+		e1, err := ParseExpr(in)
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		s1 := e1.String()
+		e2, err := ParseExpr(s1)
+		if err != nil {
+			t.Fatalf("re-parsing %q: %v", s1, err)
+		}
+		if s2 := e2.String(); s1 != s2 {
+			t.Errorf("round trip changed rendering:\n  %s\n  %s", s1, s2)
+		}
+	}
+}
+
+func TestIdentifiersWithHash(t *testing.T) {
+	e, err := ParseExpr(`PALUMNUS [AID# = AID#] PCAREER`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := e.(*JoinExpr)
+	if j.X != "AID#" || j.Y != "AID#" {
+		t.Errorf("join attrs = %q, %q", j.X, j.Y)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, in := range []string{"A ! B", "A @ B", `A [X = "oops]`} {
+		if _, err := lex(in); err == nil && !strings.Contains(in, "!") {
+			t.Errorf("lex(%q) should fail", in)
+		}
+	}
+	if _, err := lex("A != B"); err != nil {
+		t.Errorf("!= should lex: %v", err)
+	}
+}
+
+// TestParseStringEscapes: double-quoted literals process Go escapes (the
+// renderer emits %q); single-quoted literals are raw.
+func TestParseStringEscapes(t *testing.T) {
+	e, err := ParseExpr(`A [X = "a\"b\\c"]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.(*SelectExpr).Const.Str(); got != `a"b\c` {
+		t.Errorf("escaped literal = %q", got)
+	}
+	e2, err := ParseExpr(`A [X = 'raw\nstuff']`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e2.(*SelectExpr).Const.Str(); got != `raw\nstuff` {
+		t.Errorf("raw literal = %q", got)
+	}
+	if _, err := ParseExpr(`A [X = "bad \q escape"]`); err == nil {
+		t.Error("invalid escape accepted")
+	}
+}

@@ -1,0 +1,299 @@
+package translate
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/rel"
+	"repro/internal/sqlparse"
+)
+
+// CompileSQL compiles a polygen SQL query into a polygen algebraic
+// expression against the given schema, following the construction the paper
+// applies to its example (§III): IN-subqueries compile innermost-first into
+// join chains, attribute–attribute conjuncts become joins (when they connect
+// a new FROM relation) or restrictions (when both attributes are already in
+// the chain), constant conjuncts become selections, and the SELECT list
+// becomes the final projection. The §III query compiles to exactly the
+// paper's expression:
+//
+//	((((PALUMNUS [DEGREE = "MBA"]) [AID# = AID#] PCAREER)
+//	   [ONAME = ONAME] PORGANIZATION) [CEO = ANAME]) [ONAME, CEO]
+func CompileSQL(input string, schema *core.Schema) (Expr, error) {
+	q, err := sqlparse.Parse(input)
+	if err != nil {
+		return nil, err
+	}
+	return CompileQuery(q, schema)
+}
+
+// CompileQuery compiles a parsed SQL query block (including the final
+// projection) into an algebraic expression.
+func CompileQuery(q *sqlparse.Query, schema *core.Schema) (Expr, error) {
+	b, err := compileBlock(q, schema)
+	if err != nil {
+		return nil, err
+	}
+	if q.Star {
+		return b.expr, nil
+	}
+	for _, attr := range q.Select {
+		if !b.avail[attr] {
+			return nil, fmt.Errorf("translate: selected attribute %q is not available from %v", attr, q.From)
+		}
+	}
+	return &ProjectExpr{In: b.expr, Attrs: append([]string(nil), q.Select...)}, nil
+}
+
+// block is a partially compiled query: the expression so far plus which
+// polygen attributes it exposes and which FROM schemes it has incorporated.
+type block struct {
+	expr   Expr
+	avail  map[string]bool
+	joined map[string]bool
+}
+
+func (b *block) addScheme(s *core.Scheme) {
+	b.joined[s.Name] = true
+	for _, a := range s.Attrs {
+		b.avail[a.Name] = true
+	}
+}
+
+func (b *block) absorb(o *block) {
+	for k := range o.avail {
+		b.avail[k] = true
+	}
+	for k := range o.joined {
+		b.joined[k] = true
+	}
+}
+
+func compileBlock(q *sqlparse.Query, schema *core.Schema) (*block, error) {
+	b := &block{avail: make(map[string]bool), joined: make(map[string]bool)}
+	// owner resolves an attribute to the FROM scheme providing it. FROM
+	// relations not yet incorporated into the chain are preferred: in
+	// "SID# = SID#" (two FROM relations sharing an attribute name) the side
+	// already available in the chain must resolve against a fresh relation,
+	// not against itself.
+	owner := func(attr string, exclude string) (*core.Scheme, error) {
+		var fallback *core.Scheme
+		for _, name := range q.From {
+			s, ok := schema.Scheme(name)
+			if !ok {
+				return nil, fmt.Errorf("translate: no polygen scheme %q in FROM", name)
+			}
+			if _, ok := s.Attr(attr); !ok {
+				continue
+			}
+			if name == exclude || b.joined[name] {
+				if fallback == nil {
+					fallback = s
+				}
+				continue
+			}
+			return s, nil
+		}
+		if fallback != nil {
+			return fallback, nil
+		}
+		return nil, fmt.Errorf("translate: attribute %q not found in FROM relations %v", attr, q.From)
+	}
+
+	// Single-relation blocks start from their base so that constant
+	// selections apply directly (the paper's innermost subquery becomes
+	// PALUMNUS [DEGREE = "MBA"]).
+	if len(q.From) == 1 {
+		s, ok := schema.Scheme(q.From[0])
+		if !ok {
+			return nil, fmt.Errorf("translate: no polygen scheme %q in FROM", q.From[0])
+		}
+		hasIn := false
+		for _, c := range q.Where {
+			if c.Kind == sqlparse.CondIn {
+				hasIn = true
+				break
+			}
+		}
+		if !hasIn {
+			b.expr = &SchemeRef{Name: s.Name}
+			b.addScheme(s)
+		}
+	}
+
+	// Conditions apply in the order the paper's construction implies:
+	// IN-subqueries first (they root the join chain), then
+	// attribute–attribute conjuncts (joins or restrictions), then constant
+	// selections. Within each class, WHERE order is preserved.
+	var pending []sqlparse.Cond
+	for _, c := range q.Where {
+		if c.Kind == sqlparse.CondIn {
+			pending = append(pending, c)
+		}
+	}
+	for _, c := range q.Where {
+		if c.Kind == sqlparse.CondCompare && !c.IsConst {
+			pending = append(pending, c)
+		}
+	}
+	for _, c := range q.Where {
+		if c.Kind == sqlparse.CondCompare && c.IsConst {
+			pending = append(pending, c)
+		}
+	}
+	progress := true
+	for progress {
+		progress = false
+		remaining := pending[:0]
+		for _, c := range pending {
+			applied, err := tryApply(b, c, owner, schema)
+			if err != nil {
+				return nil, err
+			}
+			if applied {
+				progress = true
+			} else {
+				remaining = append(remaining, c)
+			}
+		}
+		pending = remaining
+	}
+	if len(pending) > 0 {
+		return nil, fmt.Errorf("translate: cannot place condition %q (no join path)", pending[0])
+	}
+
+	// Cartesian-product in any FROM relation never connected by a condition
+	// (needed for bare multi-relation SELECTs).
+	for _, name := range q.From {
+		if b.joined[name] {
+			continue
+		}
+		s, ok := schema.Scheme(name)
+		if !ok {
+			return nil, fmt.Errorf("translate: no polygen scheme %q in FROM", name)
+		}
+		if b.expr == nil {
+			b.expr = &SchemeRef{Name: s.Name}
+		} else {
+			b.expr = &BinaryExpr{Op: OpProduct, L: b.expr, R: &SchemeRef{Name: s.Name}}
+		}
+		b.addScheme(s)
+	}
+	if b.expr == nil {
+		return nil, fmt.Errorf("translate: empty FROM clause")
+	}
+	return b, nil
+}
+
+// tryApply attempts to fold one condition into the block, returning whether
+// it succeeded. Conditions that cannot apply yet (their attributes are not
+// available and no join path exists) are retried by the caller after other
+// conditions have extended the chain.
+func tryApply(b *block, c sqlparse.Cond, owner func(attr, exclude string) (*core.Scheme, error), schema *core.Schema) (bool, error) {
+	switch c.Kind {
+	case sqlparse.CondIn:
+		sub, err := compileBlock(c.Sub, schema)
+		if err != nil {
+			return false, err
+		}
+		subAttr := c.Sub.Select[0]
+		if !sub.avail[subAttr] {
+			return false, fmt.Errorf("translate: subquery does not expose %q", subAttr)
+		}
+		switch {
+		case b.expr == nil:
+			s, err := owner(c.X, "")
+			if err != nil {
+				return false, err
+			}
+			b.expr = &JoinExpr{L: sub.expr, X: subAttr, Theta: rel.ThetaEQ, Y: c.X, R: &SchemeRef{Name: s.Name}}
+			b.addScheme(s)
+			b.absorb(sub)
+			return true, nil
+		case b.avail[c.X]:
+			b.expr = &JoinExpr{L: sub.expr, X: subAttr, Theta: rel.ThetaEQ, Y: c.X, R: b.expr}
+			b.absorb(sub)
+			return true, nil
+		default:
+			s, err := owner(c.X, "")
+			if err != nil {
+				return false, err
+			}
+			if !b.joined[s.Name] {
+				// Join the owning scheme in through the IN condition chain,
+				// then connect to the existing expression later via another
+				// condition; defer for now.
+				return false, nil
+			}
+			return false, fmt.Errorf("translate: attribute %q not available for IN condition", c.X)
+		}
+	case sqlparse.CondCompare:
+		if c.IsConst {
+			if b.expr != nil && b.avail[c.X] {
+				b.expr = &SelectExpr{In: b.expr, Attr: c.X, Theta: c.Theta, Const: c.YConst}
+				return true, nil
+			}
+			if b.expr == nil {
+				s, err := owner(c.X, "")
+				if err != nil {
+					return false, err
+				}
+				b.expr = &SelectExpr{In: &SchemeRef{Name: s.Name}, Attr: c.X, Theta: c.Theta, Const: c.YConst}
+				b.addScheme(s)
+				return true, nil
+			}
+			return false, nil
+		}
+		// attribute θ attribute
+		xAvail := b.expr != nil && b.avail[c.X]
+		yAvail := b.expr != nil && b.avail[c.YAttr]
+		// "A = A" with A already in the chain reads as a natural join when
+		// an un-joined FROM relation also provides A; as a (degenerate)
+		// self-restriction only when no such relation exists.
+		if c.X == c.YAttr && xAvail {
+			if s, err := owner(c.X, ""); err == nil && !b.joined[s.Name] {
+				b.expr = &JoinExpr{L: b.expr, X: c.X, Theta: c.Theta, Y: c.YAttr, R: &SchemeRef{Name: s.Name}}
+				b.addScheme(s)
+				return true, nil
+			}
+		}
+		switch {
+		case xAvail && yAvail:
+			b.expr = &RestrictExpr{In: b.expr, X: c.X, Theta: c.Theta, Y: c.YAttr}
+			return true, nil
+		case xAvail:
+			s, err := owner(c.YAttr, "")
+			if err != nil {
+				return false, err
+			}
+			b.expr = &JoinExpr{L: b.expr, X: c.X, Theta: c.Theta, Y: c.YAttr, R: &SchemeRef{Name: s.Name}}
+			b.addScheme(s)
+			return true, nil
+		case yAvail:
+			s, err := owner(c.X, "")
+			if err != nil {
+				return false, err
+			}
+			b.expr = &JoinExpr{L: b.expr, X: c.YAttr, Theta: c.Theta.Flip(), Y: c.X, R: &SchemeRef{Name: s.Name}}
+			b.addScheme(s)
+			return true, nil
+		case b.expr == nil:
+			sx, err := owner(c.X, "")
+			if err != nil {
+				return false, err
+			}
+			sy, err := owner(c.YAttr, sx.Name)
+			if err != nil {
+				return false, err
+			}
+			b.expr = &JoinExpr{L: &SchemeRef{Name: sx.Name}, X: c.X, Theta: c.Theta, Y: c.YAttr, R: &SchemeRef{Name: sy.Name}}
+			b.addScheme(sx)
+			b.addScheme(sy)
+			return true, nil
+		default:
+			return false, nil
+		}
+	default:
+		return false, fmt.Errorf("translate: unknown condition kind %d", c.Kind)
+	}
+}

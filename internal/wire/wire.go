@@ -1,0 +1,251 @@
+// Package wire implements the network protocol between the Polygen Query
+// Processor and remote Local Query Processors (paper, Figure 1: the PQP
+// "routes [local queries] to the Local Query Processors"). The protocol is a
+// simple request/response exchange of gob-encoded messages over TCP: one
+// request carries one lqp.Op, one response carries the resulting relation or
+// an error.
+//
+// Server serves a catalog.Database; Client implements lqp.LQP, so the PQP is
+// oblivious to whether an LQP is in-process or remote.
+package wire
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/catalog"
+	"repro/internal/lqp"
+	"repro/internal/rel"
+)
+
+// request is one client→server message.
+type request struct {
+	// Kind selects the operation: "name", "relations" or "execute".
+	Kind string
+	// Op is the local operation for Kind == "execute".
+	Op lqp.Op
+}
+
+// response is one server→client message.
+type response struct {
+	Err       string
+	Name      string
+	Relations []string
+	Relation  flatRelation
+	HasRel    bool
+}
+
+// flatRelation is the wire form of rel.Relation: schema flattened into the
+// exported Attr structs, values relying on rel.Value's gob encoding.
+type flatRelation struct {
+	Name   string
+	Attrs  []rel.Attr
+	Tuples [][]rel.Value
+}
+
+func flatten(r *rel.Relation) flatRelation {
+	f := flatRelation{Name: r.Name, Attrs: r.Schema.Attrs(), Tuples: make([][]rel.Value, len(r.Tuples))}
+	for i, t := range r.Tuples {
+		f.Tuples[i] = t
+	}
+	return f
+}
+
+func (f flatRelation) unflatten() *rel.Relation {
+	r := rel.NewRelation(f.Name, rel.NewSchema(f.Attrs...))
+	for _, t := range f.Tuples {
+		r.Tuples = append(r.Tuples, rel.Tuple(t))
+	}
+	return r
+}
+
+// Server exposes one local database as an LQP over TCP.
+type Server struct {
+	local *lqp.Local
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+}
+
+// NewServer returns a server for db.
+func NewServer(db *catalog.Database) *Server {
+	return &Server{local: lqp.NewLocal(db), conns: make(map[net.Conn]struct{})}
+}
+
+// Listen binds the server to addr (e.g. "127.0.0.1:0") and begins accepting
+// connections in a background goroutine. It returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("wire: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	s.listener = ln
+	s.mu.Unlock()
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return // client went away or sent garbage; drop the connection
+		}
+		resp := s.handle(req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(req request) response {
+	switch req.Kind {
+	case "name":
+		return response{Name: s.local.Name()}
+	case "relations":
+		rels, err := s.local.Relations()
+		if err != nil {
+			return response{Err: err.Error()}
+		}
+		return response{Relations: rels}
+	case "execute":
+		r, err := s.local.Execute(req.Op)
+		if err != nil {
+			return response{Err: err.Error()}
+		}
+		return response{Relation: flatten(r), HasRel: true}
+	default:
+		return response{Err: fmt.Sprintf("wire: unknown request kind %q", req.Kind)}
+	}
+}
+
+// Close stops accepting and tears down open connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var err error
+	if s.listener != nil {
+		err = s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	return err
+}
+
+// Client is a remote LQP. It implements lqp.LQP over a single TCP
+// connection; requests are serialized by a mutex (the PQP issues local
+// queries one plan step at a time, and independent LQPs use independent
+// clients).
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	dec  *gob.Decoder
+	enc  *gob.Encoder
+	name string
+}
+
+// Dial connects to a wire server and caches the remote database name.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	c := &Client{conn: conn, dec: gob.NewDecoder(conn), enc: gob.NewEncoder(conn)}
+	resp, err := c.roundTrip(request{Kind: "name"})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c.name = resp.Name
+	return c, nil
+}
+
+func (c *Client) roundTrip(req request) (response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return response{}, fmt.Errorf("wire: send: %w", err)
+	}
+	var resp response
+	if err := c.dec.Decode(&resp); err != nil {
+		if errors.Is(err, io.EOF) {
+			return response{}, fmt.Errorf("wire: server closed connection")
+		}
+		return response{}, fmt.Errorf("wire: receive: %w", err)
+	}
+	if resp.Err != "" {
+		return response{}, errors.New(resp.Err)
+	}
+	return resp, nil
+}
+
+// Name implements lqp.LQP.
+func (c *Client) Name() string { return c.name }
+
+// Relations implements lqp.LQP.
+func (c *Client) Relations() ([]string, error) {
+	resp, err := c.roundTrip(request{Kind: "relations"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Relations, nil
+}
+
+// Execute implements lqp.LQP.
+func (c *Client) Execute(op lqp.Op) (*rel.Relation, error) {
+	resp, err := c.roundTrip(request{Kind: "execute", Op: op})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.HasRel {
+		return nil, fmt.Errorf("wire: execute response carried no relation")
+	}
+	return resp.Relation.unflatten(), nil
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+var _ lqp.LQP = (*Client)(nil)

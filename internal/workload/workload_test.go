@@ -1,0 +1,154 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/identity"
+	"repro/internal/pqp"
+)
+
+func TestGenerateShape(t *testing.T) {
+	f := New(Config{Databases: 4, Entities: 100, Overlap: 0.5, Categories: 5, Seed: 7})
+	if len(f.Databases) != 4 {
+		t.Fatalf("databases = %d", len(f.Databases))
+	}
+	// D0 holds every entity.
+	r0, err := f.Databases[0].Snapshot("FRAG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0.Cardinality() != 100 {
+		t.Errorf("D0 has %d tuples, want 100", r0.Cardinality())
+	}
+	// Others hold roughly Overlap * Entities (binomial; wide bounds).
+	r1, _ := f.Databases[1].Snapshot("FRAG")
+	if c := r1.Cardinality(); c < 25 || c > 75 {
+		t.Errorf("D1 has %d tuples, expected around 50", c)
+	}
+	// Scheme shape: KEY, CAT, V0..V3.
+	if len(f.Scheme.Attrs) != 6 {
+		t.Errorf("scheme attrs = %v", f.Scheme.AttrNames())
+	}
+	lrs := f.Scheme.LocalSchemes()
+	if len(lrs) != 4 {
+		t.Errorf("local schemes = %v", lrs)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Databases: 3, Entities: 50, Overlap: 0.7, Categories: 4, Seed: 11}
+	a, b := New(cfg), New(cfg)
+	ra, _ := a.Databases[2].Snapshot("FRAG")
+	rb, _ := b.Databases[2].Snapshot("FRAG")
+	if ra.Cardinality() != rb.Cardinality() {
+		t.Fatal("same seed produced different federations")
+	}
+	for i := range ra.Tuples {
+		if !ra.Tuples[i].Equal(rb.Tuples[i]) {
+			t.Fatalf("tuple %d differs", i)
+		}
+	}
+}
+
+func TestOverlapExtremes(t *testing.T) {
+	full := New(Config{Databases: 3, Entities: 40, Overlap: 1.0, Categories: 3, Seed: 1})
+	for i, db := range full.Databases {
+		r, _ := db.Snapshot("FRAG")
+		if r.Cardinality() != 40 {
+			t.Errorf("overlap=1: D%d has %d tuples", i, r.Cardinality())
+		}
+	}
+	none := New(Config{Databases: 3, Entities: 40, Overlap: 0.0, Categories: 3, Seed: 1})
+	for i, db := range none.Databases[1:] {
+		r, _ := db.Snapshot("FRAG")
+		if r.Cardinality() != 0 {
+			t.Errorf("overlap=0: D%d has %d tuples", i+1, r.Cardinality())
+		}
+	}
+}
+
+func TestTaggedFragmentsAnnotations(t *testing.T) {
+	f := New(Config{Databases: 2, Entities: 10, Overlap: 1, Categories: 2, Seed: 3})
+	frags := f.TaggedFragments()
+	if len(frags) != 2 {
+		t.Fatal("fragment count")
+	}
+	p := frags[1]
+	if p.Attrs[0].Polygen != "KEY" || p.Attrs[1].Polygen != "CAT" || p.Attrs[2].Polygen != "V1" {
+		t.Errorf("annotations = %+v", p.Attrs)
+	}
+	id, _ := f.Registry.Lookup("D1")
+	for _, tu := range p.Tuples {
+		for _, c := range tu {
+			if !c.O.Contains(id) || c.O.Len() != 1 || !c.I.IsEmpty() {
+				t.Fatalf("bad tags on %v", c)
+			}
+		}
+	}
+}
+
+// TestMergeCoversUniversalSet: merging all fragments yields every entity
+// exactly once (D0 is total, keys are unique per fragment).
+func TestMergeCoversUniversalSet(t *testing.T) {
+	f := New(Config{Databases: 4, Entities: 200, Overlap: 0.4, Categories: 5, Seed: 5})
+	alg := core.NewAlgebra(nil)
+	merged, err := alg.Merge(f.Scheme, f.TaggedFragments()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Cardinality() != 200 {
+		t.Errorf("merged cardinality = %d, want 200", merged.Cardinality())
+	}
+	if merged.Degree() != 6 {
+		t.Errorf("merged degree = %d, want 6", merged.Degree())
+	}
+}
+
+// TestEndToEndThroughPQP: the generated schema drives the full translation
+// pipeline, not just the raw algebra.
+func TestEndToEndThroughPQP(t *testing.T) {
+	f := New(Config{Databases: 3, Entities: 100, Overlap: 0.6, Categories: 4, Seed: 9})
+	q := pqp.New(f.Schema, f.Registry, identity.Exact{}, f.LQPs())
+	res, err := q.QuerySQL(`SELECT KEY, CAT FROM PENTITY WHERE CAT = "cat1"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Relation.Cardinality() == 0 {
+		t.Error("no cat1 entities found; generator or pipeline broken")
+	}
+	for _, tu := range res.Relation.Tuples {
+		if tu[1].D.Str() != "cat1" {
+			t.Errorf("selection leaked %v", tu[1].D)
+		}
+	}
+}
+
+// TestConflictRate: with conflicts enabled, some entity has disagreeing CAT
+// values across databases.
+func TestConflictRate(t *testing.T) {
+	f := New(Config{Databases: 3, Entities: 200, Overlap: 1, Categories: 3, ConflictRate: 0.5, Seed: 13})
+	frags := f.PlainFragments()
+	base := make(map[string]string)
+	for _, t0 := range frags[0].Tuples {
+		base[t0[0].Str()] = t0[1].Str()
+	}
+	conflicts := 0
+	for _, t1 := range frags[1].Tuples {
+		if got, ok := base[t1[0].Str()]; ok && got != t1[1].Str() {
+			conflicts++
+		}
+	}
+	if conflicts == 0 {
+		t.Error("ConflictRate=0.5 generated no conflicts")
+	}
+}
+
+func TestNewPanicsWithoutDatabases(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero databases did not panic")
+		}
+	}()
+	New(Config{Databases: 0, Entities: 1})
+}

@@ -575,3 +575,118 @@ func BenchmarkMergeStrategy(b *testing.B) {
 		}
 	})
 }
+
+// ---------------------------------------------------------------------------
+// B-KEY: key-representation ablation — the string-keyed engine the algebra
+// shipped with (Tuple.DataKey / Resolver.Canonical, one make per row; kept
+// as the Ref* operators in core/reference.go) against the hash-native engine
+// (Tuple.DataHash64 buckets confirmed with DataEqual, interned CanonicalID
+// join probes, arena-backed rows). Scaling in sources exercises the
+// sourceset overflow path (IDs >= 64); scaling in tuples exercises the dedup
+// and probe tables. EXPERIMENTS.md records a snapshot.
+
+// keyAblationInput builds a pair of 3-column polygen relations with n tuples
+// each over a registry of s sources. Every entity appears twice in each
+// relation (so Project and Union exercise tag merging), the two relations
+// overlap on half their entities (so Join produces matches), and every cell
+// is tagged with one of the s sources round-robin — with s > 64 the tag sets
+// spill into the sourceset overflow slice.
+func keyAblationInput(s, n int) (*core.Relation, *core.Relation) {
+	reg := sourceset.NewRegistry()
+	ids := make([]sourceset.ID, s)
+	for i := 0; i < s; i++ {
+		ids[i] = reg.Intern(fmt.Sprintf("S%d", i))
+	}
+	mk := func(name string, base int) *core.Relation {
+		p := core.NewRelation(name, reg,
+			core.Attr{Name: "KEY", Polygen: "KEY"},
+			core.Attr{Name: "CAT", Polygen: "CAT"},
+			core.Attr{Name: "VAL", Polygen: "VAL"},
+		)
+		for i := 0; i < n; i++ {
+			e := base + i/2 // each entity twice
+			origin := sourceset.Of(ids[i%s])
+			row := p.NewRow(3)
+			row[0] = core.Cell{D: rel.String(fmt.Sprintf("E%07d", e)), O: origin}
+			row[1] = core.Cell{D: rel.String(fmt.Sprintf("cat%d", e%97)), O: origin}
+			row[2] = core.Cell{D: rel.Int(int64(e)), O: origin}
+			if err := p.Append(row); err != nil {
+				panic(err)
+			}
+		}
+		return p
+	}
+	// p2 starts halfway through p1's entity range: half the entities join.
+	return mk("P1", 0), mk("P2", n/4)
+}
+
+// benchKeyedOps runs the three acceptance operators at one (sources, tuples)
+// point for both key representations.
+func benchKeyedOps(b *testing.B, s, n int) {
+	alg := core.NewAlgebra(nil)
+	p1, p2 := keyAblationInput(s, n)
+	cols := []string{"KEY", "CAT"}
+	type impl struct {
+		name    string
+		project func(*core.Relation, []string) (*core.Relation, error)
+		union   func(_, _ *core.Relation) (*core.Relation, error)
+		join    func(*core.Relation, string, rel.Theta, *core.Relation, string) (*core.Relation, error)
+	}
+	impls := []impl{
+		{"string", alg.RefProject, alg.RefUnion, alg.RefJoin},
+		{"hash", alg.Project, alg.Union, alg.Join},
+	}
+	for _, im := range impls {
+		b.Run(fmt.Sprintf("op=Project/keys=%s", im.name), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := im.project(p1, cols); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("op=Union/keys=%s", im.name), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := im.union(p1, p2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("op=Join/keys=%s", im.name), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := im.join(p1, "KEY", rel.ThetaEQ, p2, "KEY"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkKeyRepresentationSources scales the source count at 100k tuples:
+// 10 sources stay within the 64-ID tag bitmask; 100 and 1000 sources spill
+// tag sets into the sourceset overflow slice.
+func BenchmarkKeyRepresentationSources(b *testing.B) {
+	for _, s := range []int{10, 100, 1000} {
+		if s > 100 && testing.Short() {
+			continue // CI smoke: skip the widest point; measurement runs cover it
+		}
+		b.Run(fmt.Sprintf("src=%d/n=100000", s), func(b *testing.B) {
+			benchKeyedOps(b, s, 100000)
+		})
+	}
+}
+
+// BenchmarkKeyRepresentationTuples scales the tuple count at 100 sources,
+// 1k to 1M. The 1M point is skipped under -short to keep CI smoke runs fast.
+func BenchmarkKeyRepresentationTuples(b *testing.B) {
+	for _, n := range []int{1000, 100000, 1000000} {
+		if n > 100000 && testing.Short() {
+			continue
+		}
+		b.Run(fmt.Sprintf("src=100/n=%d", n), func(b *testing.B) {
+			benchKeyedOps(b, 100, n)
+		})
+	}
+}

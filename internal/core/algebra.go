@@ -19,11 +19,13 @@ type Algebra struct {
 
 // NewAlgebra returns an Algebra using r to canonicalize values in
 // attribute–attribute equality comparisons. A nil r means exact comparison.
+// The resolver is wrapped in an identity.Scoped, so the canonical-ID intern
+// table the hot paths probe lives and dies with this Algebra.
 func NewAlgebra(r identity.Resolver) *Algebra {
 	if r == nil {
 		r = identity.Exact{}
 	}
-	return &Algebra{resolver: r}
+	return &Algebra{resolver: identity.NewScoped(r)}
 }
 
 // Resolver returns the instance resolver in use.
@@ -35,12 +37,14 @@ func (a *Algebra) Resolver() identity.Resolver {
 }
 
 // same reports whether two data values denote the same instance under the
-// algebra's resolver. Nulls never match.
+// algebra's resolver. Nulls never match. It compares interned canonical IDs
+// — a pair of map probes — instead of materializing two canonical strings.
 func (a *Algebra) same(x, y rel.Value) bool {
 	if x.IsNull() || y.IsNull() {
 		return false
 	}
-	return a.Resolver().Canonical(x) == a.Resolver().Canonical(y)
+	r := a.Resolver()
+	return r.CanonicalID(x) == r.CanonicalID(y)
 }
 
 // evalTheta applies θ between two data values, routing equality and
@@ -75,23 +79,25 @@ func (a *Algebra) Project(p *Relation, attrs []string) (*Relation, error) {
 		outAttrs[i] = p.Attrs[ci]
 	}
 	out := NewRelation("", p.Reg, outAttrs...)
-	pos := make(map[string]int, len(p.Tuples))
+	ix := newDataIndex(len(p.Tuples))
+	scratch := make(Tuple, len(idx))
 	for _, t := range p.Tuples {
-		proj := make(Tuple, len(idx))
 		for i, ci := range idx {
-			proj[i] = t[ci]
+			scratch[i] = t[ci]
 		}
-		k := proj.DataKey()
-		if at, dup := pos[k]; dup {
+		h := scratch.DataHash64()
+		if at, dup := ix.find(out.Tuples, scratch, h); dup {
 			// t(d) not unique: union tags into the existing tuple.
 			existing := out.Tuples[at]
 			for i := range existing {
-				existing[i] = existing[i].MergeTags(proj[i])
+				existing[i] = existing[i].MergeTags(scratch[i])
 			}
 			continue
 		}
-		pos[k] = len(out.Tuples)
-		out.Tuples = append(out.Tuples, proj)
+		row := out.NewRow(len(scratch))
+		copy(row, scratch)
+		ix.add(h, len(out.Tuples))
+		out.Tuples = append(out.Tuples, row)
 	}
 	return out, nil
 }
@@ -112,9 +118,9 @@ func (a *Algebra) Product(p1, p2 *Relation) (*Relation, error) {
 	out := NewRelation("", p1.Reg, attrs...)
 	for _, t1 := range p1.Tuples {
 		for _, t2 := range p2.Tuples {
-			row := make(Tuple, 0, len(t1)+len(t2))
-			row = append(row, t1...)
-			row = append(row, t2...)
+			row := out.NewRow(len(t1) + len(t2))
+			copy(row, t1)
+			copy(row[len(t1):], t2)
 			out.Tuples = append(out.Tuples, row)
 		}
 	}
@@ -161,7 +167,7 @@ func (a *Algebra) Restrict(p *Relation, x string, theta rel.Theta, y string) (*R
 			continue
 		}
 		mediators := t[xi].O.Union(t[yi].O)
-		row := make(Tuple, len(t))
+		row := out.NewRow(len(t))
 		for i, c := range t {
 			row[i] = c.WithIntermediate(mediators)
 		}
@@ -186,7 +192,7 @@ func (a *Algebra) Select(p *Relation, x string, theta rel.Theta, constant rel.Va
 			continue
 		}
 		mediators := t[xi].O
-		row := make(Tuple, len(t))
+		row := out.NewRow(len(t))
 		for i, c := range t {
 			row[i] = c.WithIntermediate(mediators)
 		}
@@ -204,19 +210,21 @@ func (a *Algebra) Union(p1, p2 *Relation) (*Relation, error) {
 		return nil, fmt.Errorf("core: union of degree %d with degree %d", p1.Degree(), p2.Degree())
 	}
 	out := NewRelation("", p1.Reg, p1.Attrs...)
-	pos := make(map[string]int, len(p1.Tuples)+len(p2.Tuples))
+	ix := newDataIndex(len(p1.Tuples) + len(p2.Tuples))
 	for _, src := range [...]*Relation{p1, p2} {
 		for _, t := range src.Tuples {
-			k := t.DataKey()
-			if at, dup := pos[k]; dup {
+			h := t.DataHash64()
+			if at, dup := ix.find(out.Tuples, t, h); dup {
 				existing := out.Tuples[at]
 				for i := range existing {
 					existing[i] = existing[i].MergeTags(t[i])
 				}
 				continue
 			}
-			pos[k] = len(out.Tuples)
-			out.Tuples = append(out.Tuples, t.Clone())
+			row := out.NewRow(len(t))
+			copy(row, t)
+			ix.add(h, len(out.Tuples))
+			out.Tuples = append(out.Tuples, row)
 		}
 	}
 	return out, nil
@@ -230,26 +238,26 @@ func (a *Algebra) Difference(p1, p2 *Relation) (*Relation, error) {
 	if p1.Degree() != p2.Degree() {
 		return nil, fmt.Errorf("core: difference of degree %d with degree %d", p1.Degree(), p2.Degree())
 	}
-	drop := make(map[string]struct{}, len(p2.Tuples))
-	for _, t := range p2.Tuples {
-		drop[t.DataKey()] = struct{}{}
+	drop := newDataIndex(len(p2.Tuples))
+	for i, t := range p2.Tuples {
+		drop.add(t.DataHash64(), i)
 	}
 	p2o := p2.OriginUnion()
 	out := NewRelation("", p1.Reg, p1.Attrs...)
-	seen := make(map[string]struct{}, len(p1.Tuples))
+	seen := newDataIndex(len(p1.Tuples))
 	for _, t := range p1.Tuples {
-		k := t.DataKey()
-		if _, gone := drop[k]; gone {
+		h := t.DataHash64()
+		if _, gone := drop.find(p2.Tuples, t, h); gone {
 			continue
 		}
-		if _, dup := seen[k]; dup {
+		if _, dup := seen.find(out.Tuples, t, h); dup {
 			continue
 		}
-		seen[k] = struct{}{}
-		row := make(Tuple, len(t))
+		row := out.NewRow(len(t))
 		for i, c := range t {
 			row[i] = c.WithIntermediate(p2o)
 		}
+		seen.add(h, len(out.Tuples))
 		out.Tuples = append(out.Tuples, row)
 	}
 	return out, nil
@@ -264,36 +272,47 @@ func (a *Algebra) Intersect(p1, p2 *Relation) (*Relation, error) {
 	if p1.Degree() != p2.Degree() {
 		return nil, fmt.Errorf("core: intersect of degree %d with degree %d", p1.Degree(), p2.Degree())
 	}
-	index := make(map[string][]Tuple, len(p2.Tuples))
-	for _, t := range p2.Tuples {
-		k := t.DataKey()
-		index[k] = append(index[k], t)
+	index := newDataIndex(len(p2.Tuples))
+	for i, t := range p2.Tuples {
+		index.add(t.DataHash64(), i)
 	}
 	out := NewRelation("", p1.Reg, p1.Attrs...)
-	pos := make(map[string]int, len(p1.Tuples))
+	pos := newDataIndex(len(p1.Tuples))
+	scratch := make(Tuple, 0, p1.Degree())
 	for _, t := range p1.Tuples {
-		k := t.DataKey()
-		matches, ok := index[k]
-		if !ok {
-			continue
-		}
-		row := make(Tuple, len(t))
-		copy(row, t)
-		for _, m := range matches {
+		h := t.DataHash64()
+		// All p2 tuples with data equal to t(d); candidates in the bucket
+		// with merely colliding hashes are filtered by DataEqual.
+		matched := false
+		row := scratch[:len(t)]
+		for _, mi := range index.Bucket(h) {
+			m := p2.Tuples[mi]
+			if !m.DataEqual(t) {
+				continue
+			}
+			if !matched {
+				matched = true
+				copy(row, t)
+			}
 			mediators := t.OriginUnion().Union(m.OriginUnion())
 			for i := range row {
 				row[i] = row[i].MergeTags(m[i]).WithIntermediate(mediators)
 			}
 		}
-		if at, dup := pos[k]; dup {
+		if !matched {
+			continue
+		}
+		if at, dup := pos.find(out.Tuples, row, h); dup {
 			existing := out.Tuples[at]
 			for i := range existing {
 				existing[i] = existing[i].MergeTags(row[i])
 			}
 			continue
 		}
-		pos[k] = len(out.Tuples)
-		out.Tuples = append(out.Tuples, row)
+		keep := out.NewRow(len(row))
+		copy(keep, row)
+		pos.add(h, len(out.Tuples))
+		out.Tuples = append(out.Tuples, keep)
 	}
 	return out, nil
 }

@@ -16,6 +16,7 @@ package core
 
 import (
 	"fmt"
+	"hash/maphash"
 
 	"repro/internal/rel"
 	"repro/internal/sourceset"
@@ -63,15 +64,47 @@ func (c Cell) Format(reg *sourceset.Registry) string {
 // Tuple is an ordered list of polygen cells.
 type Tuple []Cell
 
-// DataKey returns a hash key over the data portion t(d) only — the notion of
-// tuple identity used by Project, Union and Difference, which compare "the
-// data portion" of tuples (paper, §II).
+// DataKey returns a string key over the data portion t(d) only — the notion
+// of tuple identity used by Project, Union and Difference, which compare
+// "the data portion" of tuples (paper, §II). It is the reference form kept
+// for rendering and for the string-keyed reference operators (reference.go);
+// the hot paths bucket by DataHash64 and confirm with DataEqual instead.
 func (t Tuple) DataKey() string {
 	vals := make(rel.Tuple, len(t))
 	for i, c := range t {
 		vals[i] = c.D
 	}
 	return vals.Key()
+}
+
+// DataHash64 returns the 64-bit hash of the data portion t(d) under the
+// engine-wide seed (rel.Seed). Tuples with Equal data hash identically;
+// distinct data collide only with ordinary hash probability, so callers
+// bucket by the hash and confirm candidates with DataEqual.
+func (t Tuple) DataHash64() uint64 {
+	var h maphash.Hash
+	h.SetSeed(rel.Seed)
+	for _, c := range t {
+		c.D.HashInto(&h)
+	}
+	return h.Sum64()
+}
+
+// DataEqual reports whether two tuples have identical data portions (tags
+// are ignored) — the collision-verification fallback for DataHash64
+// buckets. Identity is Value.Identical, not Equal: DataKey formats every
+// NaN the same way, so the hash engine must also treat all NaNs as one
+// datum to reproduce the string-keyed reference semantics.
+func (t Tuple) DataEqual(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if !t[i].D.Identical(u[i].D) {
+			return false
+		}
+	}
+	return true
 }
 
 // Data returns the data portion t(d) as a plain tuple.
@@ -82,9 +115,6 @@ func (t Tuple) Data() rel.Tuple {
 	}
 	return vals
 }
-
-// Clone returns a copy of the tuple (cells are values; the copy is deep).
-func (t Tuple) Clone() Tuple { return append(Tuple(nil), t...) }
 
 // Equal reports cell-wise full equality of two tuples.
 func (t Tuple) Equal(u Tuple) bool {

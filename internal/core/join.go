@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/identity"
 	"repro/internal/rel"
 )
 
@@ -36,23 +37,92 @@ func (a *Algebra) Join(p1 *Relation, x string, theta rel.Theta, p2 *Relation, y 
 	attrs := a.joinAttrs(p1, xi, p2, yi, coalesce)
 	out := NewRelation("", p1.Reg, attrs...)
 
-	index := make(map[string][]Tuple, len(p2.Tuples))
-	for _, t2 := range p2.Tuples {
-		if t2[yi].D.IsNull() {
-			continue
-		}
-		k := a.Resolver().Canonical(t2[yi].D)
-		index[k] = append(index[k], t2)
-	}
+	// Probe by interned canonical ID: the resolver guarantees equal IDs iff
+	// equal canonical forms, so no per-probe canonical string is built and
+	// no collision fallback is needed.
+	res := a.Resolver()
+	index := newIDIndex(res, p2.Tuples, yi)
 	for _, t1 := range p1.Tuples {
 		if t1[xi].D.IsNull() {
 			continue
 		}
-		for _, t2 := range index[a.Resolver().Canonical(t1[xi].D)] {
-			out.Tuples = append(out.Tuples, a.joinRow(t1, xi, t2, yi, coalesce))
+		for _, mi := range index.lookup(res.CanonicalID(t1[xi].D)) {
+			out.Tuples = append(out.Tuples, a.joinRow(out, t1, xi, p2.Tuples[mi], yi, coalesce))
 		}
 	}
 	return out, nil
+}
+
+// idIndex is a build-side hash-join index keyed by interned canonical IDs.
+// IDs are dense small integers (the resolver assigns them sequentially), so
+// when the ID space is compact relative to the build side the buckets are
+// stored in CSR form — a prefix-sum offsets slice over one backing array of
+// positions — probed with two bounds-checked loads instead of a map lookup,
+// and built with a constant number of allocations. A long-lived resolver
+// whose table dwarfs the build relation falls back to a map. Buckets hold
+// positions, not tuples: every layout is pointer-free and costs the garbage
+// collector nothing.
+type idIndex struct {
+	offsets []int32 // dense path: bucket id spans backing[offsets[id]:offsets[id+1]]
+	backing []int32
+	sparse  map[uint64][]int32
+}
+
+func newIDIndex(res identity.Resolver, tuples []Tuple, yi int) idIndex {
+	ids := make([]uint64, len(tuples))
+	maxID := uint64(0)
+	for i, t := range tuples {
+		if t[yi].D.IsNull() {
+			ids[i] = 0 // resolver IDs start at 1; 0 marks "skip"
+			continue
+		}
+		id := res.CanonicalID(t[yi].D)
+		ids[i] = id
+		if id > maxID {
+			maxID = id
+		}
+	}
+	var ix idIndex
+	if maxID <= uint64(4*len(tuples))+1024 && len(tuples) <= 1<<30 {
+		// Counting sort into CSR buckets; within a bucket positions stay in
+		// build order, matching the append order of the map layout.
+		ix.offsets = make([]int32, maxID+2)
+		for _, id := range ids {
+			if id != 0 {
+				ix.offsets[id+1]++
+			}
+		}
+		for i := 1; i < len(ix.offsets); i++ {
+			ix.offsets[i] += ix.offsets[i-1]
+		}
+		ix.backing = make([]int32, ix.offsets[len(ix.offsets)-1])
+		cur := make([]int32, maxID+1)
+		copy(cur, ix.offsets[:maxID+1])
+		for i, id := range ids {
+			if id != 0 {
+				ix.backing[cur[id]] = int32(i)
+				cur[id]++
+			}
+		}
+		return ix
+	}
+	ix.sparse = make(map[uint64][]int32, len(tuples))
+	for i, id := range ids {
+		if id != 0 {
+			ix.sparse[id] = append(ix.sparse[id], int32(i))
+		}
+	}
+	return ix
+}
+
+func (ix idIndex) lookup(id uint64) []int32 {
+	if ix.offsets != nil {
+		if id+1 < uint64(len(ix.offsets)) {
+			return ix.backing[ix.offsets[id]:ix.offsets[id+1]]
+		}
+		return nil
+	}
+	return ix.sparse[id]
 }
 
 // joinCoalesces reports whether a join on the two attributes is natural
@@ -92,13 +162,17 @@ func (a *Algebra) joinAttrs(p1 *Relation, xi int, p2 *Relation, yi int, coalesce
 	return attrs
 }
 
-// joinRow builds one joined tuple: every cell gains the join attributes'
-// origins in its intermediate set (the Restrict step) and, for natural
-// joins, the two join cells coalesce (the Coalesce step, equal-data case:
-// union both tag sets).
-func (a *Algebra) joinRow(t1 Tuple, xi int, t2 Tuple, yi int, coalesce bool) Tuple {
+// joinRow builds one joined tuple, sliced from out's arena: every cell gains
+// the join attributes' origins in its intermediate set (the Restrict step)
+// and, for natural joins, the two join cells coalesce (the Coalesce step,
+// equal-data case: union both tag sets).
+func (a *Algebra) joinRow(out *Relation, t1 Tuple, xi int, t2 Tuple, yi int, coalesce bool) Tuple {
 	mediators := t1[xi].O.Union(t2[yi].O)
-	row := make(Tuple, 0, len(t1)+len(t2))
+	n := len(t1) + len(t2)
+	if coalesce {
+		n--
+	}
+	row := out.NewRow(n)[:0]
 	for i, c := range t1 {
 		if coalesce && i == xi {
 			joined := Cell{

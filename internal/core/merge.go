@@ -78,7 +78,7 @@ func (a *Algebra) Coalesce(p *Relation, x, y, w string) (*Relation, error) {
 		default:
 			cw = a.resolveConflict(cx, cy)
 		}
-		row := make(Tuple, 0, len(t)-1)
+		row := out.NewRow(len(t) - 1)[:0]
 		for i, c := range t {
 			switch i {
 			case xi:
@@ -119,25 +119,20 @@ func (a *Algebra) OuterJoin(p1 *Relation, x string, p2 *Relation, y string) (*Re
 	}
 	out := NewRelation("", p1.Reg, attrs...)
 
-	index := make(map[string][]int, len(p2.Tuples))
-	for i, t2 := range p2.Tuples {
-		if t2[yi].D.IsNull() {
-			continue
-		}
-		k := a.Resolver().Canonical(t2[yi].D)
-		index[k] = append(index[k], i)
-	}
+	// Probe by interned canonical ID over position buckets, as Join does.
+	res := a.Resolver()
+	index := newIDIndex(res, p2.Tuples, yi)
 	matched2 := make([]bool, len(p2.Tuples))
 	for _, t1 := range p1.Tuples {
-		var matches []int
+		var matches []int32
 		if !t1[xi].D.IsNull() {
-			matches = index[a.Resolver().Canonical(t1[xi].D)]
+			matches = index.lookup(res.CanonicalID(t1[xi].D))
 		}
 		if len(matches) == 0 {
 			// Unmatched left tuple: right side nil-padded; only the left
 			// join attribute mediates.
 			med := t1[xi].O
-			row := make(Tuple, 0, len(attrs))
+			row := out.NewRow(len(attrs))[:0]
 			for _, c := range t1 {
 				row = append(row, c.WithIntermediate(med))
 			}
@@ -151,7 +146,7 @@ func (a *Algebra) OuterJoin(p1 *Relation, x string, p2 *Relation, y string) (*Re
 			matched2[mi] = true
 			t2 := p2.Tuples[mi]
 			med := t1[xi].O.Union(t2[yi].O)
-			row := make(Tuple, 0, len(attrs))
+			row := out.NewRow(len(attrs))[:0]
 			for _, c := range t1 {
 				row = append(row, c.WithIntermediate(med))
 			}
@@ -166,7 +161,7 @@ func (a *Algebra) OuterJoin(p1 *Relation, x string, p2 *Relation, y string) (*Re
 			continue
 		}
 		med := t2[yi].O
-		row := make(Tuple, 0, len(attrs))
+		row := out.NewRow(len(attrs))[:0]
 		for range p1.Attrs {
 			row = append(row, NilCell(med))
 		}

@@ -1,11 +1,14 @@
 package core
 
 import (
+	"math"
 	"math/rand"
 	"sort"
+	"strconv"
 	"strings"
 	"testing"
 
+	"repro/internal/identity"
 	"repro/internal/rel"
 	"repro/internal/relalg"
 	"repro/internal/sourceset"
@@ -408,4 +411,275 @@ func TestPropertyCoalesceKeepsDegreeAndCardinality(t *testing.T) {
 			t.Fatalf("iteration %d: cardinality changed", i)
 		}
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Hash-keyed engine vs. string-keyed reference (reference.go).
+//
+// The rewritten operators bucket by Tuple.DataHash64 / Resolver.CanonicalID;
+// the reference operators key maps by Tuple.DataKey / Resolver.Canonical
+// strings. The two must agree cell for cell — data and both tag sets. Tag
+// sets are drawn from up to 100 sources so the sourceset overflow path
+// (IDs >= 64, stored in the sorted rest slice) is exercised as well.
+
+// newWideGen is newGen with 100 databases interned, so rendered tags can
+// name IDs beyond the 64-bit bitmask.
+func newWideGen(seed int64) (*gen, *sourceset.Registry) {
+	reg := sourceset.NewRegistry()
+	for i := 0; i < 100; i++ {
+		reg.Intern(workloadDBName(i))
+	}
+	return &gen{r: rand.New(rand.NewSource(seed))}, reg
+}
+
+func workloadDBName(i int) string { return "D" + strconv.Itoa(i) }
+
+// wideSet draws up to three source IDs from [0, 100) — beyond 64 the set
+// spills into the overflow slice.
+func (g *gen) wideSet() sourceset.Set {
+	var s sourceset.Set
+	n := g.r.Intn(4)
+	for i := 0; i < n; i++ {
+		s = s.With(sourceset.ID(g.r.Intn(100)))
+	}
+	return s
+}
+
+// wideRelation is relation() with wideSet tags and mixed-kind values.
+func (g *gen) wideRelation(reg *sourceset.Registry, names ...string) *Relation {
+	p := NewRelation("G", reg, attrs(names...)...)
+	n := g.r.Intn(10)
+	for i := 0; i < n; i++ {
+		t := make(Tuple, len(names))
+		for j := range t {
+			t[j] = Cell{D: g.mixedValue(), O: g.wideSet(), I: g.wideSet()}
+		}
+		p.Tuples = append(p.Tuples, t)
+	}
+	return p
+}
+
+// mixedValue draws from a small mixed-kind domain (strings, ints, floats,
+// bools, nulls, NaN) so kind-tagged hashing is exercised, with heavy
+// collisions. NaN is included because it is the one value where Equal and
+// the engines' datum identity (Value.Identical / DataKey) deliberately
+// disagree.
+func (g *gen) mixedValue() rel.Value {
+	switch g.r.Intn(9) {
+	case 0:
+		return rel.Null()
+	case 1:
+		return rel.Int(int64(g.r.Intn(3)))
+	case 2:
+		return rel.Float(float64(g.r.Intn(3)) / 2)
+	case 3:
+		return rel.Bool(g.r.Intn(2) == 0)
+	case 4:
+		return rel.Float(math.NaN())
+	case 5:
+		return rel.Float(math.Copysign(0, -1)) // -0: one datum with +0 everywhere
+	default:
+		return rel.String(string(rune('a' + g.r.Intn(4))))
+	}
+}
+
+// wantSameRendered asserts two relations agree cell for cell (data, origin
+// and intermediate tags), order-insensitively.
+func wantSameRendered(t *testing.T, label string, i int, got, ref *Relation) {
+	t.Helper()
+	gr, rr := render(got), render(ref)
+	sort.Strings(gr)
+	sort.Strings(rr)
+	if !equalStrings(gr, rr) {
+		t.Fatalf("iteration %d: %s: hash-keyed result diverged from string-keyed reference:\nhash:\n%s\nref:\n%s",
+			i, label, strings.Join(gr, "\n"), strings.Join(rr, "\n"))
+	}
+}
+
+func TestPropertyHashProjectMatchesReference(t *testing.T) {
+	g, reg := newWideGen(20)
+	alg := NewAlgebra(nil)
+	for i := 0; i < 300; i++ {
+		p := g.wideRelation(reg, "A", "B", "C")
+		got, err := alg.Project(p, []string{"C", "A"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := alg.RefProject(p, []string{"C", "A"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSameRendered(t, "project", i, got, ref)
+	}
+}
+
+func TestPropertyHashUnionDifferenceIntersectMatchReference(t *testing.T) {
+	g, reg := newWideGen(21)
+	alg := NewAlgebra(nil)
+	for i := 0; i < 300; i++ {
+		p1 := g.wideRelation(reg, "A", "B")
+		p2 := g.wideRelation(reg, "A", "B")
+		for _, op := range []struct {
+			name string
+			fast func(_, _ *Relation) (*Relation, error)
+			ref  func(_, _ *Relation) (*Relation, error)
+		}{
+			{"union", alg.Union, alg.RefUnion},
+			{"difference", alg.Difference, alg.RefDifference},
+			{"intersect", alg.Intersect, alg.RefIntersect},
+		} {
+			got, err := op.fast(p1, p2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := op.ref(p1, p2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantSameRendered(t, op.name, i, got, ref)
+		}
+	}
+}
+
+func TestPropertyHashJoinMatchesReference(t *testing.T) {
+	resolvers := []identity.Resolver{
+		identity.Exact{},
+		identity.CaseFold{},
+		identity.NewSynonyms(identity.CaseFold{},
+			[]rel.Value{rel.String("a"), rel.String("b")},
+			[]rel.Value{rel.String("c"), rel.String("d")},
+		),
+	}
+	for ri, res := range resolvers {
+		g, reg := newWideGen(int64(30 + ri))
+		alg := NewAlgebra(res)
+		for i := 0; i < 200; i++ {
+			p1 := g.wideRelation(reg, "K/PK", "V")
+			p2 := g.wideRelation(reg, "K2/PK", "W")
+			got, err := alg.Join(p1, "K", rel.ThetaEQ, p2, "K2")
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := alg.RefJoin(p1, "K", rel.ThetaEQ, p2, "K2")
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantSameRendered(t, "join", i, got, ref)
+		}
+	}
+}
+
+func TestPropertyHashOuterJoinMatchesReference(t *testing.T) {
+	g, reg := newWideGen(40)
+	alg := NewAlgebra(identity.CaseFold{})
+	for i := 0; i < 200; i++ {
+		p1 := g.wideRelation(reg, "K/PK", "V")
+		p2 := g.wideRelation(reg, "K2/PK", "W")
+		got, err := alg.OuterJoin(p1, "K", p2, "K2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := alg.RefOuterJoin(p1, "K", p2, "K2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSameRendered(t, "outer join", i, got, ref)
+	}
+}
+
+func TestPropertyHashMergeMatchesReference(t *testing.T) {
+	scheme := &Scheme{
+		Name: "PG",
+		Key:  "K",
+		Attrs: []PolygenAttr{
+			{Name: "K"}, {Name: "A"}, {Name: "B"},
+		},
+	}
+	g, reg := newWideGen(50)
+	alg := NewAlgebra(identity.CaseFold{})
+	for i := 0; i < 100; i++ {
+		p1 := g.wideRelation(reg, "K/K", "A/A")
+		p2 := g.wideRelation(reg, "K2/K", "B/B")
+		p3 := g.wideRelation(reg, "K3/K", "A2/A")
+		got, err := alg.Merge(scheme, p1, p2, p3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := alg.RefMerge(scheme, p1, p2, p3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSameRendered(t, "merge", i, got, ref)
+	}
+}
+
+// TestNaNDatumIdentity pins the NaN semantics of the hash engine against
+// the string-keyed reference: DataKey formats every NaN identically, so
+// duplicate elimination and joins must treat all NaNs as one datum even
+// though rel's Equal follows IEEE (NaN != NaN).
+func TestNaNDatumIdentity(t *testing.T) {
+	_, reg := newGen(60)
+	alg := NewAlgebra(nil)
+	p := NewRelation("N", reg, attrs("A")...)
+	p.Tuples = append(p.Tuples,
+		Tuple{Cell{D: rel.Float(math.NaN()), O: sourceset.Of(0)}},
+		Tuple{Cell{D: rel.Float(math.NaN()), O: sourceset.Of(1)}},
+	)
+	u, err := alg.Union(p, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := alg.RefUnion(p, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Cardinality() != 1 || ref.Cardinality() != 1 {
+		t.Fatalf("Union(p,p) over NaN tuples: hash=%d rows, reference=%d rows, want 1 and 1",
+			u.Cardinality(), ref.Cardinality())
+	}
+	wantSameRendered(t, "nan union", 0, u, ref)
+	j, err := alg.Join(p, "A", rel.ThetaEQ, p, "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr, err := alg.RefJoin(p, "A", rel.ThetaEQ, p, "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSameRendered(t, "nan join", 0, j, jr)
+}
+
+// TestSignedZeroDatumIdentity pins the ±0 semantics: Equal, Identical, Key
+// and CanonicalID all treat +0.0 and -0.0 as one datum, so both engines
+// must deduplicate and join them identically.
+func TestSignedZeroDatumIdentity(t *testing.T) {
+	_, reg := newGen(61)
+	alg := NewAlgebra(nil)
+	p := NewRelation("Z", reg, attrs("A")...)
+	p.Tuples = append(p.Tuples,
+		Tuple{Cell{D: rel.Float(0), O: sourceset.Of(0)}},
+		Tuple{Cell{D: rel.Float(math.Copysign(0, -1)), O: sourceset.Of(1)}},
+	)
+	u, err := alg.Union(p, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := alg.RefUnion(p, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Cardinality() != 1 || ref.Cardinality() != 1 {
+		t.Fatalf("Union(p,p) over ±0 tuples: hash=%d rows, reference=%d rows, want 1 and 1",
+			u.Cardinality(), ref.Cardinality())
+	}
+	wantSameRendered(t, "signed-zero union", 0, u, ref)
+	j, err := alg.Join(p, "A", rel.ThetaEQ, p, "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr, err := alg.RefJoin(p, "A", rel.ThetaEQ, p, "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSameRendered(t, "signed-zero join", 0, j, jr)
 }

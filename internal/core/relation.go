@@ -36,6 +36,34 @@ type Relation struct {
 	Tuples []Tuple
 	// Reg resolves source IDs in the cells' tag sets to database names.
 	Reg *sourceset.Registry
+	// arena backs rows produced by the algebra: operators slice output rows
+	// out of relation-owned chunks (NewRow) instead of one make per row.
+	// Rows carved from retired chunks stay valid — they keep the old backing
+	// array alive — so the arena only ever grows forward.
+	arena []Cell
+}
+
+// arenaChunkCells is the cell count of one freshly-grown arena chunk.
+const arenaChunkCells = 4096
+
+// NewRow returns a zeroed row of n cells sliced out of the relation's arena.
+// The row's capacity is clamped to n, so appending to it cannot scribble
+// over neighboring rows. Relations are built by a single goroutine; NewRow
+// is not safe for concurrent use on one relation.
+func (p *Relation) NewRow(n int) Tuple {
+	if n == 0 {
+		return Tuple{}
+	}
+	if cap(p.arena)-len(p.arena) < n {
+		chunk := arenaChunkCells
+		if chunk < n {
+			chunk = n
+		}
+		p.arena = make([]Cell, 0, chunk)
+	}
+	s := len(p.arena)
+	p.arena = p.arena[:s+n]
+	return p.arena[s : s+n : s+n]
 }
 
 // NewRelation returns an empty polygen relation.
@@ -115,11 +143,13 @@ func (p *Relation) Append(t Tuple) error {
 	return nil
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy. The copy's rows are carved from its own arena.
 func (p *Relation) Clone() *Relation {
 	c := &Relation{Name: p.Name, Attrs: append([]Attr(nil), p.Attrs...), Reg: p.Reg, Tuples: make([]Tuple, len(p.Tuples))}
 	for i, t := range p.Tuples {
-		c.Tuples[i] = t.Clone()
+		row := c.NewRow(len(t))
+		copy(row, t)
+		c.Tuples[i] = row
 	}
 	return c
 }
@@ -159,7 +189,7 @@ func FromPlain(r *rel.Relation, src sourceset.ID, reg *sourceset.Registry) *Rela
 	p := NewRelation(r.Name, reg, attrs...)
 	origin := sourceset.Of(src)
 	for _, t := range r.Tuples {
-		row := make(Tuple, len(t))
+		row := p.NewRow(len(t))
 		for i, v := range t {
 			row[i] = Cell{D: v, O: origin}
 		}

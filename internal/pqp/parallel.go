@@ -18,7 +18,10 @@ import (
 //
 // The result is identical to Execute's: the polygen algebra is purely
 // functional over immutable inputs, so evaluation order cannot affect tags
-// or data (TestParallelMatchesSerial).
+// or data (TestParallelMatchesSerial). Concurrent rows share the algebra's
+// resolver; identity.Resolver.CanonicalID is safe for concurrent use and
+// assigns one stable ID per canonical form, so interleaved interning cannot
+// change any row's join result.
 func (q *PQP) ExecuteParallel(iom *translate.Matrix) (*core.Relation, error) {
 	regs, err := q.ExecuteAllParallel(iom)
 	if err != nil {

@@ -4,6 +4,12 @@
 // Query Processors, tags retrieved data with their originating sources, and
 // evaluates the PQP-resident polygen operations with the polygen algebra,
 // maintaining data and intermediate source tags throughout.
+//
+// Both executors (serial Execute and ExecuteParallel) run the hash-native
+// algebra: tuple identity is a 64-bit hash and join probes intern canonical
+// IDs through the PQP's resolver. One PQP keeps one Algebra — and therefore
+// one resolver intern table — across queries, so canonical IDs warm up once
+// per federation rather than once per query.
 package pqp
 
 import (

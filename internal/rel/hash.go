@@ -1,0 +1,124 @@
+package rel
+
+import (
+	"encoding/binary"
+	"hash/maphash"
+	"math"
+)
+
+// This file implements the hash-native identity path: instead of
+// materializing a string key per value (Value.Key) or per tuple (Tuple.Key)
+// in every dedup or join inner loop, callers derive a 64-bit hash and bucket
+// by it, confirming candidates with Equal on collision. Value.Key stays as
+// the rendering and reference-semantics form; the hash is the hot-path form.
+//
+// The encoding fed to the hash mirrors Key's injectivity: a kind tag is
+// written before the payload (so Int(1) and String("1") differ) and strings
+// are length-prefixed (so tuples ("ab","c") and ("a","bc") differ).
+
+// nanBits is the canonical bit pattern hashed for every NaN payload.
+const nanBits = 0x7FF8000000000001
+
+// Seed is the process-wide seed used by the relational engine's tuple
+// hashing. All relations hashed within one process share it so that hashes
+// are comparable across relations; it varies between processes, which keeps
+// bucket layouts unpredictable.
+var Seed = maphash.MakeSeed()
+
+// HashInto mixes the value into h using the kind-tagged encoding above.
+func (v Value) HashInto(h *maphash.Hash) {
+	switch v.kind {
+	case KindNull:
+		h.WriteByte(byte(KindNull))
+	case KindString:
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(v.str)))
+		h.WriteByte(byte(KindString))
+		h.Write(buf[:])
+		h.WriteString(v.str)
+	case KindInt:
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], uint64(v.num))
+		h.WriteByte(byte(KindInt))
+		h.Write(buf[:])
+	case KindFloat:
+		f := v.fnum
+		if f == 0 {
+			f = 0 // Identical treats +0 and -0 as one datum; hash them identically.
+		}
+		bits := math.Float64bits(f)
+		if f != f {
+			bits = nanBits // every NaN is one datum (see Value.Identical)
+		}
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], bits)
+		h.WriteByte(byte(KindFloat))
+		h.Write(buf[:])
+	case KindBool:
+		b := byte(0)
+		if v.b {
+			b = 1
+		}
+		h.WriteByte(byte(KindBool))
+		h.WriteByte(b)
+	default:
+		h.WriteByte(byte(v.kind))
+	}
+}
+
+// Hash64 returns a 64-bit hash of the value under seed. Identical values
+// hash identically; distinct values collide only with ordinary hash
+// probability, and callers must confirm bucket candidates with Identical.
+func (v Value) Hash64(seed maphash.Seed) uint64 {
+	var h maphash.Hash
+	h.SetSeed(seed)
+	v.HashInto(&h)
+	return h.Sum64()
+}
+
+// Hash64 returns a 64-bit hash of the tuple under seed, usable as the bucket
+// key for hashing-based duplicate elimination and joins. Tuples with
+// Identical values hash identically.
+func (t Tuple) Hash64(seed maphash.Seed) uint64 {
+	var h maphash.Hash
+	h.SetSeed(seed)
+	for _, v := range t {
+		v.HashInto(&h)
+	}
+	return h.Sum64()
+}
+
+// BucketIndex buckets positions (into some caller-owned slice) by 64-bit
+// hash, with candidate confirmation delegated to the caller — the shared
+// core of the engines' hash-based dedup tables: a hash collision degrades to
+// an extra comparison, never to a wrong answer. Both the polygen algebra
+// (package core, over tuple data portions) and the untagged baseline
+// (package relalg, over plain tuples) build on it.
+type BucketIndex struct {
+	buckets map[uint64][]int
+}
+
+// NewBucketIndex returns an index sized for about capacity entries.
+func NewBucketIndex(capacity int) BucketIndex {
+	return BucketIndex{buckets: make(map[uint64][]int, capacity)}
+}
+
+// Find returns the first bucketed position under h for which same reports a
+// true match.
+func (ix BucketIndex) Find(h uint64, same func(pos int) bool) (int, bool) {
+	for _, at := range ix.buckets[h] {
+		if same(at) {
+			return at, true
+		}
+	}
+	return 0, false
+}
+
+// Bucket returns every position bucketed under h (collision candidates
+// included — the caller confirms each).
+func (ix BucketIndex) Bucket(h uint64) []int { return ix.buckets[h] }
+
+// Add buckets pos under h.
+func (ix BucketIndex) Add(h uint64, pos int) {
+	ix.buckets[h] = append(ix.buckets[h], pos)
+}

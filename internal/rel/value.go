@@ -121,7 +121,11 @@ func (v Value) Key() string {
 	case KindInt:
 		return "\x00i" + strconv.FormatInt(v.num, 10)
 	case KindFloat:
-		return "\x00f" + strconv.FormatFloat(v.fnum, 'b', -1, 64)
+		f := v.fnum
+		if f == 0 {
+			f = 0 // Equal treats +0 and -0 as one datum; key them identically.
+		}
+		return "\x00f" + strconv.FormatFloat(f, 'b', -1, 64)
 	case KindBool:
 		if v.b {
 			return "\x00bt"
@@ -153,6 +157,18 @@ func (v Value) Equal(w Value) bool {
 	default:
 		return false
 	}
+}
+
+// Identical reports whether two values are the same datum for hashing-based
+// duplicate elimination and joins. It agrees with Key-string equality: like
+// Equal except on NaN, where Equal follows IEEE (NaN != NaN) while Key
+// formats every NaN the same way — so dedup, which must reproduce the
+// string-keyed reference semantics, treats all NaNs as one datum.
+func (v Value) Identical(w Value) bool {
+	if v.kind == KindFloat && w.kind == KindFloat {
+		return v.fnum == w.fnum || (v.fnum != v.fnum && w.fnum != w.fnum)
+	}
+	return v.Equal(w)
 }
 
 // Compare orders two values. Nulls sort first; mismatched kinds order by kind

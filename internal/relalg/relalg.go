@@ -8,6 +8,12 @@
 //     paper requires to "behave as a local relational system" (§I); and
 //   - it is the untagged baseline against which the polygen algebra's source
 //     tagging overhead is measured (bench B-OV in DESIGN.md).
+//
+// Like the polygen algebra in package core, the baseline is hash-native:
+// tuple identity is a 64-bit hash (rel.Tuple.Hash64) confirmed with Equal on
+// collision, join probes hash the join value, and output rows are sliced
+// from the relation's arena — so the B-OV overhead numbers compare tagging
+// against tagging-free execution, not string keys against hash keys.
 package relalg
 
 import (
@@ -15,6 +21,23 @@ import (
 
 	"repro/internal/rel"
 )
+
+// tupleIndex buckets tuple positions through the shared rel.BucketIndex,
+// confirming candidates with Identical — the untagged counterpart of core's
+// dataIndex.
+type tupleIndex struct {
+	rel.BucketIndex
+}
+
+func newTupleIndex(capacity int) tupleIndex {
+	return tupleIndex{rel.NewBucketIndex(capacity)}
+}
+
+func (ix tupleIndex) find(tuples []rel.Tuple, t rel.Tuple, h uint64) (int, bool) {
+	return ix.Find(h, func(at int) bool { return tuples[at].Identical(t) })
+}
+
+func (ix tupleIndex) add(h uint64, pos int) { ix.Add(h, pos) }
 
 // Select returns the tuples of r for which attr θ constant holds.
 func Select(r *rel.Relation, attr string, theta rel.Theta, constant rel.Value) (*rel.Relation, error) {
@@ -65,18 +88,20 @@ func Project(r *rel.Relation, attrs []string) (*rel.Relation, error) {
 		outAttrs[i] = r.Schema.Attr(ci)
 	}
 	out := rel.NewRelation("", rel.NewSchema(outAttrs...))
-	seen := make(map[string]struct{}, len(r.Tuples))
+	seen := newTupleIndex(len(r.Tuples))
+	scratch := make(rel.Tuple, len(idx))
 	for _, t := range r.Tuples {
-		proj := make(rel.Tuple, len(idx))
 		for i, ci := range idx {
-			proj[i] = t[ci]
+			scratch[i] = t[ci]
 		}
-		k := proj.Key()
-		if _, dup := seen[k]; dup {
+		h := scratch.Hash64(rel.Seed)
+		if _, dup := seen.find(out.Tuples, scratch, h); dup {
 			continue
 		}
-		seen[k] = struct{}{}
-		out.Tuples = append(out.Tuples, proj)
+		row := out.NewRow(len(scratch))
+		copy(row, scratch)
+		seen.add(h, len(out.Tuples))
+		out.Tuples = append(out.Tuples, row)
 	}
 	return out, nil
 }
@@ -98,9 +123,9 @@ func Product(a, b *rel.Relation) (*rel.Relation, error) {
 	out := rel.NewRelation("", rel.NewSchema(attrs...))
 	for _, ta := range a.Tuples {
 		for _, tb := range b.Tuples {
-			row := make(rel.Tuple, 0, len(ta)+len(tb))
-			row = append(row, ta...)
-			row = append(row, tb...)
+			row := out.NewRow(len(ta) + len(tb))
+			copy(row, ta)
+			copy(row[len(ta):], tb)
 			out.Tuples = append(out.Tuples, row)
 		}
 	}
@@ -133,14 +158,14 @@ func Union(a, b *rel.Relation) (*rel.Relation, error) {
 		return nil, fmt.Errorf("relalg: union of degree %d with degree %d", a.Degree(), b.Degree())
 	}
 	out := rel.NewRelation("", a.Schema)
-	seen := make(map[string]struct{}, len(a.Tuples)+len(b.Tuples))
+	seen := newTupleIndex(len(a.Tuples) + len(b.Tuples))
 	for _, src := range [...]*rel.Relation{a, b} {
 		for _, t := range src.Tuples {
-			k := t.Key()
-			if _, dup := seen[k]; dup {
+			h := t.Hash64(rel.Seed)
+			if _, dup := seen.find(out.Tuples, t, h); dup {
 				continue
 			}
-			seen[k] = struct{}{}
+			seen.add(h, len(out.Tuples))
 			out.Tuples = append(out.Tuples, t)
 		}
 	}
@@ -152,21 +177,21 @@ func Difference(a, b *rel.Relation) (*rel.Relation, error) {
 	if a.Degree() != b.Degree() {
 		return nil, fmt.Errorf("relalg: difference of degree %d with degree %d", a.Degree(), b.Degree())
 	}
-	drop := make(map[string]struct{}, len(b.Tuples))
-	for _, t := range b.Tuples {
-		drop[t.Key()] = struct{}{}
+	drop := newTupleIndex(len(b.Tuples))
+	for i, t := range b.Tuples {
+		drop.add(t.Hash64(rel.Seed), i)
 	}
 	out := rel.NewRelation("", a.Schema)
-	seen := make(map[string]struct{}, len(a.Tuples))
+	seen := newTupleIndex(len(a.Tuples))
 	for _, t := range a.Tuples {
-		k := t.Key()
-		if _, gone := drop[k]; gone {
+		h := t.Hash64(rel.Seed)
+		if _, gone := drop.find(b.Tuples, t, h); gone {
 			continue
 		}
-		if _, dup := seen[k]; dup {
+		if _, dup := seen.find(out.Tuples, t, h); dup {
 			continue
 		}
-		seen[k] = struct{}{}
+		seen.add(h, len(out.Tuples))
 		out.Tuples = append(out.Tuples, t)
 	}
 	return out, nil
@@ -177,21 +202,21 @@ func Intersect(a, b *rel.Relation) (*rel.Relation, error) {
 	if a.Degree() != b.Degree() {
 		return nil, fmt.Errorf("relalg: intersect of degree %d with degree %d", a.Degree(), b.Degree())
 	}
-	keep := make(map[string]struct{}, len(b.Tuples))
-	for _, t := range b.Tuples {
-		keep[t.Key()] = struct{}{}
+	keep := newTupleIndex(len(b.Tuples))
+	for i, t := range b.Tuples {
+		keep.add(t.Hash64(rel.Seed), i)
 	}
 	out := rel.NewRelation("", a.Schema)
-	seen := make(map[string]struct{}, len(a.Tuples))
+	seen := newTupleIndex(len(a.Tuples))
 	for _, t := range a.Tuples {
-		k := t.Key()
-		if _, in := keep[k]; !in {
+		h := t.Hash64(rel.Seed)
+		if _, in := keep.find(b.Tuples, t, h); !in {
 			continue
 		}
-		if _, dup := seen[k]; dup {
+		if _, dup := seen.find(out.Tuples, t, h); dup {
 			continue
 		}
-		seen[k] = struct{}{}
+		seen.add(h, len(out.Tuples))
 		out.Tuples = append(out.Tuples, t)
 	}
 	return out, nil
@@ -199,7 +224,9 @@ func Intersect(a, b *rel.Relation) (*rel.Relation, error) {
 
 // Join returns the equi-join of a and b on a.x = b.y, keeping a single join
 // column (named after x), mirroring the polygen Join which coalesces the two
-// join columns (paper, Tables 5 and 7). It is implemented as a hash join.
+// join columns (paper, Tables 5 and 7). It is implemented as a hash join:
+// the build side is bucketed by the join value's 64-bit hash and probe
+// candidates are confirmed with Equal.
 func Join(a *rel.Relation, x string, b *rel.Relation, y string) (*rel.Relation, error) {
 	xi, err := a.Col(x)
 	if err != nil {
@@ -225,20 +252,23 @@ func Join(a *rel.Relation, x string, b *rel.Relation, y string) (*rel.Relation, 
 	}
 	out := rel.NewRelation("", rel.NewSchema(attrs...))
 
-	index := make(map[string][]rel.Tuple, len(b.Tuples))
+	index := make(map[uint64][]rel.Tuple, len(b.Tuples))
 	for _, tb := range b.Tuples {
 		if tb[yi].IsNull() {
 			continue
 		}
-		k := tb[yi].Key()
-		index[k] = append(index[k], tb)
+		h := tb[yi].Hash64(rel.Seed)
+		index[h] = append(index[h], tb)
 	}
 	for _, ta := range a.Tuples {
 		if ta[xi].IsNull() {
 			continue
 		}
-		for _, tb := range index[ta[xi].Key()] {
-			row := make(rel.Tuple, 0, len(ta)+len(bKeep))
+		for _, tb := range index[ta[xi].Hash64(rel.Seed)] {
+			if !tb[yi].Identical(ta[xi]) {
+				continue // hash collision
+			}
+			row := out.NewRow(len(ta) + len(bKeep))[:0]
 			row = append(row, ta...)
 			for _, i := range bKeep {
 				row = append(row, tb[i])

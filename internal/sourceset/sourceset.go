@@ -14,6 +14,7 @@ package sourceset
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
 	"sync"
@@ -128,16 +129,7 @@ func (s Set) IsEmpty() bool { return s.bits == 0 && len(s.rest) == 0 }
 
 // Len returns the number of members.
 func (s Set) Len() int {
-	return popcount(s.bits) + len(s.rest)
-}
-
-func popcount(x uint64) int {
-	n := 0
-	for x != 0 {
-		x &= x - 1
-		n++
-	}
-	return n
+	return bits.OnesCount64(s.bits) + len(s.rest)
 }
 
 // Union returns s ∪ t. When neither set has overflow members this is a
@@ -179,13 +171,22 @@ func mergeSorted(a, b []ID) []ID {
 }
 
 // Minus returns s \ t (the members of s not in t). Tag presentation uses it
-// to separate "purely intermediate" sources from originating ones.
+// to separate "purely intermediate" sources from originating ones. The
+// overflow members are filtered in one pass — s.rest is already sorted, so
+// the survivors are too.
 func (s Set) Minus(t Set) Set {
 	out := Set{bits: s.bits &^ t.bits}
+	if len(s.rest) == 0 {
+		return out
+	}
+	rest := make([]ID, 0, len(s.rest))
 	for _, id := range s.rest {
 		if !t.Contains(id) {
-			out = out.With(id)
+			rest = append(rest, id)
 		}
+	}
+	if len(rest) > 0 {
+		out.rest = rest
 	}
 	return out
 }

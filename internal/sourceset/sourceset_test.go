@@ -1,6 +1,7 @@
 package sourceset
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -283,5 +284,36 @@ func TestSetMinusRandom(t *testing.T) {
 		if !d.Union(a.Union(b)).Equal(a.Union(b)) {
 			t.Fatal("Minus escaped the union")
 		}
+	}
+}
+
+// TestSetMinusOverflow pins the single-pass overflow path: survivors keep
+// their sorted order and an empty survivor set leaves rest nil-equivalent.
+func TestSetMinusOverflow(t *testing.T) {
+	s := Of(1, 64, 70, 200)
+	d := s.Minus(Of(70))
+	if got, want := fmt.Sprint(d.IDs()), fmt.Sprint([]ID{1, 64, 200}); got != want {
+		t.Fatalf("Minus overflow = %s, want %s", got, want)
+	}
+	if !s.Minus(s).Equal(Empty()) {
+		t.Error("s \\ s should be empty")
+	}
+	if !s.Minus(Empty()).Equal(s) {
+		t.Error("s \\ {} should be s")
+	}
+	all := s.Minus(Of(1, 64, 70, 200))
+	if !all.IsEmpty() || all.Len() != 0 {
+		t.Error("removing every member should leave the empty set")
+	}
+}
+
+// TestSetLenOverflow checks Len across the bitmask/overflow boundary (the
+// bitmask half is counted with math/bits.OnesCount64).
+func TestSetLenOverflow(t *testing.T) {
+	if got := Of(0, 63, 64, 1000).Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	if got := Empty().Len(); got != 0 {
+		t.Fatalf("empty Len = %d, want 0", got)
 	}
 }

@@ -11,6 +11,8 @@ package repro
 
 import (
 	"fmt"
+	"io"
+	"runtime"
 	"testing"
 	"time"
 
@@ -687,6 +689,191 @@ func BenchmarkKeyRepresentationTuples(b *testing.B) {
 		}
 		b.Run(fmt.Sprintf("src=100/n=%d", n), func(b *testing.B) {
 			benchKeyedOps(b, 100, n)
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// B-STREAM: streaming vs. materializing execution.
+//
+// The fixture is a deliberately memory-hostile pipeline: retrieve an
+// n-tuple fragment from one LQP, select ~1/1000th of it at the PQP, project
+// one column. The materializing engine holds the whole tagged retrieve (and
+// each intermediate) live; the streaming engine holds batches in flight
+// plus the small final result, so its peak heap stays roughly flat as n
+// grows. BenchmarkStreamingMemory reports the peak live heap as "peak-B";
+// its ns/op includes the instrumentation's forced collections, so timing
+// comparisons belong to the other benchmarks. BenchmarkStreamingOverlap
+// uses latency-injected LQPs (Counting charges latency per batch, modeling
+// a wide-area streaming transfer) to show the streaming engine overlapping
+// retrieval with PQP work the way the parallel materializing engine does.
+
+// benchStreamFixture builds a one-database federation of n entities and the
+// retrieve→select→project plan over it.
+func benchStreamFixture(n int) (*pqp.PQP, *translate.Matrix) {
+	f := workload.New(workload.Config{Databases: 1, Entities: n, Overlap: 1, Categories: 1000, Seed: 7})
+	q := pqp.New(f.Schema, f.Registry, identity.Exact{}, f.LQPs())
+	plan := &translate.Matrix{Rows: []translate.Row{
+		{PR: 1, Op: translate.OpRetrieve, LHR: translate.LocalOperand("FRAG"),
+			RHA: translate.NoComparand(), RHR: translate.NoOperand(), EL: workload.DBName(0)},
+		{PR: 2, Op: translate.OpSelect, LHR: translate.RegOperand(1), LHA: []string{"CAT"},
+			Theta: rel.ThetaEQ, HasTheta: true, RHA: translate.ConstComparand(rel.String("cat7")),
+			RHR: translate.NoOperand(), EL: "PQP"},
+		{PR: 3, Op: translate.OpProject, LHR: translate.RegOperand(2), LHA: []string{"KEY"},
+			RHA: translate.NoComparand(), RHR: translate.NoOperand(), EL: "PQP"},
+	}}
+	return q, plan
+}
+
+// liveHeap returns the heap bytes actually retained right now. Two
+// collections: objects allocated during a concurrent mark phase are kept
+// until the NEXT cycle, so a single GC mid-run would report in-flight
+// garbage as live.
+func liveHeap() uint64 {
+	runtime.GC()
+	runtime.GC()
+	var s runtime.MemStats
+	runtime.ReadMemStats(&s)
+	return s.HeapAlloc
+}
+
+// measureMaterializedPeak measures the peak live heap (over a post-GC
+// baseline) of a materializing run, probing synchronously from the
+// engine's Trace hook — it fires after each register materializes, while
+// the registers it was built from are still held — and once at the end
+// with the result alive. No concurrent sampling: every probe runs on the
+// engine's own goroutine at a quiescent point, so the readings are
+// deterministic.
+func measureMaterializedPeak(q *pqp.PQP, plan *translate.Matrix) (uint64, error) {
+	base := liveHeap()
+	var peak uint64
+	q.Trace = func(string, ...any) {
+		if s := liveHeap(); s > peak {
+			peak = s
+		}
+	}
+	res, err := q.ExecuteMaterialized(plan)
+	q.Trace = nil
+	if err != nil {
+		return 0, err
+	}
+	if f := liveHeap(); f > peak {
+		peak = f
+	}
+	runtime.KeepAlive(res)
+	if peak < base {
+		return 0, nil
+	}
+	return peak - base, nil
+}
+
+// measureStreamingPeak drives the streaming engine's cursor tree by hand,
+// probing the live heap from inside the drain loop — at exponentially
+// spaced batch counts plus every 512th batch — and once at the end with
+// the result alive. Probes run between batches on the consumer goroutine:
+// exactly the steady state whose footprint the streaming engine claims to
+// bound.
+func measureStreamingPeak(q *pqp.PQP, plan *translate.Matrix) (uint64, error) {
+	base := liveHeap()
+	var peak uint64
+	cur, err := q.OpenPlan(plan)
+	if err != nil {
+		return 0, err
+	}
+	out := core.NewRelation(cur.Name(), cur.Registry(), cur.Attrs()...)
+	for batches := 0; ; batches++ {
+		batch, err := cur.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			cur.Close()
+			return 0, err
+		}
+		out.Tuples = append(out.Tuples, batch...)
+		if batches&(batches-1) == 0 || batches%512 == 0 {
+			if s := liveHeap(); s > peak {
+				peak = s
+			}
+		}
+	}
+	if err := cur.Close(); err != nil {
+		return 0, err
+	}
+	if f := liveHeap(); f > peak {
+		peak = f
+	}
+	runtime.KeepAlive(out)
+	if peak < base {
+		return 0, nil
+	}
+	return peak - base, nil
+}
+
+func BenchmarkStreamingMemory(b *testing.B) {
+	for _, n := range []int{100000, 300000, 1000000} {
+		if testing.Short() && n > 100000 {
+			continue
+		}
+		q, plan := benchStreamFixture(n)
+		engines := []struct {
+			name string
+			run  func() (uint64, error)
+		}{
+			{"materializing", func() (uint64, error) { return measureMaterializedPeak(q, plan) }},
+			{"streaming", func() (uint64, error) { return measureStreamingPeak(q, plan) }},
+		}
+		for _, eng := range engines {
+			b.Run(fmt.Sprintf("n=%d/engine=%s", n, eng.name), func(b *testing.B) {
+				var peak uint64
+				for i := 0; i < b.N; i++ {
+					p, err := eng.run()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if p > peak {
+						peak = p
+					}
+				}
+				b.ReportMetric(float64(peak), "peak-B")
+			})
+		}
+	}
+}
+
+func BenchmarkStreamingOverlap(b *testing.B) {
+	const latency = 2 * time.Millisecond
+	fed := paperdata.New()
+	lqps := make(map[string]lqp.LQP, 3)
+	for name, l := range fed.LQPs() {
+		c := lqp.NewCounting(l)
+		c.Latency = latency
+		lqps[name] = c
+	}
+	q := pqp.New(fed.Schema, fed.Registry, identity.CaseFold{}, lqps)
+	e, err := translate.CompileSQL(`SELECT ONAME FROM PORGANIZATION WHERE INDUSTRY = "Banking"`, fed.Schema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := q.Run(e)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engines := []struct {
+		name string
+		run  func() (*core.Relation, error)
+	}{
+		{"materializing", func() (*core.Relation, error) { return q.ExecuteMaterialized(res.Plan) }},
+		{"parallel", func() (*core.Relation, error) { return q.ExecuteParallel(res.Plan) }},
+		{"streaming", func() (*core.Relation, error) { return q.Execute(res.Plan) }},
+	}
+	for _, eng := range engines {
+		b.Run("engine="+eng.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.run(); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

@@ -39,6 +39,8 @@ func main() {
 	snapshot := flag.String("snapshot", "", "serve a database from a gob snapshot file")
 	save := flag.String("save", "", "write the served database to a snapshot file before serving")
 	addr := flag.String("addr", "127.0.0.1:0", "listen address")
+	writeTimeout := flag.Duration("write-timeout", wire.DefaultTimeout, "per-message write deadline (a client that stops reading is dropped)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "drop connections idle longer than this (0 = keep idle connections open)")
 	flag.Parse()
 
 	var db *catalog.Database
@@ -89,6 +91,8 @@ func main() {
 	}
 
 	srv := wire.NewServer(db)
+	srv.WriteTimeout = *writeTimeout
+	srv.IdleTimeout = *idleTimeout
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		fatal("%v", err)

@@ -9,4 +9,18 @@
 // benchmark harness that regenerates every table and figure of the paper in
 // bench_test.go next to this file. README.md has the tour; EXPERIMENTS.md
 // records paper-vs-measured for every artifact.
+//
+// Three execution engines evaluate polygen queries, proven cell-for-cell
+// identical (data and both tag sets) by the property suite in
+// internal/core:
+//
+//   - the streaming engine (pqp.Execute, the default): plans run as trees
+//     of batch cursors, bounding peak memory and overlapping remote LQP
+//     retrieval with PQP-side operator work;
+//   - the materializing engine (pqp.ExecuteMaterialized / ExecuteAll /
+//     ExecuteParallel): register-at-a-time evaluation, used whenever every
+//     intermediate register is wanted and as the streaming engine's
+//     reference;
+//   - the string-keyed reference operators (core.Ref*): the pre-hash-native
+//     semantics baseline, not on any query path.
 package repro

@@ -153,3 +153,20 @@ func (d *Database) Snapshot(name string) (*rel.Relation, error) {
 	defer d.mu.RUnlock()
 	return r.Clone(), nil
 }
+
+// View returns the schema and current tuples of the named relation without
+// copying. The slice is a point-in-time view: concurrent inserts do not
+// grow it, and stored tuples are never mutated in place, so readers need no
+// further locking — but they must treat the tuples as immutable. The
+// streaming LQP path reads base relations through View so that a Retrieve
+// costs no per-tuple allocation.
+func (d *Database) View(name string) (*rel.Schema, []rel.Tuple, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	t, ok := d.rels[name]
+	if !ok {
+		return nil, nil, fmt.Errorf("catalog: database %q has no relation %q", d.name, name)
+	}
+	tuples := t.rel.Tuples
+	return t.rel.Schema, tuples[:len(tuples):len(tuples)], nil
+}

@@ -85,19 +85,7 @@ func (a *Algebra) Project(p *Relation, attrs []string) (*Relation, error) {
 		for i, ci := range idx {
 			scratch[i] = t[ci]
 		}
-		h := scratch.DataHash64()
-		if at, dup := ix.find(out.Tuples, scratch, h); dup {
-			// t(d) not unique: union tags into the existing tuple.
-			existing := out.Tuples[at]
-			for i := range existing {
-				existing[i] = existing[i].MergeTags(scratch[i])
-			}
-			continue
-		}
-		row := out.NewRow(len(scratch))
-		copy(row, scratch)
-		ix.add(h, len(out.Tuples))
-		out.Tuples = append(out.Tuples, row)
+		dedupInsert(out, ix, scratch)
 	}
 	return out, nil
 }
@@ -107,14 +95,7 @@ func (a *Algebra) Project(p *Relation, attrs []string) (*Relation, error) {
 // are qualified with p2's name (or a positional suffix); the polygen
 // attribute annotations are preserved.
 func (a *Algebra) Product(p1, p2 *Relation) (*Relation, error) {
-	attrs := append([]Attr(nil), p1.Attrs...)
-	for _, at := range p2.Attrs {
-		name := at.Name
-		if hasAttrName(attrs, name) {
-			name = disambiguateName(attrs, p2.Name, at.Name)
-		}
-		attrs = append(attrs, Attr{Name: name, Polygen: at.Polygen})
-	}
+	attrs := productAttrs(p1.Attrs, p2.Name, p2.Attrs)
 	out := NewRelation("", p1.Reg, attrs...)
 	for _, t1 := range p1.Tuples {
 		for _, t2 := range p2.Tuples {
@@ -125,6 +106,22 @@ func (a *Algebra) Product(p1, p2 *Relation) (*Relation, error) {
 		}
 	}
 	return out, nil
+}
+
+// productAttrs computes the output attribute list of a Cartesian product:
+// the left attributes followed by the right ones, with colliding right
+// names qualified by the right relation's name (or a positional suffix).
+// Shared by the materializing and streaming Product.
+func productAttrs(attrs1 []Attr, name2 string, attrs2 []Attr) []Attr {
+	attrs := append([]Attr(nil), attrs1...)
+	for _, at := range attrs2 {
+		name := at.Name
+		if hasAttrName(attrs, name) {
+			name = disambiguateName(attrs, name2, at.Name)
+		}
+		attrs = append(attrs, Attr{Name: name, Polygen: at.Polygen})
+	}
+	return attrs
 }
 
 func hasAttrName(attrs []Attr, name string) bool {
@@ -213,18 +210,7 @@ func (a *Algebra) Union(p1, p2 *Relation) (*Relation, error) {
 	ix := newDataIndex(len(p1.Tuples) + len(p2.Tuples))
 	for _, src := range [...]*Relation{p1, p2} {
 		for _, t := range src.Tuples {
-			h := t.DataHash64()
-			if at, dup := ix.find(out.Tuples, t, h); dup {
-				existing := out.Tuples[at]
-				for i := range existing {
-					existing[i] = existing[i].MergeTags(t[i])
-				}
-				continue
-			}
-			row := out.NewRow(len(t))
-			copy(row, t)
-			ix.add(h, len(out.Tuples))
-			out.Tuples = append(out.Tuples, row)
+			dedupInsert(out, ix, t)
 		}
 	}
 	return out, nil
@@ -302,17 +288,7 @@ func (a *Algebra) Intersect(p1, p2 *Relation) (*Relation, error) {
 		if !matched {
 			continue
 		}
-		if at, dup := pos.find(out.Tuples, row, h); dup {
-			existing := out.Tuples[at]
-			for i := range existing {
-				existing[i] = existing[i].MergeTags(row[i])
-			}
-			continue
-		}
-		keep := out.NewRow(len(row))
-		copy(keep, row)
-		pos.add(h, len(out.Tuples))
-		out.Tuples = append(out.Tuples, keep)
+		dedupInsert(out, pos, row)
 	}
 	return out, nil
 }

@@ -24,3 +24,23 @@ func (ix dataIndex) find(tuples []Tuple, t Tuple, h uint64) (int, bool) {
 
 // add records that tuples[pos] hashes to h.
 func (ix dataIndex) add(h uint64, pos int) { ix.Add(h, pos) }
+
+// dedupInsert inserts t into out under the algebra's set semantics: a tuple
+// whose data portion is already present merges its tag sets into the
+// existing tuple cell by cell (paper §II, Project/Union); a new data
+// portion is appended as an arena row. It is the one dedup kernel shared
+// by the materializing and streaming Project, Union and Intersect.
+func dedupInsert(out *Relation, ix dataIndex, t Tuple) {
+	h := t.DataHash64()
+	if at, dup := ix.find(out.Tuples, t, h); dup {
+		existing := out.Tuples[at]
+		for i := range existing {
+			existing[i] = existing[i].MergeTags(t[i])
+		}
+		return
+	}
+	row := out.NewRow(len(t))
+	copy(row, t)
+	ix.add(h, len(out.Tuples))
+	out.Tuples = append(out.Tuples, row)
+}

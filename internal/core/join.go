@@ -34,7 +34,7 @@ func (a *Algebra) Join(p1 *Relation, x string, theta rel.Theta, p2 *Relation, y 
 		return nil, err
 	}
 	coalesce := joinCoalesces(p1.Attrs[xi], p2.Attrs[yi])
-	attrs := a.joinAttrs(p1, xi, p2, yi, coalesce)
+	attrs := joinAttrs(p1.Attrs, xi, p2.Name, p2.Attrs, yi, coalesce)
 	out := NewRelation("", p1.Reg, attrs...)
 
 	// Probe by interned canonical ID: the resolver guarantees equal IDs iff
@@ -135,13 +135,15 @@ func joinCoalesces(x, y Attr) bool {
 	return x.Name == y.Name
 }
 
-// joinAttrs computes the output attribute list of a join: p1's attributes
-// (with x replaced by the coalesced column when coalescing) followed by p2's
-// attributes (minus y when coalescing), disambiguated against p1's names.
-func (a *Algebra) joinAttrs(p1 *Relation, xi int, p2 *Relation, yi int, coalesce bool) []Attr {
-	xAttr, yAttr := p1.Attrs[xi], p2.Attrs[yi]
-	attrs := make([]Attr, 0, len(p1.Attrs)+len(p2.Attrs))
-	attrs = append(attrs, p1.Attrs...)
+// joinAttrs computes the output attribute list of a join: the left
+// attributes (with x replaced by the coalesced column when coalescing)
+// followed by the right attributes (minus y when coalescing), disambiguated
+// against the left names. It operates on bare attribute lists so both the
+// materializing and the streaming join share it.
+func joinAttrs(attrs1 []Attr, xi int, name2 string, attrs2 []Attr, yi int, coalesce bool) []Attr {
+	xAttr, yAttr := attrs1[xi], attrs2[yi]
+	attrs := make([]Attr, 0, len(attrs1)+len(attrs2))
+	attrs = append(attrs, attrs1...)
 	if coalesce {
 		coalesced := Attr{Name: xAttr.Name, Polygen: xAttr.Polygen}
 		if xAttr.Polygen != "" && xAttr.Polygen == yAttr.Polygen {
@@ -149,13 +151,13 @@ func (a *Algebra) joinAttrs(p1 *Relation, xi int, p2 *Relation, yi int, coalesce
 		}
 		attrs[xi] = coalesced
 	}
-	for i, at := range p2.Attrs {
+	for i, at := range attrs2 {
 		if coalesce && i == yi {
 			continue
 		}
 		name := at.Name
 		if hasAttrName(attrs, name) {
-			name = disambiguateName(attrs, p2.Name, at.Name)
+			name = disambiguateName(attrs, name2, at.Name)
 		}
 		attrs = append(attrs, Attr{Name: name, Polygen: at.Polygen})
 	}
@@ -220,7 +222,7 @@ func (a *Algebra) JoinViaPrimitives(p1 *Relation, x string, theta rel.Theta, p2 
 		return nil, err
 	}
 	coalesce := joinCoalesces(p1.Attrs[xi], p2.Attrs[yi])
-	wanted := a.joinAttrs(p1, xi, p2, yi, coalesce)
+	wanted := joinAttrs(p1.Attrs, xi, p2.Name, p2.Attrs, yi, coalesce)
 	if !coalesce {
 		out := restricted
 		if len(out.Attrs) == len(wanted) {

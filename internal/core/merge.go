@@ -109,14 +109,7 @@ func (a *Algebra) OuterJoin(p1 *Relation, x string, p2 *Relation, y string) (*Re
 	if err != nil {
 		return nil, err
 	}
-	attrs := append([]Attr(nil), p1.Attrs...)
-	for _, at := range p2.Attrs {
-		name := at.Name
-		if hasAttrName(attrs, name) {
-			name = disambiguateName(attrs, p2.Name, at.Name)
-		}
-		attrs = append(attrs, Attr{Name: name, Polygen: at.Polygen})
-	}
+	attrs := productAttrs(p1.Attrs, p2.Name, p2.Attrs)
 	out := NewRelation("", p1.Reg, attrs...)
 
 	// Probe by interned canonical ID over position buckets, as Join does.

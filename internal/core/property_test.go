@@ -613,6 +613,203 @@ func TestPropertyHashMergeMatchesReference(t *testing.T) {
 	}
 }
 
+// ---------------------------------------------------------------------------
+// Streaming engine vs. materializing engine vs. string-keyed reference.
+//
+// The streaming operators (stream.go) consume cursors batch-at-a-time; the
+// cursors here use a deliberately tiny batch size so every operator crosses
+// many batch boundaries. Inputs are wide relations: mixed-kind data
+// including NaN and -0 (the data where engine identity rules are subtle)
+// and tag sets drawn from 100 sources (exercising the >64-ID sourceset
+// overflow path). All three engines must agree cell for cell — data,
+// origin tags and intermediate tags.
+
+// streamBatch is the batch size used by the streaming property tests: small
+// enough that even the tiny random relations span several batches.
+const streamBatch = 3
+
+// cursorOver cuts p into streamBatch-sized batches.
+func cursorOver(p *Relation) Cursor { return NewRelationCursor(p, streamBatch) }
+
+// mustDrain runs a streaming operator construction to completion; its
+// signature matches the (Cursor, error) returns of the Stream* operators so
+// calls compose directly.
+func mustDrain(c Cursor, err error) *Relation {
+	if err != nil {
+		panic(err)
+	}
+	out, err := Drain(c)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+func TestPropertyStreamSelectRestrictMatchMaterialized(t *testing.T) {
+	g, reg := newWideGen(70)
+	alg := NewAlgebra(nil)
+	thetas := []rel.Theta{rel.ThetaEQ, rel.ThetaNE, rel.ThetaLT, rel.ThetaGE}
+	for i := 0; i < 300; i++ {
+		p := g.wideRelation(reg, "A", "B")
+		c := g.mixedValue()
+		theta := thetas[g.r.Intn(len(thetas))]
+
+		sMat, err := alg.Select(p, "A", theta, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sStr := mustDrain(alg.StreamSelect(cursorOver(p), "A", theta, c))
+		wantSameRendered(t, "stream select", i, sStr, sMat)
+
+		rMat, err := alg.Restrict(p, "A", theta, "B")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rStr := mustDrain(alg.StreamRestrict(cursorOver(p), "A", theta, "B"))
+		wantSameRendered(t, "stream restrict", i, rStr, rMat)
+	}
+}
+
+func TestPropertyStreamProjectMatchesEngines(t *testing.T) {
+	g, reg := newWideGen(71)
+	alg := NewAlgebra(nil)
+	for i := 0; i < 300; i++ {
+		p := g.wideRelation(reg, "A", "B", "C")
+		mat, err := alg.Project(p, []string{"C", "A"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := alg.RefProject(p, []string{"C", "A"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		str := mustDrain(alg.StreamProject(cursorOver(p), []string{"C", "A"}))
+		wantSameRendered(t, "stream project vs materialized", i, str, mat)
+		wantSameRendered(t, "stream project vs reference", i, str, ref)
+	}
+}
+
+func TestPropertyStreamBinaryOpsMatchEngines(t *testing.T) {
+	g, reg := newWideGen(72)
+	alg := NewAlgebra(nil)
+	for i := 0; i < 300; i++ {
+		p1 := g.wideRelation(reg, "A", "B")
+		p2 := g.wideRelation(reg, "A", "B")
+		for _, op := range []struct {
+			name   string
+			stream func(_, _ Cursor) (Cursor, error)
+			mat    func(_, _ *Relation) (*Relation, error)
+			ref    func(_, _ *Relation) (*Relation, error)
+		}{
+			{"union", alg.StreamUnion, alg.Union, alg.RefUnion},
+			{"difference", alg.StreamDifference, alg.Difference, alg.RefDifference},
+			{"intersect", alg.StreamIntersect, alg.Intersect, alg.RefIntersect},
+		} {
+			str := mustDrain(op.stream(cursorOver(p1), cursorOver(p2)))
+			mat, err := op.mat(p1, p2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := op.ref(p1, p2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantSameRendered(t, "stream "+op.name+" vs materialized", i, str, mat)
+			wantSameRendered(t, "stream "+op.name+" vs reference", i, str, ref)
+		}
+	}
+}
+
+func TestPropertyStreamProductMatchesMaterialized(t *testing.T) {
+	g, reg := newWideGen(73)
+	alg := NewAlgebra(nil)
+	for i := 0; i < 200; i++ {
+		p1 := g.wideRelation(reg, "A", "B")
+		p2 := g.wideRelation(reg, "A", "C")
+		str := mustDrain(alg.StreamProduct(cursorOver(p1), cursorOver(p2)))
+		mat, err := alg.Product(p1, p2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSameRendered(t, "stream product", i, str, mat)
+	}
+}
+
+func TestPropertyStreamJoinMatchesEngines(t *testing.T) {
+	resolvers := []identity.Resolver{
+		identity.Exact{},
+		identity.CaseFold{},
+		identity.NewSynonyms(identity.CaseFold{},
+			[]rel.Value{rel.String("a"), rel.String("b")},
+			[]rel.Value{rel.String("c"), rel.String("d")},
+		),
+	}
+	for ri, res := range resolvers {
+		g, reg := newWideGen(int64(74 + ri))
+		alg := NewAlgebra(res)
+		for i := 0; i < 200; i++ {
+			p1 := g.wideRelation(reg, "K/PK", "V")
+			p2 := g.wideRelation(reg, "K2/PK", "W")
+			str := mustDrain(alg.StreamJoin(cursorOver(p1), "K", rel.ThetaEQ, cursorOver(p2), "K2"))
+			mat, err := alg.Join(p1, "K", rel.ThetaEQ, p2, "K2")
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := alg.RefJoin(p1, "K", rel.ThetaEQ, p2, "K2")
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantSameRendered(t, "stream join vs materialized", i, str, mat)
+			wantSameRendered(t, "stream join vs reference", i, str, ref)
+		}
+	}
+}
+
+// TestPropertyStreamThetaJoinMatchesMaterialized covers the non-equality
+// fallback (the primitive composition, streamed).
+func TestPropertyStreamThetaJoinMatchesMaterialized(t *testing.T) {
+	g, reg := newWideGen(77)
+	alg := NewAlgebra(nil)
+	for i := 0; i < 100; i++ {
+		p1 := g.wideRelation(reg, "K", "V")
+		p2 := g.wideRelation(reg, "K2", "W")
+		str := mustDrain(alg.StreamJoin(cursorOver(p1), "K", rel.ThetaLT, cursorOver(p2), "K2"))
+		mat, err := alg.Join(p1, "K", rel.ThetaLT, p2, "K2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSameRendered(t, "stream theta join", i, str, mat)
+	}
+}
+
+func TestPropertyStreamMergeMatchesEngines(t *testing.T) {
+	scheme := &Scheme{
+		Name: "PG",
+		Key:  "K",
+		Attrs: []PolygenAttr{
+			{Name: "K"}, {Name: "A"}, {Name: "B"},
+		},
+	}
+	g, reg := newWideGen(78)
+	alg := NewAlgebra(identity.CaseFold{})
+	for i := 0; i < 100; i++ {
+		p1 := g.wideRelation(reg, "K/K", "A/A")
+		p2 := g.wideRelation(reg, "K2/K", "B/B")
+		p3 := g.wideRelation(reg, "K3/K", "A2/A")
+		str := mustDrain(alg.StreamMerge(scheme, false, cursorOver(p1), cursorOver(p2), cursorOver(p3)))
+		mat, err := alg.Merge(scheme, p1, p2, p3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := alg.RefMerge(scheme, p1, p2, p3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSameRendered(t, "stream merge vs materialized", i, str, mat)
+		wantSameRendered(t, "stream merge vs reference", i, str, ref)
+	}
+}
+
 // TestNaNDatumIdentity pins the NaN semantics of the hash engine against
 // the string-keyed reference: DataKey formats every NaN identically, so
 // duplicate elimination and joins must treat all NaNs as one datum even
@@ -647,6 +844,10 @@ func TestNaNDatumIdentity(t *testing.T) {
 		t.Fatal(err)
 	}
 	wantSameRendered(t, "nan join", 0, j, jr)
+	su := mustDrain(alg.StreamUnion(cursorOver(p), cursorOver(p)))
+	wantSameRendered(t, "nan stream union", 0, su, ref)
+	sj := mustDrain(alg.StreamJoin(cursorOver(p), "A", rel.ThetaEQ, cursorOver(p), "A"))
+	wantSameRendered(t, "nan stream join", 0, sj, jr)
 }
 
 // TestSignedZeroDatumIdentity pins the ±0 semantics: Equal, Identical, Key
@@ -682,4 +883,8 @@ func TestSignedZeroDatumIdentity(t *testing.T) {
 		t.Fatal(err)
 	}
 	wantSameRendered(t, "signed-zero join", 0, j, jr)
+	su := mustDrain(alg.StreamUnion(cursorOver(p), cursorOver(p)))
+	wantSameRendered(t, "signed-zero stream union", 0, su, ref)
+	sj := mustDrain(alg.StreamJoin(cursorOver(p), "A", rel.ThetaEQ, cursorOver(p), "A"))
+	wantSameRendered(t, "signed-zero stream join", 0, sj, jr)
 }

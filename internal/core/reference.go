@@ -189,7 +189,7 @@ func (a *Algebra) RefJoin(p1 *Relation, x string, theta rel.Theta, p2 *Relation,
 		return nil, err
 	}
 	coalesce := joinCoalesces(p1.Attrs[xi], p2.Attrs[yi])
-	attrs := a.joinAttrs(p1, xi, p2, yi, coalesce)
+	attrs := joinAttrs(p1.Attrs, xi, p2.Name, p2.Attrs, yi, coalesce)
 	out := NewRelation("", p1.Reg, attrs...)
 
 	index := make(map[string][]Tuple, len(p2.Tuples))

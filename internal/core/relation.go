@@ -92,46 +92,53 @@ func (p *Relation) AttrNames() []string {
 // ambiguous reference (two columns match) is an error; the polygen query
 // translator produces unambiguous plans for well-formed queries.
 func (p *Relation) Col(name string) (int, error) {
-	found := -1
-	for i, a := range p.Attrs {
-		if a.Name == name {
-			if found >= 0 {
-				return 0, fmt.Errorf("core: attribute %q is ambiguous in %s", name, p.describe())
-			}
-			found = i
-		}
-	}
-	if found >= 0 {
-		return found, nil
-	}
-	for i, a := range p.Attrs {
-		if a.Polygen == name {
-			if found >= 0 {
-				return 0, fmt.Errorf("core: polygen attribute %q is ambiguous in %s", name, p.describe())
-			}
-			found = i
-		}
-	}
-	if found >= 0 {
-		return found, nil
-	}
-	return 0, fmt.Errorf("core: no attribute %q in %s", name, p.describe())
+	return colIn(p.Name, p.Attrs, name)
 }
 
-func (p *Relation) describe() string {
-	names := make([]string, len(p.Attrs))
-	for i, a := range p.Attrs {
+// colIn is Col over a bare attribute list, shared with the streaming
+// operators, whose inputs are cursors rather than materialized relations.
+func colIn(relName string, attrs []Attr, name string) (int, error) {
+	found := -1
+	for i, a := range attrs {
+		if a.Name == name {
+			if found >= 0 {
+				return 0, fmt.Errorf("core: attribute %q is ambiguous in %s", name, describeAttrs(relName, attrs))
+			}
+			found = i
+		}
+	}
+	if found >= 0 {
+		return found, nil
+	}
+	for i, a := range attrs {
+		if a.Polygen == name {
+			if found >= 0 {
+				return 0, fmt.Errorf("core: polygen attribute %q is ambiguous in %s", name, describeAttrs(relName, attrs))
+			}
+			found = i
+		}
+	}
+	if found >= 0 {
+		return found, nil
+	}
+	return 0, fmt.Errorf("core: no attribute %q in %s", name, describeAttrs(relName, attrs))
+}
+
+func (p *Relation) describe() string { return describeAttrs(p.Name, p.Attrs) }
+
+func describeAttrs(relName string, attrs []Attr) string {
+	names := make([]string, len(attrs))
+	for i, a := range attrs {
 		if a.Polygen != "" && a.Polygen != a.Name {
 			names[i] = a.Name + "/" + a.Polygen
 		} else {
 			names[i] = a.Name
 		}
 	}
-	n := p.Name
-	if n == "" {
-		n = "relation"
+	if relName == "" {
+		relName = "relation"
 	}
-	return fmt.Sprintf("%s(%s)", n, strings.Join(names, ", "))
+	return fmt.Sprintf("%s(%s)", relName, strings.Join(names, ", "))
 }
 
 // Append adds a tuple, checking its degree.

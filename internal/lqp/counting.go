@@ -8,14 +8,22 @@ import (
 )
 
 // Counting wraps an LQP and counts the operations routed to it, optionally
-// injecting a fixed per-operation latency. It serves two purposes: tests use
-// it to assert that the translator pushed work to the right LQP (e.g. that a
-// selection executed locally instead of retrieving the whole relation), and
+// injecting latency. It serves two purposes: tests use it to assert that
+// the translator pushed work to the right LQP (e.g. that a selection
+// executed locally instead of retrieving the whole relation), and
 // benchmarks use the latency injection to model wide-area local databases —
 // the paper's federation spanned the US, England and Canada.
+//
+// Latency models a streaming transfer: it is charged once per
+// rel.DefaultBatchSize batch of result rows (minimum one batch), not once
+// per operation — a 100k-tuple Retrieve over a wide-area link costs
+// hundreds of batch times, not one. On the materializing path (Execute)
+// the whole transfer is paid before the relation is returned; on the
+// streaming path (Open) each batch pays as it is pulled, so a prefetching
+// consumer overlaps the waits with its own work.
 type Counting struct {
 	inner LQP
-	// Latency is added to every Execute call (0 = none).
+	// Latency is the injected per-batch transfer time (0 = none).
 	Latency time.Duration
 
 	mu     sync.Mutex
@@ -34,17 +42,66 @@ func (c *Counting) Name() string { return c.inner.Name() }
 // Relations implements LQP.
 func (c *Counting) Relations() ([]string, error) { return c.inner.Relations() }
 
-// Execute implements LQP, recording the operation.
-func (c *Counting) Execute(op Op) (*rel.Relation, error) {
-	if c.Latency > 0 {
-		time.Sleep(c.Latency)
-	}
+func (c *Counting) record(op Op) {
 	c.mu.Lock()
 	c.counts[op.Kind]++
 	c.ops = append(c.ops, op)
 	c.mu.Unlock()
-	return c.inner.Execute(op)
 }
+
+// Execute implements LQP, recording the operation and paying the full
+// injected transfer time (Latency per batch of the result) up front.
+func (c *Counting) Execute(op Op) (*rel.Relation, error) {
+	c.record(op)
+	r, err := c.inner.Execute(op)
+	if c.Latency > 0 {
+		batches := 1
+		if r != nil {
+			if n := (len(r.Tuples) + rel.DefaultBatchSize - 1) / rel.DefaultBatchSize; n > 1 {
+				batches = n
+			}
+		}
+		time.Sleep(time.Duration(batches) * c.Latency)
+	}
+	return r, err
+}
+
+// Open implements Streamer, recording the operation once and charging
+// Latency per batch as the cursor is pulled.
+func (c *Counting) Open(op Op) (rel.Cursor, error) {
+	c.record(op)
+	cur, err := OpenLQP(c.inner, op)
+	if err != nil {
+		if c.Latency > 0 {
+			time.Sleep(c.Latency)
+		}
+		return nil, err
+	}
+	if c.Latency <= 0 {
+		return cur, nil
+	}
+	return &latencyCursor{in: cur, d: c.Latency}, nil
+}
+
+// latencyCursor delays every batch by d, modeling per-batch wide-area
+// transfer time.
+type latencyCursor struct {
+	in rel.Cursor
+	d  time.Duration
+}
+
+func (c *latencyCursor) Schema() *rel.Schema { return c.in.Schema() }
+
+func (c *latencyCursor) Next() ([]rel.Tuple, error) {
+	batch, err := c.in.Next()
+	if err != nil {
+		return nil, err // end-of-stream and errors carry no rows to transfer
+	}
+	time.Sleep(c.d)
+	return batch, nil
+}
+
+func (c *latencyCursor) Close() error { return c.in.Close() }
 
 // Count returns how many operations of kind k have executed.
 func (c *Counting) Count(k OpKind) int {
@@ -74,3 +131,5 @@ func (c *Counting) Reset() {
 	c.counts = make(map[OpKind]int)
 	c.ops = nil
 }
+
+var _ Streamer = (*Counting)(nil)

@@ -8,7 +8,10 @@
 // Two implementations exist: Local (in-process, over a catalog.Database) and
 // wire.Client (the same operations over TCP against a cmd/lqpd server),
 // standing in for the paper's encapsulation of "unusual query interfaces"
-// behind the LQP boundary.
+// behind the LQP boundary. Both also implement the optional Streamer
+// capability (stream.go): Open returns the result as a cursor of row
+// batches, which the PQP's streaming engine prefers — OpenLQP adapts any
+// other LQP by materializing and re-cutting into batches.
 package lqp
 
 import (

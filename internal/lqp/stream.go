@@ -1,0 +1,85 @@
+package lqp
+
+import (
+	"fmt"
+
+	"repro/internal/rel"
+	"repro/internal/relalg"
+)
+
+// Streamer is the optional streaming capability of an LQP: Open evaluates a
+// local operation and returns its result as a cursor of row batches instead
+// of one materialized relation, so the PQP can overlap retrieval with
+// operator work and bound its memory by batches in flight. Local and
+// wire.Client implement it; OpenLQP adapts LQPs that do not.
+type Streamer interface {
+	// Open evaluates op and returns a cursor over the result. The batches
+	// obey the rel.Cursor contract (immutable, valid across Next calls);
+	// they may alias live base-relation storage, so callers must copy any
+	// tuple they intend to modify.
+	Open(op Op) (rel.Cursor, error)
+}
+
+// OpenLQP opens a streaming cursor on any LQP: Streamers stream natively;
+// for the rest the operation is executed materialized and the result re-cut
+// into batches, so callers program against cursors uniformly.
+func OpenLQP(l LQP, op Op) (rel.Cursor, error) {
+	if s, ok := l.(Streamer); ok {
+		return s.Open(op)
+	}
+	r, err := l.Execute(op)
+	if err != nil {
+		return nil, err
+	}
+	return rel.CursorOf(r), nil
+}
+
+// Open implements Streamer. Retrieve, Select and Restrict stream straight
+// off the base relation — no per-tuple copy, one batch in flight; Project
+// eliminates duplicates (a blocking step whose memory is bounded by the
+// projected output) and streams the result.
+func (l *Local) Open(op Op) (rel.Cursor, error) {
+	schema, tuples, err := l.db.View(op.Relation)
+	if err != nil {
+		return nil, fmt.Errorf("lqp %s: %w", l.Name(), err)
+	}
+	// base is a read-only view of the live relation; the relalg operators
+	// and the cursors below never mutate input tuples.
+	base := &rel.Relation{Name: op.Relation, Schema: schema, Tuples: tuples}
+	switch op.Kind {
+	case OpRetrieve:
+		return rel.CursorOf(base), nil
+	case OpSelect:
+		ci, err := base.Col(op.Attr)
+		if err != nil {
+			return nil, err
+		}
+		theta, constant := op.Theta, op.Const
+		return rel.FilterCursor(rel.CursorOf(base), func(t rel.Tuple) bool {
+			return theta.Eval(t[ci], constant)
+		}), nil
+	case OpRestrict:
+		xi, err := base.Col(op.Attr)
+		if err != nil {
+			return nil, err
+		}
+		yi, err := base.Col(op.Attr2)
+		if err != nil {
+			return nil, err
+		}
+		theta := op.Theta
+		return rel.FilterCursor(rel.CursorOf(base), func(t rel.Tuple) bool {
+			return theta.Eval(t[xi], t[yi])
+		}), nil
+	case OpProject:
+		r, err := relalg.Project(base, op.Attrs)
+		if err != nil {
+			return nil, err
+		}
+		return rel.CursorOf(r), nil
+	default:
+		return nil, fmt.Errorf("lqp %s: unsupported operation %v", l.Name(), op.Kind)
+	}
+}
+
+var _ Streamer = (*Local)(nil)

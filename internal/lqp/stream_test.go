@@ -1,0 +1,155 @@
+package lqp
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/rel"
+)
+
+// bigDB builds a database whose relation spans several default batches.
+func bigDB(n int) *catalog.Database {
+	db := catalog.NewDatabase("BD")
+	db.MustCreate("T", rel.SchemaOf("K", "V"))
+	for i := 0; i < n; i++ {
+		if err := db.Insert("T", rel.Tuple{rel.Int(int64(i)), rel.String(strings.Repeat("v", 1+i%3))}); err != nil {
+			panic(err)
+		}
+	}
+	return db
+}
+
+func renderPlain(r *rel.Relation) []string {
+	out := make([]string, 0, len(r.Tuples))
+	for _, t := range r.Tuples {
+		parts := make([]string, len(t))
+		for i, v := range t {
+			parts[i] = v.Key()
+		}
+		out = append(out, strings.Join(parts, "|"))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestLocalOpenMatchesExecute: for every op kind, the streamed result
+// equals the materialized one row for row.
+func TestLocalOpenMatchesExecute(t *testing.T) {
+	l := NewLocal(bigDB(700))
+	ops := []Op{
+		Retrieve("T"),
+		Select("T", "K", rel.ThetaLT, rel.Int(500)),
+		Restrict("T", "K", rel.ThetaNE, "V"),
+		Project("T", "V"),
+	}
+	for _, op := range ops {
+		mat, err := l.Execute(op)
+		if err != nil {
+			t.Fatalf("%v: execute: %v", op, err)
+		}
+		cur, err := l.Open(op)
+		if err != nil {
+			t.Fatalf("%v: open: %v", op, err)
+		}
+		got, err := rel.Drain(cur)
+		if err != nil {
+			t.Fatalf("%v: drain: %v", op, err)
+		}
+		if !got.Schema.Equal(mat.Schema) {
+			t.Fatalf("%v: schema %s, want %s", op, got.Schema, mat.Schema)
+		}
+		a, b := renderPlain(got), renderPlain(mat)
+		if strings.Join(a, "\n") != strings.Join(b, "\n") {
+			t.Fatalf("%v: streamed result diverged from materialized (%d vs %d rows)", op, len(a), len(b))
+		}
+	}
+}
+
+// TestLocalOpenErrors: unknown relations, attributes and op kinds fail at
+// Open time, not mid-stream.
+func TestLocalOpenErrors(t *testing.T) {
+	l := NewLocal(bigDB(10))
+	for _, op := range []Op{
+		Retrieve("MISSING"),
+		Select("T", "NOPE", rel.ThetaEQ, rel.Int(1)),
+		Restrict("T", "K", rel.ThetaEQ, "NOPE"),
+		Project("T", "NOPE"),
+		{Kind: OpKind(99), Relation: "T"},
+	} {
+		if _, err := l.Open(op); err == nil {
+			t.Errorf("%v: error expected", op)
+		}
+	}
+}
+
+// TestOpenLQPFallback: an LQP without the Streamer capability still opens,
+// through the materialize-then-cut adapter.
+type plainLQP struct{ inner *Local }
+
+func (p *plainLQP) Name() string                         { return p.inner.Name() }
+func (p *plainLQP) Relations() ([]string, error)         { return p.inner.Relations() }
+func (p *plainLQP) Execute(op Op) (*rel.Relation, error) { return p.inner.Execute(op) }
+
+func TestOpenLQPFallback(t *testing.T) {
+	p := &plainLQP{inner: NewLocal(bigDB(600))}
+	cur, err := OpenLQP(p, Retrieve("T"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rel.Drain(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cardinality() != 600 {
+		t.Fatalf("fallback drained %d tuples, want 600", got.Cardinality())
+	}
+}
+
+// TestCountingLatencyPerBatch: a relation spanning b batches charges
+// b × Latency on the materializing path, and one Latency per Next on the
+// streaming path.
+func TestCountingLatencyPerBatch(t *testing.T) {
+	const latency = 30 * time.Millisecond
+	n := rel.DefaultBatchSize*2 + 10 // 3 batches
+	c := NewCounting(NewLocal(bigDB(n)))
+	c.Latency = latency
+
+	start := time.Now()
+	r, err := c.Execute(Retrieve("T"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cardinality() != n {
+		t.Fatalf("retrieved %d tuples, want %d", r.Cardinality(), n)
+	}
+	if elapsed := time.Since(start); elapsed < 3*latency {
+		t.Errorf("materializing retrieve of 3 batches took %v, want >= %v", elapsed, 3*latency)
+	}
+
+	cur, err := c.Open(Retrieve("T"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start = time.Now()
+	if _, err := cur.Next(); err != nil {
+		t.Fatal(err)
+	}
+	first := time.Since(start)
+	if first < latency {
+		t.Errorf("first batch arrived in %v, want >= %v", first, latency)
+	}
+	// Generous upper bound: one batch latency plus scheduling slack, well
+	// under the 3-batch whole-transfer time.
+	if first >= 3*latency-latency/2 {
+		t.Errorf("first batch took %v; streaming should pay one batch latency, not the whole transfer", first)
+	}
+	if _, err := rel.Drain(cur); err != nil {
+		t.Fatal(err)
+	}
+	if c.Total() != 2 || c.Count(OpRetrieve) != 2 {
+		t.Errorf("ops recorded = %d (%d retrieves), want 2", c.Total(), c.Count(OpRetrieve))
+	}
+}

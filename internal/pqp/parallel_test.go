@@ -37,9 +37,10 @@ func TestParallelMatchesSerial(t *testing.T) {
 }
 
 // TestParallelOverlapsLQPLatency: with three LQPs at injected latency, the
-// Merge's retrieve fan-out overlaps; the plan's five local operations (three
-// of them independent retrieves) must complete in well under five full
-// round trips.
+// Merge's retrieve fan-out overlaps under both the parallel materializing
+// engine and the streaming engine (whose prefetching local streams proceed
+// concurrently); only the serial materializing engine pays one full round
+// trip per local operation.
 func TestParallelOverlapsLQPLatency(t *testing.T) {
 	const latency = 20 * time.Millisecond
 	fed := paperdata.New()
@@ -54,17 +55,26 @@ func TestParallelOverlapsLQPLatency(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Serial: 3 sequential retrieves = 3 × latency minimum.
+	res, err := q.Run(e) // plan once; time the engines below
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serial materializing: 3 sequential retrieves = 3 × latency minimum.
 	start := time.Now()
-	if _, err := q.Run(e); err != nil {
+	if _, err := q.ExecuteMaterialized(res.Plan); err != nil {
 		t.Fatal(err)
 	}
 	serial := time.Since(start)
 	start = time.Now()
-	if _, err := q.RunParallel(e); err != nil {
+	if _, err := q.ExecuteParallel(res.Plan); err != nil {
 		t.Fatal(err)
 	}
 	parallel := time.Since(start)
+	start = time.Now()
+	if _, err := q.Execute(res.Plan); err != nil {
+		t.Fatal(err)
+	}
+	streaming := time.Since(start)
 	if serial < 3*latency {
 		t.Fatalf("serial run too fast (%v); latency injection broken?", serial)
 	}
@@ -73,6 +83,9 @@ func TestParallelOverlapsLQPLatency(t *testing.T) {
 	}
 	if parallel > 2*latency {
 		t.Errorf("parallel run %v; the three retrieves should overlap into ~one latency (%v)", parallel, latency)
+	}
+	if streaming >= serial {
+		t.Errorf("streaming (%v) not faster than serial materializing (%v)", streaming, serial)
 	}
 }
 

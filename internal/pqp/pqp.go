@@ -5,11 +5,27 @@
 // evaluates the PQP-resident polygen operations with the polygen algebra,
 // maintaining data and intermediate source tags throughout.
 //
-// Both executors (serial Execute and ExecuteParallel) run the hash-native
-// algebra: tuple identity is a 64-bit hash and join probes intern canonical
-// IDs through the PQP's resolver. One PQP keeps one Algebra — and therefore
-// one resolver intern table — across queries, so canonical IDs warm up once
-// per federation rather than once per query.
+// Three engines evaluate plans, all producing cell-for-cell identical
+// results (data and both tag sets):
+//
+//   - Execute is the streaming engine and the default: the plan is compiled
+//     into a tree of cursors (stream.go) through which row batches flow, so
+//     peak memory is bounded by the batches in flight plus the registers
+//     that must materialize (those consumed more than once, and the
+//     blocking points of Project/Union/Intersect/Merge), and remote LQP
+//     retrieval overlaps with PQP-side operator work via per-stream
+//     prefetch.
+//   - ExecuteMaterialized is the register-at-a-time materializing engine
+//     the reproduction shipped with, kept as the second reference
+//     implementation (alongside the string-keyed core.Ref* operators);
+//     ExecuteAll exposes it whenever every register is wanted, and
+//     ExecuteParallel runs its steps with inter-row parallelism.
+//
+// Every engine runs the hash-native algebra: tuple identity is a 64-bit
+// hash and join probes intern canonical IDs through the PQP's resolver. One
+// PQP keeps one Algebra — and therefore one resolver intern table — across
+// queries, so canonical IDs warm up once per federation rather than once
+// per query.
 package pqp
 
 import (
@@ -126,9 +142,11 @@ func (q *PQP) Run(e translate.Expr) (*Result, error) {
 	return res, nil
 }
 
-// Execute evaluates an Intermediate Operation Matrix and returns the final
-// register's relation.
-func (q *PQP) Execute(iom *translate.Matrix) (*core.Relation, error) {
+// ExecuteMaterialized evaluates an Intermediate Operation Matrix register
+// by register, fully materializing each one, and returns the final
+// register's relation. It is the reference engine the streaming Execute is
+// proven against; the two agree cell for cell.
+func (q *PQP) ExecuteMaterialized(iom *translate.Matrix) (*core.Relation, error) {
 	regs, err := q.ExecuteAll(iom)
 	if err != nil {
 		return nil, err
@@ -136,9 +154,11 @@ func (q *PQP) Execute(iom *translate.Matrix) (*core.Relation, error) {
 	return regs[iom.Rows[len(iom.Rows)-1].PR], nil
 }
 
-// ExecuteAll evaluates an Intermediate Operation Matrix and returns every
-// register — the reproduction harness uses it to compare each intermediate
-// polygen relation against the paper's Tables 4–9.
+// ExecuteAll evaluates an Intermediate Operation Matrix with the
+// materializing engine and returns every register — the reproduction
+// harness uses it to compare each intermediate polygen relation against the
+// paper's Tables 4–9. (Streaming would be no help here: every register is
+// consumed by the caller, so each one must materialize anyway.)
 func (q *PQP) ExecuteAll(iom *translate.Matrix) (map[int]*core.Relation, error) {
 	if iom.Cardinality() == 0 {
 		return nil, fmt.Errorf("pqp: empty plan")
@@ -269,27 +289,9 @@ func (q *PQP) runLocal(row translate.Row) (*core.Relation, error) {
 	if !ok {
 		return nil, fmt.Errorf("no LQP for local database %q", row.EL)
 	}
-	if row.LHR.Kind != translate.OpdLocal {
-		return nil, fmt.Errorf("local row requires a local relation operand, found %s", row.LHR)
-	}
-	var op lqp.Op
-	switch row.Op {
-	case translate.OpRetrieve:
-		op = lqp.Retrieve(row.LHR.Name)
-	case translate.OpSelect:
-		if row.RHA.Kind != translate.CmpConst {
-			return nil, fmt.Errorf("local Select requires a constant RHA")
-		}
-		op = lqp.Select(row.LHR.Name, row.LHA[0], row.Theta, row.RHA.Const)
-	case translate.OpRestrict:
-		if row.RHA.Kind != translate.CmpAttr {
-			return nil, fmt.Errorf("local Restrict requires an attribute RHA")
-		}
-		op = lqp.Restrict(row.LHR.Name, row.LHA[0], row.Theta, row.RHA.Attr)
-	case translate.OpProject:
-		op = lqp.Project(row.LHR.Name, row.LHA...)
-	default:
-		return nil, fmt.Errorf("operation %q cannot execute at an LQP", row.Op)
+	op, err := localOp(row)
+	if err != nil {
+		return nil, err
 	}
 	plain, err := processor.Execute(op)
 	if err != nil {
@@ -298,15 +300,62 @@ func (q *PQP) runLocal(row translate.Row) (*core.Relation, error) {
 	return q.TagRetrieved(plain, row.EL, row.LHR.Name)
 }
 
+// localOp builds the local operation an LQP-resident row asks for; both the
+// materializing and the streaming engine route rows through it.
+func localOp(row translate.Row) (lqp.Op, error) {
+	if row.LHR.Kind != translate.OpdLocal {
+		return lqp.Op{}, fmt.Errorf("local row requires a local relation operand, found %s", row.LHR)
+	}
+	switch row.Op {
+	case translate.OpRetrieve:
+		return lqp.Retrieve(row.LHR.Name), nil
+	case translate.OpSelect:
+		if row.RHA.Kind != translate.CmpConst {
+			return lqp.Op{}, fmt.Errorf("local Select requires a constant RHA")
+		}
+		return lqp.Select(row.LHR.Name, row.LHA[0], row.Theta, row.RHA.Const), nil
+	case translate.OpRestrict:
+		if row.RHA.Kind != translate.CmpAttr {
+			return lqp.Op{}, fmt.Errorf("local Restrict requires an attribute RHA")
+		}
+		return lqp.Restrict(row.LHR.Name, row.LHA[0], row.Theta, row.RHA.Attr), nil
+	case translate.OpProject:
+		return lqp.Project(row.LHR.Name, row.LHA...), nil
+	default:
+		return lqp.Op{}, fmt.Errorf("operation %q cannot execute at an LQP", row.Op)
+	}
+}
+
+// tagPlan computes, for each local column retrieved from db.localScheme,
+// the polygen-annotated output attribute and the domain-map function to
+// apply before tagging. Shared by TagRetrieved and the streaming tag
+// cursor so both engines tag identically.
+func (q *PQP) tagPlan(db, localScheme string, names []string) ([]core.Attr, []func(rel.Value) rel.Value) {
+	attrs := make([]core.Attr, len(names))
+	fns := make([]func(rel.Value) rel.Value, len(names))
+	for i, n := range names {
+		attrs[i] = core.Attr{Name: n}
+		la := core.LocalAttr{DB: db, Scheme: localScheme, Attr: n}
+		if sa, ok := q.schema.PolygenAttrOf(la); ok {
+			attrs[i].Polygen = sa.Attr
+		}
+		fns[i] = q.schema.DomainMap.Lookup(db, localScheme, n)
+	}
+	return attrs, fns
+}
+
 // TagRetrieved converts a plain relation returned by the LQP of database db
 // into a polygen relation: domain mappings apply first, then every cell is
 // tagged with origin {db} and an empty intermediate set, and every column is
 // annotated with the polygen attribute the schema maps it to.
 func (q *PQP) TagRetrieved(plain *rel.Relation, db, localScheme string) (*core.Relation, error) {
-	// Apply domain mappings column-wise before tagging.
 	names := plain.Schema.Names()
-	for ci, attr := range names {
-		fn := q.schema.DomainMap.Lookup(db, localScheme, attr)
+	attrs, fns := q.tagPlan(db, localScheme, names)
+	// Apply domain mappings column-wise before tagging. The relation is a
+	// query-private snapshot, so mapping in place is safe here (the
+	// streaming path, whose batches alias live base relations, copies).
+	for ci := range names {
+		fn := fns[ci]
 		for _, t := range plain.Tuples {
 			t[ci] = fn(t[ci])
 		}
@@ -315,10 +364,7 @@ func (q *PQP) TagRetrieved(plain *rel.Relation, db, localScheme string) (*core.R
 	p := core.FromPlain(plain, src, q.reg)
 	p.Name = localScheme
 	for i := range p.Attrs {
-		la := core.LocalAttr{DB: db, Scheme: localScheme, Attr: p.Attrs[i].Name}
-		if sa, ok := q.schema.PolygenAttrOf(la); ok {
-			p.Attrs[i].Polygen = sa.Attr
-		}
+		p.Attrs[i].Polygen = attrs[i].Polygen
 	}
 	return p, nil
 }

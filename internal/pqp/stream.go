@@ -1,0 +1,300 @@
+package pqp
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/lqp"
+	"repro/internal/rel"
+	"repro/internal/sourceset"
+	"repro/internal/translate"
+)
+
+// This file is the streaming execution engine: a plan is compiled into a
+// tree of core.Cursors (OpenPlan) and the answer is pulled through it batch
+// by batch. Registers consumed exactly once never materialize — their rows
+// flow straight into the consuming operator; registers consumed more than
+// once (or by no one: dead rows still execute, for LQP-operation fidelity)
+// are drained into relations at build time, exactly as the materializing
+// engine would.
+//
+// LQP-resident rows are opened eagerly, in plan order, each behind a
+// prefetching reader: every local retrieval proceeds on its own goroutine
+// (bounded by prefetchDepth batches) while the PQP evaluates, so wide-area
+// LQP latency overlaps both with PQP-side operator work and with the other
+// retrievals — the streaming engine gets the B-PAR fan-out overlap without
+// giving up the serial engine's deterministic operation order.
+
+// prefetchDepth is how many batches a local stream may run ahead of its
+// consumer: deep enough to absorb per-batch wide-area latency, shallow
+// enough to bound every stream's buffered memory.
+const prefetchDepth = 8
+
+// errRedefinedRegister marks plans that assign one register twice; the
+// streaming engine cannot compile those (a pending cursor would be
+// clobbered), so Execute falls back to the materializing engine.
+var errRedefinedRegister = errors.New("pqp: plan redefines a register")
+
+// Execute evaluates an Intermediate Operation Matrix with the streaming
+// engine and returns the final register's relation. The result is
+// cell-for-cell identical to ExecuteMaterialized's (the property suite and
+// the paper-table tests hold both engines to it).
+func (q *PQP) Execute(iom *translate.Matrix) (*core.Relation, error) {
+	cur, err := q.OpenPlan(iom)
+	if errors.Is(err, errRedefinedRegister) {
+		return q.ExecuteMaterialized(iom)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out, err := core.Drain(cur)
+	if err != nil {
+		// Streamed operators defer their work to the drain, so the failing
+		// row cannot be named here — the wrapped error carries the failing
+		// operator's own context (lqp/wire/core prefixes).
+		return nil, fmt.Errorf("pqp: draining streamed plan: %w", err)
+	}
+	return out, nil
+}
+
+// OpenPlan compiles an Intermediate Operation Matrix into a tree of
+// streaming cursors and returns the cursor for the final register. The
+// caller owns the cursor and must Close it (draining it to completion also
+// closes the whole tree). Local rows are opened against their LQPs during
+// compilation, in plan order.
+func (q *PQP) OpenPlan(iom *translate.Matrix) (core.Cursor, error) {
+	if iom.Cardinality() == 0 {
+		return nil, fmt.Errorf("pqp: empty plan")
+	}
+	// Count how many times each register is consumed; the final register
+	// gains one consumer — the caller.
+	consumers := make(map[int]int, iom.Cardinality())
+	defined := make(map[int]bool, iom.Cardinality())
+	for _, row := range iom.Rows {
+		if defined[row.PR] {
+			return nil, fmt.Errorf("%w: R(%d)", errRedefinedRegister, row.PR)
+		}
+		defined[row.PR] = true
+		for _, o := range [...]translate.Operand{row.LHR, row.RHR} {
+			switch o.Kind {
+			case translate.OpdReg:
+				consumers[o.Reg]++
+			case translate.OpdRegs:
+				for _, r := range o.Regs {
+					consumers[r]++
+				}
+			}
+		}
+	}
+	last := iom.Rows[len(iom.Rows)-1].PR
+	consumers[last]++
+
+	pending := make(map[int]core.Cursor) // single-consumer registers, not yet claimed
+	mats := make(map[int]*core.Relation) // multi-consumer (or dead) registers
+	closePending := func() {
+		for _, c := range pending {
+			c.Close()
+		}
+	}
+	takeReg := func(n int) (core.Cursor, error) {
+		if c, ok := pending[n]; ok {
+			delete(pending, n)
+			return c, nil
+		}
+		if p, ok := mats[n]; ok {
+			return core.CursorOf(p), nil
+		}
+		return nil, fmt.Errorf("register R(%d) not computed", n)
+	}
+
+	for _, row := range iom.Rows {
+		c, err := q.openRow(row, takeReg)
+		if err != nil {
+			closePending()
+			return nil, fmt.Errorf("pqp: executing %s: %w", row, err)
+		}
+		if consumers[row.PR] == 1 {
+			pending[row.PR] = c
+			if q.Trace != nil {
+				q.Trace("%-60s -> streamed", row.String())
+			}
+			continue
+		}
+		p, err := core.Drain(c)
+		if err != nil {
+			closePending()
+			return nil, fmt.Errorf("pqp: executing %s: %w", row, err)
+		}
+		mats[row.PR] = p
+		if q.Trace != nil {
+			q.Trace("%-60s -> %d tuples", row.String(), p.Cardinality())
+		}
+	}
+	if c, ok := pending[last]; ok {
+		delete(pending, last)
+		closePending() // defensive: a well-formed plan leaves nothing pending
+		return c, nil
+	}
+	closePending()
+	return core.CursorOf(mats[last]), nil
+}
+
+// openRow builds the cursor for one plan row, claiming its register
+// operands through takeReg.
+func (q *PQP) openRow(row translate.Row, takeReg func(int) (core.Cursor, error)) (core.Cursor, error) {
+	if row.EL != "PQP" {
+		return q.openLocal(row)
+	}
+	operand := func(o translate.Operand) (core.Cursor, error) {
+		if o.Kind != translate.OpdReg {
+			return nil, fmt.Errorf("PQP operand must be a register, found %s", o)
+		}
+		return takeReg(o.Reg)
+	}
+	binary := func(build func(l, r core.Cursor) (core.Cursor, error)) (core.Cursor, error) {
+		l, err := operand(row.LHR)
+		if err != nil {
+			return nil, err
+		}
+		r, err := operand(row.RHR)
+		if err != nil {
+			l.Close()
+			return nil, err
+		}
+		return build(l, r)
+	}
+	switch row.Op {
+	case translate.OpSelect:
+		in, err := operand(row.LHR)
+		if err != nil {
+			return nil, err
+		}
+		if row.RHA.Kind != translate.CmpConst {
+			in.Close()
+			return nil, fmt.Errorf("Select requires a constant RHA")
+		}
+		return q.alg.StreamSelect(in, row.LHA[0], row.Theta, row.RHA.Const)
+	case translate.OpRestrict:
+		in, err := operand(row.LHR)
+		if err != nil {
+			return nil, err
+		}
+		switch row.RHA.Kind {
+		case translate.CmpAttr:
+			return q.alg.StreamRestrict(in, row.LHA[0], row.Theta, row.RHA.Attr)
+		case translate.CmpConst:
+			return q.alg.StreamSelect(in, row.LHA[0], row.Theta, row.RHA.Const)
+		default:
+			in.Close()
+			return nil, fmt.Errorf("Restrict requires an RHA")
+		}
+	case translate.OpProject:
+		in, err := operand(row.LHR)
+		if err != nil {
+			return nil, err
+		}
+		return q.alg.StreamProject(in, row.LHA)
+	case translate.OpJoin:
+		return binary(func(l, r core.Cursor) (core.Cursor, error) {
+			return q.alg.StreamJoin(l, row.LHA[0], row.Theta, r, row.RHA.Attr)
+		})
+	case translate.OpMerge:
+		if row.LHR.Kind != translate.OpdRegs {
+			return nil, fmt.Errorf("Merge requires a register list")
+		}
+		scheme, ok := q.schema.Scheme(row.Scheme)
+		if !ok {
+			return nil, fmt.Errorf("Merge row names unknown scheme %q", row.Scheme)
+		}
+		ins := make([]core.Cursor, 0, len(row.LHR.Regs))
+		for _, rn := range row.LHR.Regs {
+			c, err := takeReg(rn)
+			if err != nil {
+				for _, open := range ins {
+					open.Close()
+				}
+				return nil, err
+			}
+			ins = append(ins, c)
+		}
+		return q.alg.StreamMerge(scheme, q.BalancedMerge, ins...)
+	case translate.OpUnion:
+		return binary(q.alg.StreamUnion)
+	case translate.OpDifference:
+		return binary(q.alg.StreamDifference)
+	case translate.OpIntersect:
+		return binary(q.alg.StreamIntersect)
+	case translate.OpProduct:
+		return binary(q.alg.StreamProduct)
+	default:
+		return nil, fmt.Errorf("unsupported PQP operation %q", row.Op)
+	}
+}
+
+// openLocal opens one LQP-resident row as a tagged stream: the LQP cursor
+// is wrapped in a prefetching reader (so retrieval overlaps with PQP work)
+// and a tagging cursor that applies domain mappings and attaches the
+// execution location as every cell's originating source.
+func (q *PQP) openLocal(row translate.Row) (core.Cursor, error) {
+	processor, ok := q.lqps[row.EL]
+	if !ok {
+		return nil, fmt.Errorf("no LQP for local database %q", row.EL)
+	}
+	op, err := localOp(row)
+	if err != nil {
+		return nil, err
+	}
+	rc, err := lqp.OpenLQP(processor, op)
+	if err != nil {
+		return nil, err
+	}
+	return q.newTagCursor(rel.Prefetch(rc, prefetchDepth), row.EL, row.LHR.Name), nil
+}
+
+// tagCursor is the streaming counterpart of TagRetrieved: each batch of
+// plain rows is domain-mapped and tagged with origin {db} and an empty
+// intermediate set into fresh polygen rows (the input batches may alias a
+// live base relation and are never mutated).
+type tagCursor struct {
+	name   string
+	attrs  []core.Attr
+	in     rel.Cursor
+	fns    []func(rel.Value) rel.Value
+	origin sourceset.Set
+	out    *core.Relation // arena holder for output rows
+}
+
+func (q *PQP) newTagCursor(in rel.Cursor, db, localScheme string) *tagCursor {
+	attrs, fns := q.tagPlan(db, localScheme, in.Schema().Names())
+	return &tagCursor{
+		name:   localScheme,
+		attrs:  attrs,
+		in:     in,
+		fns:    fns,
+		origin: sourceset.Of(q.reg.Intern(db)),
+		out:    core.NewRelation(localScheme, q.reg, attrs...),
+	}
+}
+
+func (c *tagCursor) Name() string                  { return c.name }
+func (c *tagCursor) Attrs() []core.Attr            { return c.attrs }
+func (c *tagCursor) Registry() *sourceset.Registry { return c.out.Reg }
+
+func (c *tagCursor) Next() ([]core.Tuple, error) {
+	batch, err := c.in.Next()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]core.Tuple, len(batch))
+	for bi, t := range batch {
+		row := c.out.NewRow(len(t))
+		for i, v := range t {
+			row[i] = core.Cell{D: c.fns[i](v), O: c.origin}
+		}
+		rows[bi] = row
+	}
+	return rows, nil
+}
+
+func (c *tagCursor) Close() error { return c.in.Close() }

@@ -1,0 +1,229 @@
+package pqp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/identity"
+	"repro/internal/lqp"
+	"repro/internal/paperdata"
+	"repro/internal/rel"
+	"repro/internal/translate"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// streamQueries are the SQL queries the engine-parity tests run: the
+// paper's worked example plus shapes covering every PQP-resident operator
+// family the translator emits.
+var streamQueries = []string{
+	`SELECT ANAME FROM PALUMNUS WHERE DEGREE = "MBA"`,
+	`SELECT ONAME FROM PORGANIZATION WHERE INDUSTRY = "Banking"`,
+	`SELECT ONAME, CEO FROM PORGANIZATION WHERE INDUSTRY = "Banking"`,
+	`SELECT ONAME, CEO FROM PORGANIZATION, PALUMNUS WHERE CEO = ANAME AND ONAME IN
+		(SELECT ONAME FROM PCAREER WHERE AID# IN
+		(SELECT AID# FROM PALUMNUS WHERE DEGREE = "MBA"))`,
+}
+
+// TestStreamingMatchesMaterializedOnPaperQueries: the streaming engine, the
+// materializing engine and the parallel engine return identical tagged
+// answers (cell for cell, data and both tag sets) for the paper queries.
+func TestStreamingMatchesMaterializedOnPaperQueries(t *testing.T) {
+	q := newPQP(t)
+	for _, sql := range streamQueries {
+		res, err := q.QuerySQL(sql) // Run → streaming Execute
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		mat, err := q.ExecuteMaterialized(res.Plan)
+		if err != nil {
+			t.Fatalf("%s: materialized: %v", sql, err)
+		}
+		par, err := q.ExecuteParallel(res.Plan)
+		if err != nil {
+			t.Fatalf("%s: parallel: %v", sql, err)
+		}
+		str := strings.Join(render(res.Relation), "\n")
+		if m := strings.Join(render(mat), "\n"); str != m {
+			t.Errorf("%s:\nstreaming:\n%s\nmaterialized:\n%s", sql, str, m)
+		}
+		if p := strings.Join(render(par), "\n"); str != p {
+			t.Errorf("%s:\nstreaming:\n%s\nparallel:\n%s", sql, str, p)
+		}
+		if res.Relation.AttrNames()[0] != mat.AttrNames()[0] || res.Relation.Degree() != mat.Degree() {
+			t.Errorf("%s: attr layout diverged: %v vs %v", sql, res.Relation.AttrNames(), mat.AttrNames())
+		}
+	}
+}
+
+// TestStreamingMatchesMaterializedOnWorkload: engine parity on a synthetic
+// federation whose Merge fans in several sources.
+func TestStreamingMatchesMaterializedOnWorkload(t *testing.T) {
+	f := workload.New(workload.Config{Databases: 4, Entities: 500, Overlap: 0.6, Categories: 7, Seed: 11})
+	q := New(f.Schema, f.Registry, identity.Exact{}, f.LQPs())
+	res, err := q.QuerySQL(`SELECT KEY, CAT FROM PENTITY WHERE CAT = "C3"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, err := q.ExecuteMaterialized(res.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := strings.Join(render(res.Relation), "\n"), strings.Join(render(mat), "\n")
+	if a != b {
+		t.Errorf("workload answers diverged:\nstreaming:\n%s\nmaterialized:\n%s", a, b)
+	}
+}
+
+// TestStreamingSharedRegister: a register consumed twice (self-join)
+// materializes once and feeds both operands; the answer matches the
+// materializing engine.
+func TestStreamingSharedRegister(t *testing.T) {
+	q := newPQP(t)
+	plan := &translate.Matrix{Rows: []translate.Row{
+		{PR: 1, Op: translate.OpRetrieve, LHR: translate.LocalOperand("ALUMNUS"),
+			RHA: translate.NoComparand(), RHR: translate.NoOperand(), EL: "AD"},
+		{PR: 2, Op: translate.OpJoin, LHR: translate.RegOperand(1), LHA: []string{"ANAME"},
+			Theta: rel.ThetaEQ, HasTheta: true, RHA: translate.AttrComparand("ANAME"),
+			RHR: translate.RegOperand(1), EL: "PQP"},
+	}}
+	str, err := q.Execute(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, err := q.ExecuteMaterialized(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if str.Cardinality() == 0 {
+		t.Fatal("self-join returned nothing")
+	}
+	a, b := strings.Join(render(str), "\n"), strings.Join(render(mat), "\n")
+	if a != b {
+		t.Errorf("shared-register answers diverged:\nstreaming:\n%s\nmaterialized:\n%s", a, b)
+	}
+}
+
+// TestStreamingRedefinedRegisterFallsBack: plans that reassign a register
+// cannot compile to a cursor tree; Execute silently uses the materializing
+// engine and still answers.
+func TestStreamingRedefinedRegisterFallsBack(t *testing.T) {
+	q := newPQP(t)
+	plan := &translate.Matrix{Rows: []translate.Row{
+		{PR: 1, Op: translate.OpRetrieve, LHR: translate.LocalOperand("ALUMNUS"),
+			RHA: translate.NoComparand(), RHR: translate.NoOperand(), EL: "AD"},
+		{PR: 1, Op: translate.OpRetrieve, LHR: translate.LocalOperand("CAREER"),
+			RHA: translate.NoComparand(), RHR: translate.NoOperand(), EL: "AD"},
+	}}
+	got, err := q.Execute(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, err := q.ExecuteMaterialized(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cardinality() != mat.Cardinality() {
+		t.Errorf("fallback answer has %d tuples, want %d", got.Cardinality(), mat.Cardinality())
+	}
+}
+
+// TestStreamingBadPlans: the malformed plans the materializing engine
+// rejects are rejected by the streaming engine too.
+func TestStreamingBadPlans(t *testing.T) {
+	q := newPQP(t)
+	bad := []*translate.Matrix{
+		{},
+		{Rows: []translate.Row{{PR: 1, Op: translate.OpProject, LHR: translate.RegOperand(42),
+			LHA: []string{"X"}, RHA: translate.NoComparand(), RHR: translate.NoOperand(), EL: "PQP"}}},
+		{Rows: []translate.Row{{PR: 1, Op: translate.OpMerge, LHR: translate.RegOperand(1),
+			RHA: translate.NoComparand(), RHR: translate.NoOperand(), EL: "PQP"}}},
+		{Rows: []translate.Row{{PR: 1, Op: translate.OpRetrieve, LHR: translate.LocalOperand("ALUMNUS"),
+			RHA: translate.NoComparand(), RHR: translate.NoOperand(), EL: "NOSUCHDB"}}},
+	}
+	for i, plan := range bad {
+		if _, err := q.Execute(plan); err == nil {
+			t.Errorf("bad plan %d accepted by streaming engine", i)
+		}
+	}
+}
+
+// TestStreamingPreservesLQPOpOrder: the streaming engine issues exactly the
+// local operations of the materializing engine, in the same order — eager
+// plan-order opens keep Counting-based pushdown assertions meaningful.
+func TestStreamingPreservesLQPOpOrder(t *testing.T) {
+	fed := paperdata.New()
+	counters := make(map[string]*lqp.Counting, 3)
+	lqps := make(map[string]lqp.LQP, 3)
+	for name, l := range fed.LQPs() {
+		c := lqp.NewCounting(l)
+		counters[name] = c
+		lqps[name] = c
+	}
+	q := New(fed.Schema, fed.Registry, identity.CaseFold{}, lqps)
+	res, err := q.QuerySQL(streamQueries[3]) // streaming run
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed := make(map[string]string)
+	for name, c := range counters {
+		ops := c.Ops()
+		strs := make([]string, len(ops))
+		for i, op := range ops {
+			strs[i] = op.String()
+		}
+		streamed[name] = strings.Join(strs, "; ")
+		c.Reset()
+	}
+	if _, err := q.ExecuteMaterialized(res.Plan); err != nil {
+		t.Fatal(err)
+	}
+	for name, c := range counters {
+		ops := c.Ops()
+		strs := make([]string, len(ops))
+		for i, op := range ops {
+			strs[i] = op.String()
+		}
+		if got := strings.Join(strs, "; "); got != streamed[name] {
+			t.Errorf("%s op sequence diverged:\nstreaming:     %s\nmaterializing: %s", name, streamed[name], got)
+		}
+	}
+}
+
+// TestStreamingOverTCP: the full Figure-1 path — PQP against three lqpd-style
+// wire servers — streams row frames end to end and matches the in-process
+// answer.
+func TestStreamingOverTCP(t *testing.T) {
+	fed := paperdata.New()
+	lqps := make(map[string]lqp.LQP, 3)
+	servers := []*wire.Server{wire.NewServer(fed.AD), wire.NewServer(fed.PD), wire.NewServer(fed.CD)}
+	for _, srv := range servers {
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		client, err := wire.Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer client.Close()
+		lqps[client.Name()] = client
+	}
+	remote := New(fed.Schema, fed.Registry, identity.CaseFold{}, lqps)
+	local := newPQP(t)
+	for _, sql := range streamQueries {
+		rr, err := remote.QuerySQL(sql)
+		if err != nil {
+			t.Fatalf("%s (remote): %v", sql, err)
+		}
+		lr, err := local.QuerySQL(sql)
+		if err != nil {
+			t.Fatalf("%s (local): %v", sql, err)
+		}
+		a, b := strings.Join(render(rr.Relation), "\n"), strings.Join(render(lr.Relation), "\n")
+		if a != b {
+			t.Errorf("%s: remote streaming answer diverged:\nremote:\n%s\nlocal:\n%s", sql, a, b)
+		}
+	}
+}

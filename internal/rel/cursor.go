@@ -1,0 +1,236 @@
+package rel
+
+import "io"
+
+// This file defines the streaming substrate of the execution engine: a
+// Cursor yields a relation batch-at-a-time instead of materializing it, so
+// a query's peak memory is bounded by the batches in flight rather than by
+// the sum of its intermediate results, and remote retrieval can overlap
+// with downstream operator work (EMBANKS-style memory-bounded streaming,
+// layered under the polygen algebra's tagged cursors in package core).
+
+// DefaultBatchSize is the number of tuples per batch used by the engine's
+// cursors and by the wire protocol's row frames when the caller does not
+// choose one. Batches are small enough to bound memory and large enough to
+// amortize per-batch overhead (interface calls, frame headers, prefetch
+// hand-offs).
+const DefaultBatchSize = 256
+
+// Cursor is a pull-based producer of tuple batches over a fixed schema.
+//
+// Next returns the next non-empty batch, or (nil, io.EOF) after the last
+// one; any other error is a failure of the underlying producer. A returned
+// batch is immutable: neither the cursor nor the consumer may modify its
+// tuples (they may share storage with a live base relation), and it remains
+// valid across subsequent Next calls — consumers that retain tuples need
+// not copy them. Cursors are single-consumer and not safe for concurrent
+// use; wrap one in Prefetch to move production onto its own goroutine.
+//
+// Close releases the cursor's resources (goroutines, connections). It is
+// idempotent, and must be called even when Next has already returned an
+// error or io.EOF.
+type Cursor interface {
+	// Schema describes the columns of every batch.
+	Schema() *Schema
+	// Next returns the next batch, or (nil, io.EOF) when exhausted.
+	Next() ([]Tuple, error)
+	// Close releases the cursor's resources.
+	Close() error
+}
+
+// sliceCursor cuts an in-memory tuple slice into batches.
+type sliceCursor struct {
+	schema *Schema
+	tuples []Tuple
+	at     int
+	batch  int
+}
+
+// NewSliceCursor returns a cursor over tuples with the given batch size
+// (values < 1 mean DefaultBatchSize). The slice is read, never copied: the
+// batches alias it.
+func NewSliceCursor(schema *Schema, tuples []Tuple, batch int) Cursor {
+	if batch < 1 {
+		batch = DefaultBatchSize
+	}
+	return &sliceCursor{schema: schema, tuples: tuples, batch: batch}
+}
+
+// CursorOf returns a cursor over r's tuples in DefaultBatchSize batches.
+func CursorOf(r *Relation) Cursor {
+	return NewSliceCursor(r.Schema, r.Tuples, DefaultBatchSize)
+}
+
+func (c *sliceCursor) Schema() *Schema { return c.schema }
+
+func (c *sliceCursor) Next() ([]Tuple, error) {
+	if c.at >= len(c.tuples) {
+		return nil, io.EOF
+	}
+	end := c.at + c.batch
+	if end > len(c.tuples) {
+		end = len(c.tuples)
+	}
+	b := c.tuples[c.at:end:end]
+	c.at = end
+	return b, nil
+}
+
+func (c *sliceCursor) Close() error { return nil }
+
+// filterCursor streams the tuples of an input cursor that satisfy a
+// predicate.
+type filterCursor struct {
+	in   Cursor
+	keep func(Tuple) bool
+}
+
+// FilterCursor returns a cursor over the tuples of in for which keep holds.
+// Tuples pass through unchanged (and therefore share storage with in's
+// batches). Filtering is fully pipelined: one input batch is in flight at a
+// time.
+func FilterCursor(in Cursor, keep func(Tuple) bool) Cursor {
+	return &filterCursor{in: in, keep: keep}
+}
+
+func (c *filterCursor) Schema() *Schema { return c.in.Schema() }
+
+func (c *filterCursor) Next() ([]Tuple, error) {
+	for {
+		batch, err := c.in.Next()
+		if err != nil {
+			return nil, err
+		}
+		out := batch[:0:0]
+		for _, t := range batch {
+			if c.keep(t) {
+				out = append(out, t)
+			}
+		}
+		if len(out) > 0 {
+			return out, nil
+		}
+	}
+}
+
+func (c *filterCursor) Close() error { return c.in.Close() }
+
+// Drain materializes a cursor into a relation (with the cursor's schema and
+// no name) and closes it. Batch tuples are retained, not copied — the
+// Cursor contract keeps them valid and immutable.
+func Drain(c Cursor) (*Relation, error) {
+	out := NewRelation("", c.Schema())
+	for {
+		batch, err := c.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		out.Tuples = append(out.Tuples, batch...)
+	}
+	return out, c.Close()
+}
+
+// prefetched is one hand-off from a prefetch producer to its consumer.
+type prefetched struct {
+	batch []Tuple
+	err   error
+}
+
+// prefetchCursor runs its input cursor on a producer goroutine, keeping up
+// to depth batches buffered ahead of the consumer.
+type prefetchCursor struct {
+	schema *Schema
+	in     Cursor
+	ch     chan prefetched
+	stop   chan struct{}
+	done   chan struct{}
+	err    error
+	closed bool
+}
+
+// Prefetch wraps in so that batches are produced on a dedicated goroutine,
+// up to depth batches ahead of the consumer (depth < 1 means 1). This is
+// what lets a slow producer — a wide-area LQP, an injected-latency wrapper —
+// overlap with downstream operator work: the producer sleeps or waits on
+// the network while the consumer computes. Close stops the producer and
+// closes the inner cursor; it must be called even on early abandonment.
+func Prefetch(in Cursor, depth int) Cursor {
+	if depth < 1 {
+		depth = 1
+	}
+	p := &prefetchCursor{
+		schema: in.Schema(),
+		in:     in,
+		ch:     make(chan prefetched, depth),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	go p.run()
+	return p
+}
+
+func (p *prefetchCursor) run() {
+	defer close(p.done)
+	defer close(p.ch)
+	for {
+		batch, err := p.in.Next()
+		select {
+		case p.ch <- prefetched{batch: batch, err: err}:
+			if err != nil {
+				return
+			}
+		case <-p.stop:
+			return
+		}
+	}
+}
+
+func (p *prefetchCursor) Schema() *Schema { return p.schema }
+
+func (p *prefetchCursor) Next() ([]Tuple, error) {
+	if p.err != nil {
+		return nil, p.err
+	}
+	pf, ok := <-p.ch
+	if !ok {
+		// Producer stopped without delivering an error (Close raced a
+		// concurrent producer exit); treat as exhaustion.
+		p.err = io.EOF
+		return nil, io.EOF
+	}
+	if pf.err != nil {
+		p.err = pf.err
+		return nil, pf.err
+	}
+	return pf.batch, nil
+}
+
+func (p *prefetchCursor) Close() error {
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	close(p.stop)
+	select {
+	case <-p.done:
+		// Producer already exited (it delivered EOF or an error, or raced
+		// ahead of a parked hand-off): close the inner cursor in place.
+		return p.in.Close()
+	default:
+		// The producer may be parked inside in.Next — a network read on a
+		// stalled remote stream, an injected-latency sleep. Don't block the
+		// caller on it: the inner cursor is closed the moment the producer
+		// returns (a parked hand-off notices stop immediately; a parked
+		// in.Next at worst runs to its own deadline on the producer
+		// goroutine, not the caller's).
+		go func() {
+			<-p.done
+			p.in.Close()
+		}()
+		return nil
+	}
+}

@@ -1,0 +1,183 @@
+package rel
+
+import (
+	"errors"
+	"io"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func cursorTestRelation(n int) *Relation {
+	r := NewRelation("T", SchemaOf("A", "B"))
+	for i := 0; i < n; i++ {
+		r.MustAppend(Int(int64(i)), String("x"))
+	}
+	return r
+}
+
+func TestSliceCursorBatches(t *testing.T) {
+	r := cursorTestRelation(10)
+	c := NewSliceCursor(r.Schema, r.Tuples, 3)
+	var sizes []int
+	total := 0
+	for {
+		b, err := c.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, len(b))
+		for _, tup := range b {
+			if tup[0].IntVal() != int64(total) {
+				t.Fatalf("tuple %d out of order: %v", total, tup)
+			}
+			total++
+		}
+	}
+	if total != 10 {
+		t.Fatalf("saw %d tuples, want 10", total)
+	}
+	want := []int{3, 3, 3, 1}
+	for i, s := range sizes {
+		if s != want[i] {
+			t.Fatalf("batch sizes = %v, want %v", sizes, want)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Next(); err != io.EOF {
+		t.Fatalf("Next after exhaustion = %v, want io.EOF", err)
+	}
+}
+
+func TestDrainRoundTrips(t *testing.T) {
+	r := cursorTestRelation(700) // > 2 default batches
+	got, err := Drain(CursorOf(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cardinality() != 700 {
+		t.Fatalf("drained %d tuples, want 700", got.Cardinality())
+	}
+	for i, tup := range got.Tuples {
+		if !tup.Equal(r.Tuples[i]) {
+			t.Fatalf("tuple %d diverged", i)
+		}
+	}
+}
+
+func TestFilterCursor(t *testing.T) {
+	r := cursorTestRelation(100)
+	c := FilterCursor(NewSliceCursor(r.Schema, r.Tuples, 7), func(t Tuple) bool {
+		return t[0].IntVal()%10 == 0
+	})
+	got, err := Drain(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cardinality() != 10 {
+		t.Fatalf("filtered %d tuples, want 10", got.Cardinality())
+	}
+	for i, tup := range got.Tuples {
+		if tup[0].IntVal() != int64(i*10) {
+			t.Fatalf("tuple %d = %v, want %d", i, tup, i*10)
+		}
+	}
+}
+
+func TestPrefetchPreservesOrderAndEOF(t *testing.T) {
+	r := cursorTestRelation(1000)
+	c := Prefetch(NewSliceCursor(r.Schema, r.Tuples, 9), 4)
+	got, err := Drain(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cardinality() != 1000 {
+		t.Fatalf("drained %d tuples, want 1000", got.Cardinality())
+	}
+	for i, tup := range got.Tuples {
+		if tup[0].IntVal() != int64(i) {
+			t.Fatalf("tuple %d out of order", i)
+		}
+	}
+}
+
+// closeCounter records Close calls on a wrapped cursor. The count is
+// atomic: an abandoning Prefetch.Close may hand the inner close to the
+// producer goroutine.
+type closeCounter struct {
+	Cursor
+	closes atomic.Int32
+}
+
+func (c *closeCounter) Close() error {
+	c.closes.Add(1)
+	return c.Cursor.Close()
+}
+
+func TestPrefetchCloseBeforeDrain(t *testing.T) {
+	r := cursorTestRelation(100000)
+	inner := &closeCounter{Cursor: NewSliceCursor(r.Schema, r.Tuples, 8)}
+	c := Prefetch(inner, 2)
+	if _, err := c.Next(); err != nil {
+		t.Fatal(err)
+	}
+	// Abandon mid-stream: Close must not block on the producer, the
+	// producer must stop, and the inner cursor must close exactly once.
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err) // idempotent
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for inner.closes.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if n := inner.closes.Load(); n != 1 {
+		t.Fatalf("inner cursor closed %d times, want 1", n)
+	}
+}
+
+// errCursor fails after yielding one batch.
+type errCursor struct {
+	schema *Schema
+	sent   bool
+}
+
+var errBroken = errors.New("broken producer")
+
+func (c *errCursor) Schema() *Schema { return c.schema }
+func (c *errCursor) Next() ([]Tuple, error) {
+	if c.sent {
+		return nil, errBroken
+	}
+	c.sent = true
+	return []Tuple{{Int(1)}}, nil
+}
+func (c *errCursor) Close() error { return nil }
+
+func TestPrefetchPropagatesErrors(t *testing.T) {
+	c := Prefetch(&errCursor{schema: SchemaOf("A")}, 4)
+	defer c.Close()
+	if _, err := c.Next(); err != nil {
+		t.Fatalf("first batch failed: %v", err)
+	}
+	if _, err := c.Next(); !errors.Is(err, errBroken) {
+		t.Fatalf("error = %v, want errBroken", err)
+	}
+	// Errors are sticky.
+	if _, err := c.Next(); !errors.Is(err, errBroken) {
+		t.Fatalf("second error = %v, want errBroken", err)
+	}
+}
+
+func TestDrainPropagatesErrors(t *testing.T) {
+	if _, err := Drain(&errCursor{schema: SchemaOf("A")}); !errors.Is(err, errBroken) {
+		t.Fatalf("Drain error = %v, want errBroken", err)
+	}
+}

@@ -1,0 +1,229 @@
+package wire
+
+import (
+	"encoding/gob"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/lqp"
+	"repro/internal/rel"
+)
+
+func streamDB(n int) *catalog.Database {
+	db := catalog.NewDatabase("SD")
+	db.MustCreate("BIG", rel.SchemaOf("K", "V"))
+	for i := 0; i < n; i++ {
+		if err := db.Insert("BIG", rel.Tuple{rel.Int(int64(i)), rel.String("v")}); err != nil {
+			panic(err)
+		}
+	}
+	return db
+}
+
+func startStreamServer(t *testing.T, n int) (*Server, *Client) {
+	t.Helper()
+	srv := NewServer(streamDB(n))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return srv, c
+}
+
+// TestClientOpenStreamsBatches: a multi-batch relation arrives framed, in
+// order, and matches the materialized Execute result.
+func TestClientOpenStreamsBatches(t *testing.T) {
+	const n = 1000
+	_, c := startStreamServer(t, n)
+	cur, err := c.Open(lqp.Retrieve("BIG"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches, total := 0, 0
+	for {
+		b, err := cur.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		batches++
+		for _, tup := range b {
+			if tup[0].IntVal() != int64(total) {
+				t.Fatalf("tuple %d out of order: %v", total, tup)
+			}
+			total++
+		}
+	}
+	if err := cur.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if total != n {
+		t.Fatalf("streamed %d tuples, want %d", total, n)
+	}
+	if batches < 2 {
+		t.Fatalf("result arrived in %d frame(s); want row batches", batches)
+	}
+	// The request/response path is unaffected by the stream.
+	r, err := c.Execute(lqp.Retrieve("BIG"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cardinality() != n {
+		t.Fatalf("execute after stream retrieved %d tuples, want %d", r.Cardinality(), n)
+	}
+}
+
+// TestClientOpenPushedSelect: server-side selection streams only matches.
+func TestClientOpenPushedSelect(t *testing.T) {
+	_, c := startStreamServer(t, 600)
+	cur, err := c.Open(lqp.Select("BIG", "K", rel.ThetaLT, rel.Int(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rel.Drain(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cardinality() != 10 {
+		t.Fatalf("selected %d tuples, want 10", got.Cardinality())
+	}
+}
+
+// TestClientOpenError: a failing local operation reports in the header and
+// leaves the main connection usable.
+func TestClientOpenError(t *testing.T) {
+	_, c := startStreamServer(t, 10)
+	if _, err := c.Open(lqp.Retrieve("MISSING")); err == nil {
+		t.Fatal("missing relation accepted")
+	}
+	if _, err := c.Execute(lqp.Retrieve("BIG")); err != nil {
+		t.Fatalf("main connection broken after stream error: %v", err)
+	}
+}
+
+// TestClientOpenAbandoned: closing a stream cursor mid-flight costs only
+// its own connection; the client and other streams keep working.
+func TestClientOpenAbandoned(t *testing.T) {
+	_, c := startStreamServer(t, 100000)
+	cur, err := c.Open(lqp.Retrieve("BIG"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cur.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cur.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cur.Next(); err != io.EOF {
+		t.Fatalf("Next after Close = %v, want io.EOF", err)
+	}
+	cur2, err := c.Open(lqp.Retrieve("BIG"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rel.Drain(cur2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cardinality() != 100000 {
+		t.Fatalf("second stream retrieved %d tuples, want 100000", got.Cardinality())
+	}
+}
+
+// TestClientOpenAfterClose: a closed client refuses to dial new stream
+// connections — shutdown actually stops streamed work.
+func TestClientOpenAfterClose(t *testing.T) {
+	srv := NewServer(streamDB(10))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Open(lqp.Retrieve("BIG")); err == nil {
+		t.Fatal("closed client opened a stream")
+	}
+}
+
+// TestClientTimeoutOnStalledServer: a server that accepts but never
+// answers trips the client deadline instead of wedging the query, and the
+// connection is closed so later calls fail fast.
+func TestClientTimeoutOnStalledServer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 4)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			accepted <- conn // hold open, never respond
+		}
+	}()
+	defer func() {
+		for {
+			select {
+			case conn := <-accepted:
+				conn.Close()
+			default:
+				return
+			}
+		}
+	}()
+
+	start := time.Now()
+	c := &Client{Timeout: 100 * time.Millisecond, addr: ln.Addr().String()}
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.conn = conn
+	c.dec = gob.NewDecoder(conn)
+	c.enc = gob.NewEncoder(conn)
+	if _, err := c.Execute(lqp.Retrieve("BIG")); err == nil {
+		t.Fatal("stalled server produced a result")
+	} else if !strings.Contains(err.Error(), "wire:") {
+		t.Fatalf("error = %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline did not fire; call took %v", elapsed)
+	}
+	// Subsequent calls fail fast on the poisoned connection.
+	start = time.Now()
+	if _, err := c.Execute(lqp.Retrieve("BIG")); err == nil {
+		t.Fatal("poisoned connection accepted a request")
+	}
+	// Fast relative to the 100ms deadline — no network wait at all — with
+	// generous slack for loaded CI runners.
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("post-failure call took %v; want a fast failure", elapsed)
+	}
+
+	// The streaming path times out too.
+	if _, err := c.Open(lqp.Retrieve("BIG")); err == nil {
+		t.Fatal("stalled server produced a stream")
+	}
+}

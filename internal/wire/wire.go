@@ -1,12 +1,26 @@
 // Package wire implements the network protocol between the Polygen Query
 // Processor and remote Local Query Processors (paper, Figure 1: the PQP
-// "routes [local queries] to the Local Query Processors"). The protocol is a
-// simple request/response exchange of gob-encoded messages over TCP: one
-// request carries one lqp.Op, one response carries the resulting relation or
-// an error.
+// "routes [local queries] to the Local Query Processors"). The protocol is
+// gob-encoded messages over TCP in two shapes:
 //
-// Server serves a catalog.Database; Client implements lqp.LQP, so the PQP is
-// oblivious to whether an LQP is in-process or remote.
+//   - request/response: one request carries one lqp.Op (or a metadata
+//     query), one response carries the materialized relation or an error —
+//     the materializing path (Client.Execute).
+//   - streaming: an "open" request is answered by a schema header followed
+//     by row-batch frames and a final done frame, on a connection dedicated
+//     to that stream — the streaming path (Client.Open). The server starts
+//     framing as soon as the local operation yields rows, so remote
+//     retrieval overlaps with PQP-side operator work.
+//
+// Both directions guard against stalled peers: the client sets read/write
+// deadlines around every exchange and every frame, the server sets write
+// deadlines (and an optional idle read deadline), and transport errors
+// close the connection — a wedged LQP fails a federation query instead of
+// hanging it forever.
+//
+// Server serves a catalog.Database; Client implements lqp.LQP and
+// lqp.Streamer, so the PQP is oblivious to whether an LQP is in-process or
+// remote.
 package wire
 
 import (
@@ -16,17 +30,23 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/lqp"
 	"repro/internal/rel"
 )
 
+// DefaultTimeout is the deadline applied to wire reads and writes when the
+// Client or Server does not set its own: long enough for a big batch over a
+// wide-area link, short enough that a dead peer cannot wedge a query.
+const DefaultTimeout = 2 * time.Minute
+
 // request is one client→server message.
 type request struct {
-	// Kind selects the operation: "name", "relations" or "execute".
+	// Kind selects the operation: "name", "relations", "execute" or "open".
 	Kind string
-	// Op is the local operation for Kind == "execute".
+	// Op is the local operation for Kind == "execute" / "open".
 	Op lqp.Op
 }
 
@@ -39,8 +59,20 @@ type response struct {
 	HasRel    bool
 }
 
+// frame is one row batch of a streamed result ("open"). A stream is a
+// response carrying the schema (an empty Relation) followed by frames until
+// Done or Err. Tuples is the cursor batch as-is: gob encodes the named
+// slice types by their underlying form, so no per-batch conversion is
+// needed on either side.
+type frame struct {
+	Err    string
+	Done   bool
+	Tuples []rel.Tuple
+}
+
 // flatRelation is the wire form of rel.Relation: schema flattened into the
-// exported Attr structs, values relying on rel.Value's gob encoding.
+// exported Attr structs, values relying on rel.Value's gob encoding. In a
+// stream header Tuples is empty; the rows follow in frames.
 type flatRelation struct {
 	Name   string
 	Attrs  []rel.Attr
@@ -67,6 +99,16 @@ func (f flatRelation) unflatten() *rel.Relation {
 type Server struct {
 	local *lqp.Local
 
+	// WriteTimeout bounds every response or frame write (defaults to
+	// DefaultTimeout); a client that stops reading gets its connection
+	// dropped instead of blocking the serving goroutine forever.
+	WriteTimeout time.Duration
+	// IdleTimeout, when positive, bounds the wait for the next request on a
+	// connection; idle clients beyond it are disconnected. Zero (the
+	// default) keeps idle connections open indefinitely — the PQP holds one
+	// connection per LQP across queries.
+	IdleTimeout time.Duration
+
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]struct{}
@@ -75,7 +117,7 @@ type Server struct {
 
 // NewServer returns a server for db.
 func NewServer(db *catalog.Database) *Server {
-	return &Server{local: lqp.NewLocal(db), conns: make(map[net.Conn]struct{})}
+	return &Server{local: lqp.NewLocal(db), WriteTimeout: DefaultTimeout, conns: make(map[net.Conn]struct{})}
 }
 
 // Listen binds the server to addr (e.g. "127.0.0.1:0") and begins accepting
@@ -120,13 +162,60 @@ func (s *Server) serveConn(conn net.Conn) {
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
 	for {
+		if s.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.IdleTimeout))
+		}
 		var req request
 		if err := dec.Decode(&req); err != nil {
-			return // client went away or sent garbage; drop the connection
+			return // client went away, stalled or sent garbage; drop the connection
+		}
+		if req.Kind == "open" {
+			if err := s.serveStream(conn, enc, req.Op); err != nil {
+				return // transport failure mid-stream; the connection is poisoned
+			}
+			continue
 		}
 		resp := s.handle(req)
-		if err := enc.Encode(resp); err != nil {
+		if err := s.send(conn, enc, resp); err != nil {
 			return
+		}
+	}
+}
+
+// send encodes one message under the write deadline.
+func (s *Server) send(conn net.Conn, enc *gob.Encoder, msg any) error {
+	timeout := s.WriteTimeout
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	conn.SetWriteDeadline(time.Now().Add(timeout))
+	return enc.Encode(msg)
+}
+
+// serveStream answers one "open" request: a schema header response, then
+// row-batch frames, then a done frame. A local-operation error before any
+// row is reported in the header; one mid-stream is reported in an error
+// frame. The returned error is non-nil only for transport failures.
+func (s *Server) serveStream(conn net.Conn, enc *gob.Encoder, op lqp.Op) error {
+	cur, err := s.local.Open(op)
+	if err != nil {
+		return s.send(conn, enc, response{Err: err.Error()})
+	}
+	defer cur.Close()
+	header := flatRelation{Name: op.Relation, Attrs: cur.Schema().Attrs()}
+	if err := s.send(conn, enc, response{Relation: header, HasRel: true}); err != nil {
+		return err
+	}
+	for {
+		batch, err := cur.Next()
+		if err == io.EOF {
+			return s.send(conn, enc, frame{Done: true})
+		}
+		if err != nil {
+			return s.send(conn, enc, frame{Err: err.Error()})
+		}
+		if err := s.send(conn, enc, frame{Tuples: batch}); err != nil {
+			return err
 		}
 	}
 }
@@ -171,15 +260,23 @@ func (s *Server) Close() error {
 }
 
 // Client is a remote LQP. It implements lqp.LQP over a single TCP
-// connection; requests are serialized by a mutex (the PQP issues local
+// connection — requests are serialized by a mutex (the PQP issues local
 // queries one plan step at a time, and independent LQPs use independent
-// clients).
+// clients) — and lqp.Streamer over one dedicated connection per stream, so
+// several streams and the request/response exchange never block each other.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	dec  *gob.Decoder
-	enc  *gob.Encoder
-	name string
+	// Timeout bounds every wire read and write: the initial exchange of a
+	// round trip, and each frame of a stream. Zero means DefaultTimeout.
+	Timeout time.Duration
+
+	addr string
+
+	mu     sync.Mutex
+	conn   net.Conn
+	dec    *gob.Decoder
+	enc    *gob.Encoder
+	name   string
+	broken bool
 }
 
 // Dial connects to a wire server and caches the remote database name.
@@ -188,7 +285,7 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
 	}
-	c := &Client{conn: conn, dec: gob.NewDecoder(conn), enc: gob.NewEncoder(conn)}
+	c := &Client{addr: addr, conn: conn, dec: gob.NewDecoder(conn), enc: gob.NewEncoder(conn)}
 	resp, err := c.roundTrip(request{Kind: "name"})
 	if err != nil {
 		conn.Close()
@@ -198,18 +295,38 @@ func Dial(addr string) (*Client, error) {
 	return c, nil
 }
 
+func (c *Client) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return DefaultTimeout
+}
+
 func (c *Client) roundTrip(req request) (response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.broken {
+		return response{}, fmt.Errorf("wire: connection to %s is closed after an earlier failure", c.addr)
+	}
+	// A transport failure (including a blown deadline) poisons the gob
+	// stream; close the connection so a stalled LQP cannot wedge the
+	// federation query, and fail subsequent calls fast.
+	fail := func(err error) (response, error) {
+		c.broken = true
+		c.conn.Close()
+		return response{}, err
+	}
+	c.conn.SetDeadline(time.Now().Add(c.timeout()))
+	defer c.conn.SetDeadline(time.Time{})
 	if err := c.enc.Encode(req); err != nil {
-		return response{}, fmt.Errorf("wire: send: %w", err)
+		return fail(fmt.Errorf("wire: send: %w", err))
 	}
 	var resp response
 	if err := c.dec.Decode(&resp); err != nil {
 		if errors.Is(err, io.EOF) {
-			return response{}, fmt.Errorf("wire: server closed connection")
+			return fail(fmt.Errorf("wire: server closed connection"))
 		}
-		return response{}, fmt.Errorf("wire: receive: %w", err)
+		return fail(fmt.Errorf("wire: receive: %w", err))
 	}
 	if resp.Err != "" {
 		return response{}, errors.New(resp.Err)
@@ -241,11 +358,98 @@ func (c *Client) Execute(op lqp.Op) (*rel.Relation, error) {
 	return resp.Relation.unflatten(), nil
 }
 
+// Open implements lqp.Streamer: the operation is evaluated remotely and its
+// rows arrive as frames on a connection dedicated to this stream, so the
+// server transfers ahead (into the sockets' buffers) while the caller
+// consumes — remote retrieval overlaps with PQP-side work. The cursor must
+// be closed; an abandoned stream only costs its own connection.
+func (c *Client) Open(op lqp.Op) (rel.Cursor, error) {
+	c.mu.Lock()
+	broken := c.broken
+	c.mu.Unlock()
+	if broken {
+		return nil, fmt.Errorf("wire: connection to %s is closed after an earlier failure", c.addr)
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, c.timeout())
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", c.addr, err)
+	}
+	sc := &streamCursor{conn: conn, dec: gob.NewDecoder(conn), timeout: c.timeout()}
+	conn.SetDeadline(time.Now().Add(sc.timeout))
+	if err := gob.NewEncoder(conn).Encode(request{Kind: "open", Op: op}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("wire: send: %w", err)
+	}
+	var resp response
+	if err := sc.dec.Decode(&resp); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("wire: receive: %w", err)
+	}
+	if resp.Err != "" {
+		conn.Close()
+		return nil, errors.New(resp.Err)
+	}
+	if !resp.HasRel {
+		conn.Close()
+		return nil, fmt.Errorf("wire: open response carried no schema")
+	}
+	sc.schema = rel.NewSchema(resp.Relation.Attrs...)
+	return sc, nil
+}
+
+// streamCursor decodes the frames of one streamed result.
+type streamCursor struct {
+	conn    net.Conn
+	dec     *gob.Decoder
+	schema  *rel.Schema
+	timeout time.Duration
+	done    bool
+	closed  bool
+}
+
+func (sc *streamCursor) Schema() *rel.Schema { return sc.schema }
+
+func (sc *streamCursor) Next() ([]rel.Tuple, error) {
+	if sc.done || sc.closed {
+		return nil, io.EOF
+	}
+	for {
+		sc.conn.SetReadDeadline(time.Now().Add(sc.timeout))
+		var f frame
+		if err := sc.dec.Decode(&f); err != nil {
+			sc.done = true
+			sc.conn.Close()
+			sc.closed = true
+			return nil, fmt.Errorf("wire: receive frame: %w", err)
+		}
+		switch {
+		case f.Err != "":
+			sc.done = true
+			return nil, errors.New(f.Err)
+		case f.Done:
+			sc.done = true
+			return nil, io.EOF
+		case len(f.Tuples) > 0:
+			return f.Tuples, nil
+		}
+	}
+}
+
+func (sc *streamCursor) Close() error {
+	if sc.closed {
+		return nil
+	}
+	sc.closed = true
+	return sc.conn.Close()
+}
+
 // Close tears down the connection.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.broken = true
 	return c.conn.Close()
 }
 
 var _ lqp.LQP = (*Client)(nil)
+var _ lqp.Streamer = (*Client)(nil)

@@ -109,6 +109,10 @@ func New(cfg Config) *Federation {
 		db.MustCreate("FRAG", schema, "KEY")
 		f.Databases = append(f.Databases, db)
 	}
+	// Rows are accumulated per database and inserted in one batch each:
+	// Insert re-checks key uniqueness against the whole stored relation per
+	// call, so tuple-at-a-time loading is quadratic in Entities.
+	rows := make([][]rel.Tuple, cfg.Databases)
 	for e := 0; e < cfg.Entities; e++ {
 		key := rel.String(fmt.Sprintf("E%06d", e))
 		baseCat := rel.String(fmt.Sprintf("cat%d", rng.Intn(cfg.Categories)))
@@ -121,9 +125,12 @@ func New(cfg Config) *Federation {
 				cat = rel.String(fmt.Sprintf("cat%d-alt%d", rng.Intn(cfg.Categories), i))
 			}
 			val := rel.String(fmt.Sprintf("v%d-%06d", i, e))
-			if err := f.Databases[i].Insert("FRAG", rel.Tuple{key, cat, val}); err != nil {
-				panic(err)
-			}
+			rows[i] = append(rows[i], rel.Tuple{key, cat, val})
+		}
+	}
+	for i, batch := range rows {
+		if err := f.Databases[i].Insert("FRAG", batch...); err != nil {
+			panic(err)
 		}
 	}
 	return f

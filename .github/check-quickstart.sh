@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Docs check: every `go run ./...` target the README quickstart mentions
+# must actually build, and the quickstart example must run to completion.
+# Keeps README.md from rotting as packages move.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# `|| true`: under set -e a no-match grep would abort the substitution
+# before the explicit diagnostic below can fire.
+targets=$(grep -oE 'go run \./[a-zA-Z0-9_/-]+' README.md | awk '{print $3}' | sort -u || true)
+if [ -z "$targets" ]; then
+    echo "ERROR: no 'go run ./...' targets found in README.md" >&2
+    exit 1
+fi
+for t in $targets; do
+    echo "building README target $t"
+    go build -o /dev/null "$t"
+done
+
+echo "running ./examples/quickstart"
+go run ./examples/quickstart >/dev/null
+
+echo "running ./cmd/paper-tables (regenerates and diffs the paper's tables)"
+go run ./cmd/paper-tables >/dev/null
+
+echo "quickstart docs check OK"

@@ -4,11 +4,15 @@
 //	"A Polygen Model for Heterogeneous Database Systems:
 //	 The Source Tagging Perspective", 1990.
 //
-// The implementation lives under internal/ (see DESIGN.md for the module
-// map), the runnable entry points under cmd/ and examples/, and the
-// benchmark harness that regenerates every table and figure of the paper in
-// bench_test.go next to this file. README.md has the tour; EXPERIMENTS.md
-// records paper-vs-measured for every artifact.
+// README.md has the tour and quickstart; docs/ARCHITECTURE.md maps the
+// layers onto the paper's figures, describes the execution engines and
+// their parity contract, and documents the cost-based federated optimizer
+// and the rewrites the polygen tag calculus does and does not license.
+// EXPERIMENTS.md records paper-vs-measured for every artifact and the B-*
+// benchmark families. The implementation lives under internal/, the
+// runnable entry points under cmd/ and examples/, and the benchmark
+// harness that regenerates every table and figure of the paper in
+// bench_test.go next to this file.
 //
 // Three execution engines evaluate polygen queries, proven cell-for-cell
 // identical (data and both tag sets) by the property suite in
@@ -23,4 +27,11 @@
 //     reference;
 //   - the string-keyed reference operators (core.Ref*): the pre-hash-native
 //     semantics baseline, not on any query path.
+//
+// Plans are rewritten before execution by the cost-based federated
+// optimizer (translate.OptimizeWithOptions): selections and projections
+// push down into LQPs as fused subplans, retrievals narrow to the columns
+// the query demands, and join chains reorder under per-LQP statistics
+// (internal/stats) — every rewrite proven identity-preserving, tags
+// included, by the property suite in internal/pqp.
 package repro

@@ -94,6 +94,39 @@ func (d *Database) Relations() []string {
 	return names
 }
 
+// RelationInfo summarizes one stored relation for the statistics surface:
+// the federated optimizer's cardinality estimates and column-pruning
+// rewrites both start from these numbers.
+type RelationInfo struct {
+	// Name is the relation name.
+	Name string
+	// Rows is the stored tuple count at collection time.
+	Rows int
+	// Columns lists the attribute names in schema order.
+	Columns []string
+	// Key lists the primary key attribute names (empty when undeclared).
+	Key []string
+}
+
+// Stats returns a RelationInfo for every stored relation, sorted by name,
+// under one lock acquisition. LQPs expose it through the lqp.StatsProvider
+// capability; internal/stats collects it into the optimizer's catalog.
+func (d *Database) Stats() []RelationInfo {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]RelationInfo, 0, len(d.rels))
+	for name, t := range d.rels {
+		out = append(out, RelationInfo{
+			Name:    name,
+			Rows:    len(t.rel.Tuples),
+			Columns: t.rel.Schema.Names(),
+			Key:     append([]string(nil), t.key...),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // Insert appends tuples to the named relation, enforcing degree and — when a
 // primary key is declared — key uniqueness.
 func (d *Database) Insert(name string, tuples ...rel.Tuple) error {

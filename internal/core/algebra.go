@@ -15,6 +15,7 @@ import (
 type Algebra struct {
 	resolver identity.Resolver
 	conflict ConflictHandler
+	exact    bool
 }
 
 // NewAlgebra returns an Algebra using r to canonicalize values in
@@ -22,10 +23,22 @@ type Algebra struct {
 // The resolver is wrapped in an identity.Scoped, so the canonical-ID intern
 // table the hot paths probe lives and dies with this Algebra.
 func NewAlgebra(r identity.Resolver) *Algebra {
+	exact := r == nil
 	if r == nil {
 		r = identity.Exact{}
+	} else if _, ok := r.(identity.Exact); ok {
+		exact = true
 	}
-	return &Algebra{resolver: identity.NewScoped(r)}
+	return &Algebra{resolver: identity.NewScoped(r), exact: exact}
+}
+
+// ResolverIsExact reports whether the algebra compares instances exactly
+// (nil or identity.Exact resolver). The plan optimizer consults it: rewrites
+// that move an attribute–attribute comparison across the LQP boundary, or
+// reorder which operand of a Coalesce survives, are only identity-preserving
+// when instance equality is plain value equality.
+func (a *Algebra) ResolverIsExact() bool {
+	return a.exact || a.resolver == nil
 }
 
 // Resolver returns the instance resolver in use.

@@ -164,6 +164,24 @@ func joinAttrs(attrs1 []Attr, xi int, name2 string, attrs2 []Attr, yi int, coale
 	return attrs
 }
 
+// ResolveAttrIn resolves an attribute reference against a bare attribute
+// list, with the same display-name-then-polygen-name rules as Relation.Col.
+// The plan optimizer uses it to simulate column resolution without
+// materializing relations.
+func ResolveAttrIn(relName string, attrs []Attr, name string) (int, error) {
+	return colIn(relName, attrs, name)
+}
+
+// JoinLayout returns the output attribute list a join of two inputs with the
+// given attribute lists would produce, and whether its join columns
+// coalesce. It is joinAttrs exposed for plan simulation: the optimizer
+// replays candidate join orders over attribute lists alone and aborts any
+// rewrite whose simulated layout diverges from the original's.
+func JoinLayout(attrs1 []Attr, xi int, name2 string, attrs2 []Attr, yi int) ([]Attr, bool) {
+	coalesce := joinCoalesces(attrs1[xi], attrs2[yi])
+	return joinAttrs(attrs1, xi, name2, attrs2, yi, coalesce), coalesce
+}
+
 // joinRow builds one joined tuple, sliced from out's arena: every cell gains
 // the join attributes' origins in its intermediate set (the Restrict step)
 // and, for natural joins, the two join cells coalesce (the Coalesce step,

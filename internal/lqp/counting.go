@@ -17,10 +17,18 @@ import (
 // Latency models a streaming transfer: it is charged once per
 // rel.DefaultBatchSize batch of result rows (minimum one batch), not once
 // per operation — a 100k-tuple Retrieve over a wide-area link costs
-// hundreds of batch times, not one. On the materializing path (Execute)
-// the whole transfer is paid before the relation is returned; on the
-// streaming path (Open) each batch pays as it is pulled, so a prefetching
-// consumer overlaps the waits with its own work.
+// hundreds of batch times, not one. Crucially, only the rows the LQP
+// actually returns are charged: a pushed-down subplan that filters 100k
+// rows to 40 pays for 40, which is exactly the transfer saving the
+// cost-based optimizer exists to win (B-OPT measures it). On the
+// materializing path (Execute/ExecutePlan) the whole transfer is paid
+// before the relation is returned; on the streaming path (Open/OpenPlan)
+// each batch pays as it is pulled, so a prefetching consumer overlaps the
+// waits with its own work.
+//
+// Alongside the latency model, Counting tracks the simulated transfer
+// volume: Rows/Cells transferred across the boundary (cells ≈ bytes for a
+// fixed value width). The B-OPT benchmarks report both.
 type Counting struct {
 	inner LQP
 	// Latency is the injected per-batch transfer time (0 = none).
@@ -29,6 +37,9 @@ type Counting struct {
 	mu     sync.Mutex
 	counts map[OpKind]int
 	ops    []Op
+	plans  []Plan
+	rows   int64
+	cells  int64
 }
 
 // NewCounting wraps inner.
@@ -42,6 +53,18 @@ func (c *Counting) Name() string { return c.inner.Name() }
 // Relations implements LQP.
 func (c *Counting) Relations() ([]string, error) { return c.inner.Relations() }
 
+// Stats forwards the statistics capability when the wrapped LQP has it.
+func (c *Counting) Stats() ([]RelationStats, error) {
+	st, ok, err := StatsOf(c.inner)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
+	return st, nil
+}
+
 func (c *Counting) record(op Op) {
 	c.mu.Lock()
 	c.counts[op.Kind]++
@@ -49,59 +72,110 @@ func (c *Counting) record(op Op) {
 	c.mu.Unlock()
 }
 
+// recordTransfer books rows × width transferred cells.
+func (c *Counting) recordTransfer(rows, width int) {
+	c.mu.Lock()
+	c.rows += int64(rows)
+	c.cells += int64(rows * width)
+	c.mu.Unlock()
+}
+
+// chargeResult books the transfer volume of a materialized result and pays
+// its full per-batch latency up front.
+func (c *Counting) chargeResult(r *rel.Relation) {
+	if r == nil {
+		if c.Latency > 0 {
+			time.Sleep(c.Latency)
+		}
+		return
+	}
+	c.recordTransfer(len(r.Tuples), r.Schema.Len())
+	if c.Latency > 0 {
+		batches := 1
+		if n := (len(r.Tuples) + rel.DefaultBatchSize - 1) / rel.DefaultBatchSize; n > 1 {
+			batches = n
+		}
+		time.Sleep(time.Duration(batches) * c.Latency)
+	}
+}
+
 // Execute implements LQP, recording the operation and paying the full
 // injected transfer time (Latency per batch of the result) up front.
 func (c *Counting) Execute(op Op) (*rel.Relation, error) {
 	c.record(op)
 	r, err := c.inner.Execute(op)
-	if c.Latency > 0 {
-		batches := 1
-		if r != nil {
-			if n := (len(r.Tuples) + rel.DefaultBatchSize - 1) / rel.DefaultBatchSize; n > 1 {
-				batches = n
-			}
-		}
-		time.Sleep(time.Duration(batches) * c.Latency)
-	}
+	c.chargeResult(r)
 	return r, err
 }
 
+// ExecutePlan implements PlanRunner, recording the pushed plan and charging
+// latency and transfer volume only for the rows that survive the pushed
+// steps.
+func (c *Counting) ExecutePlan(p Plan) (*rel.Relation, error) {
+	c.recordPlan(p)
+	r, err := ExecutePlanOn(c.inner, p)
+	c.chargeResult(r)
+	return r, err
+}
+
+// recordPlan books a plan: the base op counts as an operation (it is what
+// crosses the request wire), the pushed steps are kept for inspection.
+func (c *Counting) recordPlan(p Plan) {
+	c.record(p.Base())
+	c.mu.Lock()
+	c.plans = append(c.plans, p)
+	c.mu.Unlock()
+}
+
 // Open implements Streamer, recording the operation once and charging
-// Latency per batch as the cursor is pulled.
+// Latency and transfer volume per batch as the cursor is pulled.
 func (c *Counting) Open(op Op) (rel.Cursor, error) {
 	c.record(op)
 	cur, err := OpenLQP(c.inner, op)
+	return c.meterCursor(cur, err)
+}
+
+// OpenPlan implements PlanStreamer: only batches of filtered rows pay.
+func (c *Counting) OpenPlan(p Plan) (rel.Cursor, error) {
+	c.recordPlan(p)
+	cur, err := OpenPlanOn(c.inner, p)
+	return c.meterCursor(cur, err)
+}
+
+func (c *Counting) meterCursor(cur rel.Cursor, err error) (rel.Cursor, error) {
 	if err != nil {
 		if c.Latency > 0 {
 			time.Sleep(c.Latency)
 		}
 		return nil, err
 	}
-	if c.Latency <= 0 {
-		return cur, nil
-	}
-	return &latencyCursor{in: cur, d: c.Latency}, nil
+	return &meteredCursor{in: cur, c: c, width: cur.Schema().Len()}, nil
 }
 
-// latencyCursor delays every batch by d, modeling per-batch wide-area
-// transfer time.
-type latencyCursor struct {
-	in rel.Cursor
-	d  time.Duration
+// meteredCursor delays every batch by the wrapper's latency and books its
+// transfer volume, modeling per-batch wide-area transfer of exactly the
+// rows that cross the boundary.
+type meteredCursor struct {
+	in    rel.Cursor
+	c     *Counting
+	width int
 }
 
-func (c *latencyCursor) Schema() *rel.Schema { return c.in.Schema() }
+func (m *meteredCursor) Schema() *rel.Schema { return m.in.Schema() }
 
-func (c *latencyCursor) Next() ([]rel.Tuple, error) {
-	batch, err := c.in.Next()
+func (m *meteredCursor) Next() ([]rel.Tuple, error) {
+	batch, err := m.in.Next()
 	if err != nil {
 		return nil, err // end-of-stream and errors carry no rows to transfer
 	}
-	time.Sleep(c.d)
+	m.c.recordTransfer(len(batch), m.width)
+	if m.c.Latency > 0 {
+		time.Sleep(m.c.Latency)
+	}
 	return batch, nil
 }
 
-func (c *latencyCursor) Close() error { return c.in.Close() }
+func (m *meteredCursor) Close() error { return m.in.Close() }
 
 // Count returns how many operations of kind k have executed.
 func (c *Counting) Count(k OpKind) int {
@@ -124,12 +198,44 @@ func (c *Counting) Ops() []Op {
 	return append([]Op(nil), c.ops...)
 }
 
-// Reset clears the recorded operations.
+// Plans returns a copy of the pushed-down subplans executed, in order.
+func (c *Counting) Plans() []Plan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Plan(nil), c.plans...)
+}
+
+// RowsTransferred returns the number of result rows that crossed the
+// simulated wide-area boundary.
+func (c *Counting) RowsTransferred() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rows
+}
+
+// CellsTransferred returns rows × columns delivered — the simulated
+// bytes-on-wire metric of the B-OPT benchmarks (cells are
+// fixed-width-equivalent).
+func (c *Counting) CellsTransferred() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cells
+}
+
+// Reset clears the recorded operations and transfer counters.
 func (c *Counting) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.counts = make(map[OpKind]int)
 	c.ops = nil
+	c.plans = nil
+	c.rows = 0
+	c.cells = 0
 }
 
-var _ Streamer = (*Counting)(nil)
+var (
+	_ Streamer      = (*Counting)(nil)
+	_ PlanRunner    = (*Counting)(nil)
+	_ PlanStreamer  = (*Counting)(nil)
+	_ StatsProvider = (*Counting)(nil)
+)

@@ -8,10 +8,27 @@
 // Two implementations exist: Local (in-process, over a catalog.Database) and
 // wire.Client (the same operations over TCP against a cmd/lqpd server),
 // standing in for the paper's encapsulation of "unusual query interfaces"
-// behind the LQP boundary. Both also implement the optional Streamer
-// capability (stream.go): Open returns the result as a cursor of row
-// batches, which the PQP's streaming engine prefers — OpenLQP adapts any
-// other LQP by materializing and re-cutting into batches.
+// behind the LQP boundary. Beyond the base interface, an LQP may advertise
+// optional capabilities, discovered by interface assertion:
+//
+//   - Streamer (stream.go): Open returns the result as a cursor of row
+//     batches, which the PQP's streaming engine prefers — OpenLQP adapts
+//     any other LQP by materializing and re-cutting into batches;
+//   - PlanRunner / PlanStreamer (plan.go): ExecutePlan/OpenPlan evaluate a
+//     pushed-down subplan — a pipeline of local operations fused by the
+//     cost-based Query Optimizer — entirely inside the LQP, so only the
+//     filtered, narrowed rows cross the federation boundary
+//     (ExecutePlanOn/OpenPlanOn fall back to caller-side steps for LQPs
+//     without it, and translate.Options.CanPush keeps the optimizer from
+//     fusing against those in the first place);
+//   - StatsProvider (plan.go): per-relation cardinalities, column lists
+//     and keys, collected by internal/stats into the optimizer's cost
+//     model.
+//
+// Counting (counting.go) wraps any LQP with operation/plan recording,
+// simulated transfer metering (rows and cells delivered) and an injected
+// per-batch wide-area latency — the measurement device of the federation
+// benchmarks.
 package lqp
 
 import (

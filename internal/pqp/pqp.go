@@ -26,16 +26,30 @@
 // PQP keeps one Algebra — and therefore one resolver intern table — across
 // queries, so canonical IDs warm up once per federation rather than once
 // per query.
+//
+// Before execution, Run hands the IOM to the cost-based Query Optimizer
+// (translate.OptimizeWithOptions) with the federation knowledge the PQP
+// holds: the polygen schema, each LQP's pushdown capability, the instance
+// resolver's exactness, and — after CollectStats — per-LQP cardinality and
+// latency statistics (internal/stats). Optimized plans may carry
+// pushed-down subplans on their LQP-resident rows; both engines execute
+// those through lqp.ExecutePlanOn/OpenPlanOn and reconstruct the
+// intermediate tags the displaced PQP-side filters would have written, so
+// optimized and unoptimized plans agree cell for cell — data and both tag
+// sets — which the property suite in opt_test.go enforces across all
+// engines. See docs/ARCHITECTURE.md for the optimizer's full contract.
 package pqp
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/identity"
 	"repro/internal/lqp"
 	"repro/internal/rel"
 	"repro/internal/sourceset"
+	"repro/internal/stats"
 	"repro/internal/translate"
 )
 
@@ -47,8 +61,23 @@ type PQP struct {
 	alg    *core.Algebra
 	lqps   map[string]lqp.LQP
 	// Optimize enables the Query Optimizer stage (Figure 2). It defaults to
-	// true; the optimizer ablation benchmarks turn it off.
+	// true; the optimizer ablation benchmarks turn it off. The optimizer
+	// runs the cost-based federated passes of translate.OptimizeWithOptions:
+	// pushdown of PQP-resident selections/projections into LQPs that accept
+	// subplans, projection narrowing, and — when Stats is set and the
+	// instance resolver is exact — greedy join reordering.
 	Optimize bool
+	// Stats, when non-nil, feeds the optimizer per-LQP cardinality and
+	// column statistics (projection-narrowing width checks, join ordering)
+	// and accumulates observed cardinalities and operation latencies as
+	// queries run. CollectStats populates it from the LQPs' statistics
+	// capability.
+	Stats *stats.Catalog
+	// RelaxedJoinReorder lets the optimizer pick join orders whose
+	// intermediate tags differ from the unoptimized plan's (the polygen tag
+	// calculus records evaluation order; see translate.Options). Data and
+	// origin tags are unaffected. Off by default.
+	RelaxedJoinReorder bool
 	// BalancedMerge evaluates Merge rows with the balanced pairwise tree
 	// (core.MergeBalanced) instead of the paper's left fold; the answers are
 	// instance-identical and wide merges get cheaper (B-SRC ablation).
@@ -73,6 +102,37 @@ func New(schema *core.Schema, reg *sourceset.Registry, resolver identity.Resolve
 // Algebra exposes the algebra evaluator (e.g. to install a conflict
 // handler).
 func (q *PQP) Algebra() *core.Algebra { return q.alg }
+
+// CollectStats probes every LQP exposing the statistics capability
+// (lqp.StatsProvider) and installs the resulting catalog as the PQP's
+// optimizer statistics. With remote LQPs the probe is one "stats" wire
+// round trip per database; the measured round-trip time seeds the link
+// latency estimates.
+func (q *PQP) CollectStats() error {
+	c, err := stats.Collect(q.lqps)
+	if err != nil {
+		return err
+	}
+	q.Stats = c
+	return nil
+}
+
+// optimizerOptions assembles the federation knowledge the cost-based
+// optimizer needs: the schema (attribute and domain mappings), the
+// statistics catalog, per-LQP pushdown capability, and whether the
+// executing algebra resolves instances exactly.
+func (q *PQP) optimizerOptions() translate.Options {
+	return translate.Options{
+		Schema: q.schema,
+		Stats:  q.Stats,
+		CanPush: func(db string) bool {
+			l, ok := q.lqps[db]
+			return ok && lqp.CanPush(l)
+		},
+		ExactResolver:      q.alg.ResolverIsExact(),
+		RelaxedJoinReorder: q.RelaxedJoinReorder,
+	}
+}
 
 // Registry returns the source registry shared by all results.
 func (q *PQP) Registry() *sourceset.Registry { return q.reg }
@@ -132,7 +192,7 @@ func (q *PQP) Run(e translate.Expr) (*Result, error) {
 	}
 	res.Plan = res.IOM
 	if q.Optimize {
-		if res.Plan, err = translate.Optimize(res.IOM); err != nil {
+		if res.Plan, err = translate.OptimizeWithOptions(res.IOM, q.optimizerOptions()); err != nil {
 			return nil, err
 		}
 	}
@@ -278,26 +338,60 @@ func (q *PQP) binary(row translate.Row, regs map[int]*core.Relation, fn func(a, 
 	return fn(l, r)
 }
 
-// runLocal executes one LQP-resident row: it builds the local operation,
-// sends it to the LQP named by the row's execution location, applies the
-// schema's domain mappings, and tags every cell with the execution location
-// as its originating source and an empty intermediate set (paper §III:
-// "when the execution location is an LQP ... it is also used as the
-// originating source tag for each of the cells").
+// runLocal executes one LQP-resident row: it builds the local operation (or
+// the pushed-down subplan, when the optimizer fused later rows into this
+// one), sends it to the LQP named by the row's execution location, applies
+// the schema's domain mappings, and tags every cell with the execution
+// location as its originating source (paper §III: "when the execution
+// location is an LQP ... it is also used as the originating source tag for
+// each of the cells"). The intermediate set is empty for a plain local
+// operation; when the subplan carries fused Select/Restrict steps it is
+// {EL} — exactly what the displaced PQP-resident rows would have added,
+// since every cell of a freshly retrieved relation has origin {EL}.
 func (q *PQP) runLocal(row translate.Row) (*core.Relation, error) {
 	processor, ok := q.lqps[row.EL]
 	if !ok {
 		return nil, fmt.Errorf("no LQP for local database %q", row.EL)
 	}
-	op, err := localOp(row)
+	plan, err := localPlan(row)
 	if err != nil {
 		return nil, err
 	}
-	plain, err := processor.Execute(op)
+	start := time.Now()
+	var plain *rel.Relation
+	if len(plan.Ops) == 1 {
+		plain, err = processor.Execute(plan.Base())
+	} else {
+		plain, err = lqp.ExecutePlanOn(processor, plan)
+	}
 	if err != nil {
 		return nil, err
 	}
-	return q.TagRetrieved(plain, row.EL, row.LHR.Name)
+	q.observeLocal(row, plan, plain, time.Since(start))
+	return q.tagPlain(plain, row.EL, row.LHR.Name, plan.Mediates())
+}
+
+// observeLocal feeds the statistics catalog from executed local work: full
+// Retrieves carry exact relation cardinalities, and every operation's wall
+// time updates the LQP's latency average.
+func (q *PQP) observeLocal(row translate.Row, plan lqp.Plan, plain *rel.Relation, d time.Duration) {
+	if q.Stats == nil {
+		return
+	}
+	q.Stats.ObserveLatency(row.EL, d)
+	if plain != nil && len(plan.Ops) == 1 && plan.Base().Kind == lqp.OpRetrieve {
+		q.Stats.ObserveCardinality(row.EL, row.LHR.Name, len(plain.Tuples))
+	}
+}
+
+// localPlan builds the local subplan of an LQP-resident row: the row's own
+// operation plus any steps the optimizer fused into it.
+func localPlan(row translate.Row) (lqp.Plan, error) {
+	base, err := localOp(row)
+	if err != nil {
+		return lqp.Plan{}, err
+	}
+	return lqp.PlanOf(base, row.Pushed...), nil
 }
 
 // localOp builds the local operation an LQP-resident row asks for; both the
@@ -349,6 +443,14 @@ func (q *PQP) tagPlan(db, localScheme string, names []string) ([]core.Attr, []fu
 // tagged with origin {db} and an empty intermediate set, and every column is
 // annotated with the polygen attribute the schema maps it to.
 func (q *PQP) TagRetrieved(plain *rel.Relation, db, localScheme string) (*core.Relation, error) {
+	return q.tagPlain(plain, db, localScheme, false)
+}
+
+// tagPlain is TagRetrieved with the optimizer's intermediate-tag
+// reconstruction: mediated results — subplans whose pushed steps include a
+// Select or Restrict — tag every cell's intermediate set with {db}, the
+// tags the displaced PQP-resident filters would have contributed.
+func (q *PQP) tagPlain(plain *rel.Relation, db, localScheme string, mediated bool) (*core.Relation, error) {
 	names := plain.Schema.Names()
 	attrs, fns := q.tagPlan(db, localScheme, names)
 	// Apply domain mappings column-wise before tagging. The relation is a
@@ -365,6 +467,14 @@ func (q *PQP) TagRetrieved(plain *rel.Relation, db, localScheme string) (*core.R
 	p.Name = localScheme
 	for i := range p.Attrs {
 		p.Attrs[i].Polygen = attrs[i].Polygen
+	}
+	if mediated {
+		inter := sourceset.Of(src)
+		for _, t := range p.Tuples {
+			for i := range t {
+				t[i].I = t[i].I.Union(inter)
+			}
+		}
 	}
 	return p, nil
 }

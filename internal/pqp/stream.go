@@ -235,39 +235,50 @@ func (q *PQP) openRow(row translate.Row, takeReg func(int) (core.Cursor, error))
 // openLocal opens one LQP-resident row as a tagged stream: the LQP cursor
 // is wrapped in a prefetching reader (so retrieval overlaps with PQP work)
 // and a tagging cursor that applies domain mappings and attaches the
-// execution location as every cell's originating source.
+// execution location as every cell's originating source. Rows carrying
+// optimizer-fused steps open as pushed-down subplans, so only the filtered,
+// narrowed batches cross the LQP boundary; the tag cursor reconstructs the
+// intermediate tags the displaced PQP-side filters would have added (see
+// runLocal).
 func (q *PQP) openLocal(row translate.Row) (core.Cursor, error) {
 	processor, ok := q.lqps[row.EL]
 	if !ok {
 		return nil, fmt.Errorf("no LQP for local database %q", row.EL)
 	}
-	op, err := localOp(row)
+	plan, err := localPlan(row)
 	if err != nil {
 		return nil, err
 	}
-	rc, err := lqp.OpenLQP(processor, op)
+	var rc rel.Cursor
+	if len(plan.Ops) == 1 {
+		rc, err = lqp.OpenLQP(processor, plan.Base())
+	} else {
+		rc, err = lqp.OpenPlanOn(processor, plan)
+	}
 	if err != nil {
 		return nil, err
 	}
-	return q.newTagCursor(rel.Prefetch(rc, prefetchDepth), row.EL, row.LHR.Name), nil
+	return q.newTagCursor(rel.Prefetch(rc, prefetchDepth), row.EL, row.LHR.Name, plan.Mediates()), nil
 }
 
-// tagCursor is the streaming counterpart of TagRetrieved: each batch of
-// plain rows is domain-mapped and tagged with origin {db} and an empty
-// intermediate set into fresh polygen rows (the input batches may alias a
-// live base relation and are never mutated).
+// tagCursor is the streaming counterpart of tagPlain: each batch of plain
+// rows is domain-mapped and tagged with origin {db} into fresh polygen rows
+// (the input batches may alias a live base relation and are never mutated).
+// The intermediate set is empty, or {db} for mediated pushed-down subplans
+// (see runLocal).
 type tagCursor struct {
 	name   string
 	attrs  []core.Attr
 	in     rel.Cursor
 	fns    []func(rel.Value) rel.Value
 	origin sourceset.Set
+	inter  sourceset.Set
 	out    *core.Relation // arena holder for output rows
 }
 
-func (q *PQP) newTagCursor(in rel.Cursor, db, localScheme string) *tagCursor {
+func (q *PQP) newTagCursor(in rel.Cursor, db, localScheme string, mediated bool) *tagCursor {
 	attrs, fns := q.tagPlan(db, localScheme, in.Schema().Names())
-	return &tagCursor{
+	c := &tagCursor{
 		name:   localScheme,
 		attrs:  attrs,
 		in:     in,
@@ -275,6 +286,10 @@ func (q *PQP) newTagCursor(in rel.Cursor, db, localScheme string) *tagCursor {
 		origin: sourceset.Of(q.reg.Intern(db)),
 		out:    core.NewRelation(localScheme, q.reg, attrs...),
 	}
+	if mediated {
+		c.inter = c.origin
+	}
+	return c
 }
 
 func (c *tagCursor) Name() string                  { return c.name }
@@ -290,7 +305,7 @@ func (c *tagCursor) Next() ([]core.Tuple, error) {
 	for bi, t := range batch {
 		row := c.out.NewRow(len(t))
 		for i, v := range t {
-			row[i] = core.Cell{D: c.fns[i](v), O: c.origin}
+			row[i] = core.Cell{D: c.fns[i](v), O: c.origin, I: c.inter}
 		}
 		rows[bi] = row
 	}

@@ -1,0 +1,217 @@
+// Package stats maintains the per-LQP statistics that drive the cost-based
+// federated query optimizer: relation cardinalities and column lists
+// (collected through the lqp.StatsProvider capability) and observed
+// wide-area link latencies (exponentially-weighted moving averages fed by
+// the PQP as it executes local operations, or seeded by benchmarks that
+// model known links).
+//
+// The paper's Query Optimizer box (Figure 2) is declared "beyond the
+// scope"; this package supplies the minimum a federation needs for the
+// decisions that dominate wide-area cost. The optimizer's rewrites are
+// gated on the cardinalities and column lists (projection-narrowing width
+// checks, the key-aware join-order cost model); the latency averages are
+// the catalog's observability arm — TransferCost turns them into the
+// estimated wide-area cost of a planned transfer, which the B-OPT harness
+// and operators read, mirroring the batch-charging model of lqp.Counting.
+// The catalog is deliberately approximate — stale counts only cost plan
+// quality, never correctness, because every rewrite the optimizer performs
+// is independently proven identity-preserving.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/lqp"
+)
+
+// DefaultFilterSelectivity is the fraction of rows assumed to survive a
+// Select or Restrict when no better estimate exists — the classic 1/3 of
+// System R's descendants. It only influences cost ranking, never results.
+const DefaultFilterSelectivity = 1.0 / 3
+
+// Key identifies one local relation of one local database.
+type Key struct {
+	DB       string
+	Relation string
+}
+
+// Relation is the collected statistics of one local relation.
+type Relation struct {
+	// Rows is the cardinality at collection time.
+	Rows int
+	// Columns lists the attribute names in schema order.
+	Columns []string
+	// Key lists the primary key attributes (empty when undeclared).
+	Key []string
+}
+
+// Catalog is a concurrency-safe store of relation and link statistics. One
+// catalog serves one federation; the PQP carries it across queries so
+// estimates warm up once.
+type Catalog struct {
+	mu   sync.RWMutex
+	rels map[Key]Relation
+	lat  map[string]time.Duration
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{rels: make(map[Key]Relation), lat: make(map[string]time.Duration)}
+}
+
+// SetRelation records (or replaces) the statistics of db's relation.
+func (c *Catalog) SetRelation(db string, rs lqp.RelationStats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rels[Key{DB: db, Relation: rs.Name}] = Relation{
+		Rows:    rs.Rows,
+		Columns: append([]string(nil), rs.Columns...),
+		Key:     append([]string(nil), rs.Key...),
+	}
+}
+
+// Relation returns the statistics of db's relation.
+func (c *Catalog) Relation(db, relation string) (Relation, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	r, ok := c.rels[Key{DB: db, Relation: relation}]
+	return r, ok
+}
+
+// Cardinality returns the recorded row count of db's relation.
+func (c *Catalog) Cardinality(db, relation string) (int, bool) {
+	r, ok := c.Relation(db, relation)
+	return r.Rows, ok
+}
+
+// Columns returns the recorded column list of db's relation. An entry
+// whose columns were never collected (e.g. created by ObserveCardinality
+// alone) reads as unknown, so cardinality observations can only improve
+// plans, never disable column-dependent rewrites.
+func (c *Catalog) Columns(db, relation string) ([]string, bool) {
+	r, ok := c.Relation(db, relation)
+	if !ok || len(r.Columns) == 0 {
+		return nil, false
+	}
+	return r.Columns, true
+}
+
+// ObserveCardinality folds a freshly observed row count into the catalog —
+// the PQP calls it with the result size of every local operation it routes,
+// so estimates track reality without a collection pass. Only full Retrieves
+// carry exact cardinalities; filtered observations update nothing.
+func (c *Catalog) ObserveCardinality(db, relation string, rows int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := Key{DB: db, Relation: relation}
+	r := c.rels[k]
+	r.Rows = rows
+	c.rels[k] = r
+}
+
+// latencyAlpha is the EWMA weight of a fresh latency observation.
+const latencyAlpha = 0.25
+
+// ObserveLatency folds one measured round-trip (or per-batch transfer) time
+// into db's moving average.
+func (c *Catalog) ObserveLatency(db string, d time.Duration) {
+	if d < 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	prev, ok := c.lat[db]
+	if !ok {
+		c.lat[db] = d
+		return
+	}
+	c.lat[db] = time.Duration(latencyAlpha*float64(d) + (1-latencyAlpha)*float64(prev))
+}
+
+// SetLatency pins db's link latency — benchmarks use it to model known
+// wide-area links instead of waiting for the average to converge.
+func (c *Catalog) SetLatency(db string, d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lat[db] = d
+}
+
+// Latency returns db's current link latency estimate.
+func (c *Catalog) Latency(db string) (time.Duration, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	d, ok := c.lat[db]
+	return d, ok
+}
+
+// TransferCost estimates the wide-area cost of shipping rows result rows
+// from db: batches × link latency, mirroring lqp.Counting's streaming
+// transfer model. Unknown links cost zero latency (in-process LQPs).
+func (c *Catalog) TransferCost(db string, rows, batchSize int) time.Duration {
+	lat, ok := c.Latency(db)
+	if !ok || batchSize <= 0 {
+		return 0
+	}
+	batches := 1
+	if n := (rows + batchSize - 1) / batchSize; n > 1 {
+		batches = n
+	}
+	return time.Duration(batches) * lat
+}
+
+// Collect probes every LQP exposing the lqp.StatsProvider capability and
+// returns a fresh catalog. The probe round-trip time seeds each LQP's
+// latency estimate. LQPs without the capability simply contribute nothing;
+// a probe error aborts the collection.
+func Collect(lqps map[string]lqp.LQP) (*Catalog, error) {
+	c := NewCatalog()
+	for db, l := range lqps {
+		start := time.Now()
+		st, ok, err := lqp.StatsOf(l)
+		if err != nil {
+			return nil, fmt.Errorf("stats: collecting from %s: %w", db, err)
+		}
+		if !ok {
+			continue
+		}
+		c.ObserveLatency(db, time.Since(start))
+		for _, rs := range st {
+			c.SetRelation(db, rs)
+		}
+	}
+	return c, nil
+}
+
+// String dumps the catalog deterministically, for tracing and tests.
+func (c *Catalog) String() string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	keys := make([]Key, 0, len(c.rels))
+	for k := range c.rels {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].DB != keys[j].DB {
+			return keys[i].DB < keys[j].DB
+		}
+		return keys[i].Relation < keys[j].Relation
+	})
+	var b strings.Builder
+	for _, k := range keys {
+		r := c.rels[k]
+		fmt.Fprintf(&b, "%s.%s: %d rows (%s)\n", k.DB, k.Relation, r.Rows, strings.Join(r.Columns, ", "))
+	}
+	dbs := make([]string, 0, len(c.lat))
+	for db := range c.lat {
+		dbs = append(dbs, db)
+	}
+	sort.Strings(dbs)
+	for _, db := range dbs {
+		fmt.Fprintf(&b, "%s: latency %v\n", db, c.lat[db])
+	}
+	return b.String()
+}

@@ -3,9 +3,31 @@
 // algebraic expression into a Polygen Operation Matrix (Table 1), the
 // two-pass Polygen Operation Interpreter of Figures 3 and 4 that expands it
 // into an Intermediate Operation Matrix (Tables 2 and 3) using the polygen
-// schema's attribute mappings, a practical Query Optimizer (the paper names
-// the component but leaves it "beyond the scope"), and the SQL front end
+// schema's attribute mappings, the Query Optimizer, and the SQL front end
 // that compiles the polygen SQL subset into algebraic expressions.
+//
+// The Query Optimizer — a component the paper names but leaves "beyond the
+// scope" — is a cost-based, source-tag-aware plan rewriter for federations
+// (optimize.go, reorder.go). Optimize applies the statistics-free passes
+// (common-subexpression and dead-row elimination); OptimizeWithOptions
+// adds, under Options carrying the schema, per-LQP statistics
+// (internal/stats) and capability probes:
+//
+//   - predicate/projection pushdown: PQP-resident Select/Restrict/Project
+//     rows fuse into the LQP-resident row feeding them, becoming
+//     pushed-down subplans (Row.Pushed, executed as lqp.Plans) so only
+//     filtered, narrowed rows cross the wide-area boundary;
+//   - projection narrowing: retrievals shrink to the columns the plan
+//     demands, never dropping condition (tag-bearing) columns;
+//   - greedy join reordering: left-deep equi-join chains re-plan under a
+//     key-aware cost model, verified by simulating both layouts.
+//
+// Every rewrite is identity-preserving at the cell level — data, origin
+// tags and intermediate tags. Rewrites the polygen tag calculus does not
+// license (selections through Merge or Join, join orders that change the
+// intermediate-tag audit trail) are refused by construction; see the
+// comments in optimize.go and reorder.go, and docs/ARCHITECTURE.md for the
+// full argument.
 package translate
 
 import (

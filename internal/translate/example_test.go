@@ -62,3 +62,66 @@ func ExampleCompileSQL() {
 	fmt.Println(e)
 	// Output: (((PORGANIZATION [CEO = ANAME] PALUMNUS) [DEGREE = "MBA"]) [CEO])
 }
+
+// ExampleOptimize shows the statistics-free optimizer collapsing the
+// duplicate Retrieve/Merge fan-out of a scheme referenced twice: the
+// eleven-row IOM becomes a seven-row plan that retrieves and merges
+// PORGANIZATION once.
+func ExampleOptimize() {
+	schema := exampleSchema()
+	expr := translate.MustParseExpr(
+		`(PORGANIZATION [ONAME = "IBM"]) UNION (PORGANIZATION [ONAME = "DEC"])`)
+	pom, _ := translate.Analyze(expr)
+	iom, _ := translate.Interpret(pom, schema)
+	fmt.Printf("before (%d rows):\n%s", iom.Cardinality(), iom)
+
+	plan, _ := translate.Optimize(iom)
+	fmt.Printf("after (%d rows):\n%s", plan.Cardinality(), plan)
+	// Output:
+	// before (11 rows):
+	// R(1) | Retrieve | BUSINESS | nil | nil | nil | nil | AD
+	// R(2) | Retrieve | CORPORATION | nil | nil | nil | nil | PD
+	// R(3) | Retrieve | FIRM | nil | nil | nil | nil | CD
+	// R(4) | Merge | R(1), R(2), R(3) | nil | nil | nil | nil | PQP
+	// R(5) | Select | R(4) | ONAME | = | "IBM" | nil | PQP
+	// R(6) | Retrieve | BUSINESS | nil | nil | nil | nil | AD
+	// R(7) | Retrieve | CORPORATION | nil | nil | nil | nil | PD
+	// R(8) | Retrieve | FIRM | nil | nil | nil | nil | CD
+	// R(9) | Merge | R(6), R(7), R(8) | nil | nil | nil | nil | PQP
+	// R(10) | Select | R(9) | ONAME | = | "DEC" | nil | PQP
+	// R(11) | Union | R(5) | nil | nil | nil | R(10) | PQP
+	// after (7 rows):
+	// R(1) | Retrieve | BUSINESS | nil | nil | nil | nil | AD
+	// R(2) | Retrieve | CORPORATION | nil | nil | nil | nil | PD
+	// R(3) | Retrieve | FIRM | nil | nil | nil | nil | CD
+	// R(4) | Merge | R(1), R(2), R(3) | nil | nil | nil | nil | PQP
+	// R(5) | Select | R(4) | ONAME | = | "IBM" | nil | PQP
+	// R(6) | Select | R(4) | ONAME | = | "DEC" | nil | PQP
+	// R(7) | Union | R(5) | nil | nil | nil | R(6) | PQP
+}
+
+// ExampleOptimizeWithOptions shows the cost-based pushdown path: a
+// PQP-resident selection chain over a single-source scheme fuses into one
+// pushed-down subplan executed entirely inside the owning LQP, so only the
+// filtered, single-column rows cross the wide-area boundary. The extra
+// matrix column renders the fused local steps.
+func ExampleOptimizeWithOptions() {
+	schema := exampleSchema()
+	expr := translate.MustParseExpr(`((PALUMNUS [DEGREE = "MBA"]) [ANAME = "Stu Madnick"]) [ANAME]`)
+	pom, _ := translate.Analyze(expr)
+	iom, _ := translate.Interpret(pom, schema)
+	fmt.Print("before:\n", iom)
+
+	plan, _ := translate.OptimizeWithOptions(iom, translate.Options{
+		Schema:  schema,
+		CanPush: func(db string) bool { return true }, // every LQP accepts subplans
+	})
+	fmt.Print("after:\n", plan)
+	// Output:
+	// before:
+	// R(1) | Select | ALUMNUS | DEG | = | "MBA" | nil | AD
+	// R(2) | Select | R(1) | ANAME | = | "Stu Madnick" | nil | PQP
+	// R(3) | Project | R(2) | ANAME | nil | nil | nil | PQP
+	// after:
+	// R(1) | Select | ALUMNUS | DEG | = | "MBA" | nil | AD | push: [ANAME = "Stu Madnick"][ANAME]
+}

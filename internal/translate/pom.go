@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/lqp"
 	"repro/internal/rel"
 )
 
@@ -154,6 +155,14 @@ type Row struct {
 	// relations are being merged; the executor needs it for the key and the
 	// coalesce groups. It is carried alongside the paper's columns.
 	Scheme string
+	// Pushed carries, on LQP-resident rows, the local operations the Query
+	// Optimizer fused into this row from later PQP-resident rows (predicate
+	// and projection pushdown). The operations execute at the row's LQP, in
+	// order, after the row's own operation; attribute references are already
+	// localized. Like Scheme, it rides alongside the paper's columns — the
+	// paper's optimizer box is "beyond the scope", so its output has no
+	// matrix notation to follow.
+	Pushed []lqp.Op
 }
 
 // lhaString renders the LHA column.
@@ -172,7 +181,9 @@ func (r Row) thetaString() string {
 }
 
 // String renders the row as a pipe-separated line matching the paper's
-// matrix layout: PR | OP | LHR | LHA | θ | RHA | RHR [| EL].
+// matrix layout: PR | OP | LHR | LHA | θ | RHA | RHR [| EL]. Rows carrying
+// optimizer-fused local steps append one extra column, "push: [...]...",
+// rendering each pushed operation's bracket part in pipeline order.
 func (r Row) String() string {
 	cols := []string{
 		fmt.Sprintf("R(%d)", r.PR),
@@ -185,6 +196,9 @@ func (r Row) String() string {
 	}
 	if r.EL != "" {
 		cols = append(cols, r.EL)
+	}
+	if len(r.Pushed) > 0 {
+		cols = append(cols, "push: "+lqp.StepsString(r.Pushed))
 	}
 	return strings.Join(cols, " | ")
 }

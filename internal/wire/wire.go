@@ -3,14 +3,18 @@
 // "routes [local queries] to the Local Query Processors"). The protocol is
 // gob-encoded messages over TCP in two shapes:
 //
-//   - request/response: one request carries one lqp.Op (or a metadata
-//     query), one response carries the materialized relation or an error —
-//     the materializing path (Client.Execute).
-//   - streaming: an "open" request is answered by a schema header followed
-//     by row-batch frames and a final done frame, on a connection dedicated
-//     to that stream — the streaming path (Client.Open). The server starts
-//     framing as soon as the local operation yields rows, so remote
-//     retrieval overlaps with PQP-side operator work.
+//   - request/response: one request carries one lqp.Op, one pushed-down
+//     lqp.Plan, or a metadata query ("name", "relations", "stats"); one
+//     response carries the materialized relation, the statistics, or an
+//     error — the materializing path (Client.Execute / ExecutePlan /
+//     Stats).
+//   - streaming: an "open" (or "openplan") request is answered by a schema
+//     header followed by row-batch frames and a final done frame, on a
+//     connection dedicated to that stream — the streaming path
+//     (Client.Open / OpenPlan). The server starts framing as soon as the
+//     local operation yields rows, so remote retrieval overlaps with
+//     PQP-side operator work; a pushed-down plan evaluates entirely
+//     server-side, so only the filtered, narrowed rows are framed at all.
 //
 // Both directions guard against stalled peers: the client sets read/write
 // deadlines around every exchange and every frame, the server sets write
@@ -18,9 +22,10 @@
 // close the connection — a wedged LQP fails a federation query instead of
 // hanging it forever.
 //
-// Server serves a catalog.Database; Client implements lqp.LQP and
-// lqp.Streamer, so the PQP is oblivious to whether an LQP is in-process or
-// remote.
+// Server serves a catalog.Database; Client implements lqp.LQP plus every
+// optional capability (lqp.Streamer, lqp.PlanRunner, lqp.PlanStreamer,
+// lqp.StatsProvider), so the PQP — and the cost-based optimizer behind it —
+// is oblivious to whether an LQP is in-process or remote.
 package wire
 
 import (
@@ -44,10 +49,16 @@ const DefaultTimeout = 2 * time.Minute
 
 // request is one client→server message.
 type request struct {
-	// Kind selects the operation: "name", "relations", "execute" or "open".
+	// Kind selects the operation: "name", "relations", "stats", "execute",
+	// "open", "execplan" or "openplan".
 	Kind string
 	// Op is the local operation for Kind == "execute" / "open".
 	Op lqp.Op
+	// Plan is the pushed-down subplan for Kind == "execplan" / "openplan":
+	// the whole pipeline evaluates server-side and only the filtered,
+	// narrowed rows cross the wire — the transfer saving the cost-based
+	// optimizer plans for.
+	Plan lqp.Plan
 }
 
 // response is one server→client message.
@@ -57,6 +68,8 @@ type response struct {
 	Relations []string
 	Relation  flatRelation
 	HasRel    bool
+	// Stats carries the per-relation statistics for Kind == "stats".
+	Stats []lqp.RelationStats
 }
 
 // frame is one row batch of a streamed result ("open"). A stream is a
@@ -169,8 +182,16 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err := dec.Decode(&req); err != nil {
 			return // client went away, stalled or sent garbage; drop the connection
 		}
-		if req.Kind == "open" {
-			if err := s.serveStream(conn, enc, req.Op); err != nil {
+		if req.Kind == "open" || req.Kind == "openplan" {
+			open := func() (rel.Cursor, string, error) {
+				if req.Kind == "openplan" {
+					cur, err := s.local.OpenPlan(req.Plan)
+					return cur, req.Plan.Relation(), err
+				}
+				cur, err := s.local.Open(req.Op)
+				return cur, req.Op.Relation, err
+			}
+			if err := s.serveStream(conn, enc, open); err != nil {
 				return // transport failure mid-stream; the connection is poisoned
 			}
 			continue
@@ -192,17 +213,18 @@ func (s *Server) send(conn net.Conn, enc *gob.Encoder, msg any) error {
 	return enc.Encode(msg)
 }
 
-// serveStream answers one "open" request: a schema header response, then
-// row-batch frames, then a done frame. A local-operation error before any
-// row is reported in the header; one mid-stream is reported in an error
-// frame. The returned error is non-nil only for transport failures.
-func (s *Server) serveStream(conn net.Conn, enc *gob.Encoder, op lqp.Op) error {
-	cur, err := s.local.Open(op)
+// serveStream answers one "open"/"openplan" request: a schema header
+// response, then row-batch frames, then a done frame. A local-operation
+// error before any row is reported in the header; one mid-stream is
+// reported in an error frame. The returned error is non-nil only for
+// transport failures.
+func (s *Server) serveStream(conn net.Conn, enc *gob.Encoder, open func() (rel.Cursor, string, error)) error {
+	cur, name, err := open()
 	if err != nil {
 		return s.send(conn, enc, response{Err: err.Error()})
 	}
 	defer cur.Close()
-	header := flatRelation{Name: op.Relation, Attrs: cur.Schema().Attrs()}
+	header := flatRelation{Name: name, Attrs: cur.Schema().Attrs()}
 	if err := s.send(conn, enc, response{Relation: header, HasRel: true}); err != nil {
 		return err
 	}
@@ -236,6 +258,18 @@ func (s *Server) handle(req request) response {
 			return response{Err: err.Error()}
 		}
 		return response{Relation: flatten(r), HasRel: true}
+	case "execplan":
+		r, err := s.local.ExecutePlan(req.Plan)
+		if err != nil {
+			return response{Err: err.Error()}
+		}
+		return response{Relation: flatten(r), HasRel: true}
+	case "stats":
+		st, err := s.local.Stats()
+		if err != nil {
+			return response{Err: err.Error()}
+		}
+		return response{Stats: st}
 	default:
 		return response{Err: fmt.Sprintf("wire: unknown request kind %q", req.Kind)}
 	}
@@ -358,12 +392,50 @@ func (c *Client) Execute(op lqp.Op) (*rel.Relation, error) {
 	return resp.Relation.unflatten(), nil
 }
 
+// ExecutePlan implements lqp.PlanRunner: the whole pushed-down subplan
+// evaluates server-side and only its final result crosses the wire.
+func (c *Client) ExecutePlan(p lqp.Plan) (*rel.Relation, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	resp, err := c.roundTrip(request{Kind: "execplan", Plan: p})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.HasRel {
+		return nil, fmt.Errorf("wire: execplan response carried no relation")
+	}
+	return resp.Relation.unflatten(), nil
+}
+
+// Stats implements lqp.StatsProvider over the wire.
+func (c *Client) Stats() ([]lqp.RelationStats, error) {
+	resp, err := c.roundTrip(request{Kind: "stats"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Stats, nil
+}
+
 // Open implements lqp.Streamer: the operation is evaluated remotely and its
 // rows arrive as frames on a connection dedicated to this stream, so the
 // server transfers ahead (into the sockets' buffers) while the caller
 // consumes — remote retrieval overlaps with PQP-side work. The cursor must
 // be closed; an abandoned stream only costs its own connection.
 func (c *Client) Open(op lqp.Op) (rel.Cursor, error) {
+	return c.openStream(request{Kind: "open", Op: op})
+}
+
+// OpenPlan implements lqp.PlanStreamer: the subplan evaluates remotely and
+// only the filtered row batches stream back.
+func (c *Client) OpenPlan(p lqp.Plan) (rel.Cursor, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return c.openStream(request{Kind: "openplan", Plan: p})
+}
+
+func (c *Client) openStream(req request) (rel.Cursor, error) {
 	c.mu.Lock()
 	broken := c.broken
 	c.mu.Unlock()
@@ -376,7 +448,7 @@ func (c *Client) Open(op lqp.Op) (rel.Cursor, error) {
 	}
 	sc := &streamCursor{conn: conn, dec: gob.NewDecoder(conn), timeout: c.timeout()}
 	conn.SetDeadline(time.Now().Add(sc.timeout))
-	if err := gob.NewEncoder(conn).Encode(request{Kind: "open", Op: op}); err != nil {
+	if err := gob.NewEncoder(conn).Encode(req); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("wire: send: %w", err)
 	}
@@ -451,5 +523,10 @@ func (c *Client) Close() error {
 	return c.conn.Close()
 }
 
-var _ lqp.LQP = (*Client)(nil)
-var _ lqp.Streamer = (*Client)(nil)
+var (
+	_ lqp.LQP           = (*Client)(nil)
+	_ lqp.Streamer      = (*Client)(nil)
+	_ lqp.PlanRunner    = (*Client)(nil)
+	_ lqp.PlanStreamer  = (*Client)(nil)
+	_ lqp.StatsProvider = (*Client)(nil)
+)

@@ -1,0 +1,32 @@
+# Convenience targets; CI runs the same commands (see .github/workflows).
+
+GO ?= go
+
+.PHONY: all build test race bench bench-smoke fmt vet
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -timeout=20m ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l .
+
+# bench runs the headline benchmark families (B-KEY, B-STREAM, B-OPT,
+# B-SERVE) and writes machine-readable results to BENCH_serve.json.
+# BENCHTIME=2s make bench   for a real measurement run.
+bench:
+	bash scripts/bench.sh BENCH_serve.json
+
+# bench-smoke is the CI shape: one iteration per benchmark.
+bench-smoke:
+	BENCHTIME=1x bash scripts/bench.sh BENCH_serve.json

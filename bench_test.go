@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/identity"
 	"repro/internal/lqp"
+	"repro/internal/mediator"
 	"repro/internal/paperdata"
 	"repro/internal/pqp"
 	"repro/internal/rel"
@@ -958,6 +959,145 @@ func BenchmarkStreamingOverlap(b *testing.B) {
 				if _, err := eng.run(); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// B-SERVE: mediator service throughput and tail latency. Where every other
+// benchmark measures one caller's wall time, these measure the serving
+// system polygend stands up: N closed-loop wire clients sharing one
+// mediator (one PQP, one plan cache, one stats catalog) over TCP, with an
+// injected per-batch wide-area latency at the LQPs so that concurrency has
+// real waiting to overlap. Reported: qps, p50/p99 latency (see
+// workload.Drive), plus plan-cache hits.
+
+// newServeMediator stands up the B-SERVE service: the star federation
+// behind latency-injected Counting LQPs, a shared PQP (plan cache on or
+// off), the mediator session layer, and a wire server. It returns the bound
+// address and the service (for cache statistics).
+func newServeMediator(b *testing.B, cfg workload.StarConfig, latency time.Duration, cache bool) (string, *mediator.Service) {
+	b.Helper()
+	star := workload.NewStar(cfg)
+	lqps := make(map[string]lqp.LQP, 3)
+	for name, l := range star.LQPs() {
+		c := lqp.NewCounting(l)
+		c.Latency = latency
+		lqps[name] = c
+	}
+	q := pqp.New(star.Schema, star.Registry, nil, lqps)
+	if !cache {
+		q.Plans = nil
+	}
+	if err := q.CollectStats(); err != nil {
+		b.Fatal(err)
+	}
+	svc := mediator.New(q, mediator.Config{Federation: "star"})
+	srv := wire.NewMediatorServer(svc)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	return addr, svc
+}
+
+// serveClients dials one wire client + session per closed-loop worker.
+func serveClients(b *testing.B, addr string, n int) ([]*wire.Client, []string) {
+	b.Helper()
+	clients := make([]*wire.Client, n)
+	sessions := make([]string, n)
+	for i := range clients {
+		c, err := wire.Dial(addr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { c.Close() })
+		info, err := c.OpenSession()
+		if err != nil {
+			b.Fatal(err)
+		}
+		clients[i] = c
+		sessions[i] = info.ID
+	}
+	return clients, sessions
+}
+
+// BenchmarkServeThroughput (B-SERVE) measures concurrent throughput scaling:
+// the same closed-loop query mix at 1..8 clients. With per-batch wide-area
+// latency dominating each query, a correctly concurrent service scales
+// near-linearly in clients (the acceptance bar is ≥3x qps at 8 clients vs
+// 1); a service serializing on one connection or one engine lock would stay
+// flat. ns/op is per-query wall time per client; qps is aggregate.
+func BenchmarkServeThroughput(b *testing.B) {
+	const latency = time.Millisecond
+	queries := workload.StarQueries()
+	for _, nclients := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("clients=%d", nclients), func(b *testing.B) {
+			addr, _ := newServeMediator(b, workload.DefaultStarConfig(), latency, true)
+			clients, sessions := serveClients(b, addr, nclients)
+			// Warm the plan cache and the canonical-ID interner so every
+			// worker measures steady-state serving.
+			for _, qt := range queries {
+				if _, err := clients[0].Query(sessions[0], qt, true); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			res := workload.Drive(nclients, b.N, func(w, i int) error {
+				_, err := clients[w].Query(sessions[w], queries[(w+i)%len(queries)], true)
+				return err
+			})
+			b.StopTimer()
+			if res.Errors > 0 {
+				b.Fatalf("%d queries failed", res.Errors)
+			}
+			b.ReportMetric(res.QPS, "qps")
+			b.ReportMetric(float64(res.P50.Microseconds()), "p50-µs")
+			b.ReportMetric(float64(res.P99.Microseconds()), "p99-µs")
+		})
+	}
+}
+
+// BenchmarkServePlanCache (B-SERVE) ablates the plan cache on the mediator's
+// serving interface, in-process so the measurement isolates what the cache
+// elides — parsing aside, the whole translation pipeline and the cost-based
+// optimizer (pushdown analysis plus the join-order search over candidate
+// layouts) — from wire and transfer costs. A tiny federation keeps
+// execution cheap; allocs/op shows the hit path allocating no
+// translation or reorder-search work (the property suite additionally
+// proves the cached matrices are reused pointer-identical); hits/query
+// reports the measured hit rate.
+func BenchmarkServePlanCache(b *testing.B) {
+	cfg := workload.StarConfig{Facts: 200, Dims: 20, Mids: 5, Categories: 10, Seed: 1}
+	queries := []string{
+		`(((PFACT [MK = MK] PMID) [DK = DK] (PDIM [DCAT = "dcat0"])) [VAL, DCAT, GRADE])`,
+		`((PFACT [CAT = "cat3"]) [VAL >= 5000]) [VAL]`,
+	}
+	for _, cache := range []bool{false, true} {
+		name := "off"
+		if cache {
+			name = "on"
+		}
+		b.Run("plancache="+name, func(b *testing.B) {
+			_, svc := newServeMediator(b, cfg, 0, cache)
+			for _, qt := range queries {
+				if _, err := svc.Query("", qt, true); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := svc.Query("", queries[i%len(queries)], true); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if cache {
+				st := svc.PQP().Plans.Stats()
+				b.ReportMetric(float64(st.Hits)/float64(b.N), "hits/query")
 			}
 		})
 	}

@@ -23,11 +23,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"strings"
-	"syscall"
+	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/cmdutil"
 	"repro/internal/paperdata"
 	"repro/internal/wire"
 )
@@ -41,6 +41,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:0", "listen address")
 	writeTimeout := flag.Duration("write-timeout", wire.DefaultTimeout, "per-message write deadline (a client that stops reading is dropped)")
 	idleTimeout := flag.Duration("idle-timeout", 0, "drop connections idle longer than this (0 = keep idle connections open)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline for in-flight requests")
 	flag.Parse()
 
 	var db *catalog.Database
@@ -99,14 +100,7 @@ func main() {
 	}
 	fmt.Printf("lqpd: serving %s (%s) on %s\n", db.Name(), strings.Join(db.Relations(), ", "), bound)
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	fmt.Println("lqpd: shutting down")
-	srv.Close()
+	cmdutil.ServeUntilSignal(srv, *drain, "lqpd")
 }
 
-func fatal(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, format+"\n", args...)
-	os.Exit(1)
-}
+func fatal(format string, args ...any) { cmdutil.Fatal(format, args...) }

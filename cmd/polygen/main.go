@@ -15,6 +15,9 @@
 //	-trace  print each executed plan row with its result cardinality
 //	-remote addr1,addr2,...      use remote LQPs (see cmd/lqpd) instead of
 //	        the in-process federation
+//	-connect addr                thin-client mode: run everything on a
+//	        polygend mediator (see cmd/polygend); the REPL only parses
+//	        backslash commands and renders answers
 package main
 
 import (
@@ -24,8 +27,8 @@ import (
 	"strings"
 
 	"repro/internal/catalog"
+	"repro/internal/cmdutil"
 	"repro/internal/identity"
-	"repro/internal/lqp"
 	"repro/internal/paperdata"
 	"repro/internal/pqp"
 	"repro/internal/shell"
@@ -39,21 +42,20 @@ func main() {
 	plan := flag.Bool("plan", false, "print translation matrices before the answer")
 	trace := flag.Bool("trace", false, "trace plan execution")
 	remote := flag.String("remote", "", "comma-separated lqpd addresses to use instead of in-process LQPs")
+	connect := flag.String("connect", "", "polygend mediator address: run queries remotely as a thin client")
 	flag.Parse()
+
+	if *connect != "" {
+		runRemote(*connect, *sql, *alg, *plan)
+		return
+	}
 
 	fed := paperdata.New()
 	lqps := fed.LQPs()
 	if *remote != "" {
-		lqps = make(map[string]lqp.LQP)
-		for _, addr := range strings.Split(*remote, ",") {
-			client, err := wire.Dial(strings.TrimSpace(addr))
-			if err != nil {
-				fatal("dialing %s: %v", addr, err)
-			}
-			defer client.Close()
-			lqps[client.Name()] = client
-			fmt.Fprintf(os.Stderr, "connected to LQP %s at %s\n", client.Name(), addr)
-		}
+		var closeLQPs func()
+		lqps, closeLQPs = cmdutil.DialLQPs(*remote, "polygen")
+		defer closeLQPs()
 	}
 	processor := pqp.New(fed.Schema, fed.Registry, identity.CaseFold{}, lqps)
 	if *trace {
@@ -69,6 +71,36 @@ func main() {
 		run(processor, *alg, true, *plan)
 	default:
 		repl(processor, fed, *plan, *remote != "")
+	}
+}
+
+// runRemote is the thin-client mode: a wire session against a polygend
+// mediator runs the queries; this process only renders answers.
+func runRemote(addr, sql, alg string, plan bool) {
+	client, err := wire.Dial(addr)
+	if err != nil {
+		fatal("dialing mediator %s: %v", addr, err)
+	}
+	defer client.Close()
+	backend, err := shell.NewRemoteBackend(client)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer backend.Close()
+	sh := shell.NewWithBackend(backend)
+	sh.ShowPlan = plan
+	switch {
+	case sql != "":
+		sh.Exec(sql, os.Stdout)
+	case alg != "":
+		sh.Exec(`\alg `+alg, os.Stdout)
+	default:
+		fmt.Printf("connected to federation %q at %s (session %s)\n",
+			backend.Federation(), addr, backend.Session())
+		fmt.Println(`enter SQL or \help:`)
+		if err := sh.Run(os.Stdin, os.Stdout); err != nil {
+			fatal("%v", err)
+		}
 	}
 }
 
@@ -132,7 +164,4 @@ func indent(s string) string {
 	return strings.Join(lines, "\n") + "\n"
 }
 
-func fatal(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, format+"\n", args...)
-	os.Exit(1)
-}
+func fatal(format string, args ...any) { cmdutil.Fatal(format, args...) }

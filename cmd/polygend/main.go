@@ -1,0 +1,108 @@
+// Command polygend serves a whole polygen federation as a mediator daemon:
+// one shared Polygen Query Processor — plan cache, statistics catalog and
+// canonical-ID interner warmed once — behind the wire query protocol, for
+// any number of concurrent clients (cmd/polygen -connect, wire.Client, the
+// B-SERVE workload driver). It is the paper's Figure 1 stood up as a
+// long-running service: LQPs below (in-process paper databases, or remote
+// cmd/lqpd daemons via -remote), sessions with audit trails above.
+//
+// Usage:
+//
+//	polygend -addr 127.0.0.1:7100                   # paper federation, in-process LQPs
+//	polygend -addr :7100 -workload star             # synthetic star federation
+//	polygend -addr :7100 -remote 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003
+//
+// SIGINT/SIGTERM begin a graceful shutdown: the daemon stops accepting,
+// drains in-flight requests up to -drain, then exits. A second signal
+// forces immediate teardown.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"repro/internal/cmdutil"
+	"repro/internal/identity"
+	"repro/internal/mediator"
+	"repro/internal/paperdata"
+	"repro/internal/pqp"
+	"repro/internal/translate"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:0", "listen address")
+	wl := flag.String("workload", "paper", `federation to serve: "paper" (the paper's AD/PD/CD) or "star" (synthetic star schema)`)
+	remote := flag.String("remote", "", "comma-separated lqpd addresses to use as the federation's LQPs (paper workload only)")
+	name := flag.String("name", "", "federation name announced to clients (defaults to the workload name)")
+	cacheSize := flag.Int("plan-cache", translate.DefaultPlanCacheSize, "plan cache capacity in plans (0 disables the cache)")
+	noOptimize := flag.Bool("no-optimize", false, "disable the cost-based query optimizer")
+	relaxed := flag.Bool("relaxed-reorder", false, "permit tag-relaxed join reordering (see translate.Options)")
+	collect := flag.Bool("collect-stats", true, "probe LQP statistics at startup to seed the optimizer")
+	maxSessions := flag.Int("max-sessions", 0, "session table bound (0 = default)")
+	sessionIdle := flag.Duration("session-idle", 0, "idle session expiry (0 = default 1h)")
+	writeTimeout := flag.Duration("write-timeout", wire.DefaultTimeout, "per-message write deadline (a client that stops reading is dropped)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "drop connections idle longer than this (0 = keep idle connections open)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline for in-flight requests")
+	flag.Parse()
+
+	var processor *pqp.PQP
+	switch *wl {
+	case "paper":
+		fed := paperdata.New()
+		lqps := fed.LQPs()
+		if *remote != "" {
+			var closeLQPs func()
+			lqps, closeLQPs = cmdutil.DialLQPs(*remote, "polygend")
+			defer closeLQPs()
+		}
+		processor = pqp.New(fed.Schema, fed.Registry, identity.CaseFold{}, lqps)
+	case "star":
+		if *remote != "" {
+			fatal("-remote is only supported with -workload paper")
+		}
+		star := workload.NewStar(workload.DefaultStarConfig())
+		processor = pqp.New(star.Schema, star.Registry, nil, star.LQPs())
+	default:
+		fatal("unknown workload %q (want paper or star)", *wl)
+	}
+
+	processor.Optimize = !*noOptimize
+	processor.RelaxedJoinReorder = *relaxed
+	if *cacheSize > 0 {
+		processor.Plans = translate.NewPlanCache(*cacheSize)
+	} else {
+		processor.Plans = nil
+	}
+	if *collect {
+		if err := processor.CollectStats(); err != nil {
+			fatal("collecting statistics: %v", err)
+		}
+	}
+
+	fedName := *name
+	if fedName == "" {
+		fedName = *wl
+	}
+	svc := mediator.New(processor, mediator.Config{
+		Federation:  fedName,
+		MaxSessions: *maxSessions,
+		SessionIdle: *sessionIdle,
+	})
+	srv := wire.NewMediatorServer(svc)
+	srv.WriteTimeout = *writeTimeout
+	srv.IdleTimeout = *idleTimeout
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("polygend: serving federation %q on %s (plan cache %d, optimizer %v)\n",
+		fedName, bound, *cacheSize, processor.Optimize)
+
+	cmdutil.ServeUntilSignal(srv, *drain, "polygend")
+	fmt.Println("polygend: bye")
+}
+
+func fatal(format string, args ...any) { cmdutil.Fatal(format, args...) }

@@ -1,0 +1,69 @@
+// Package cmdutil holds the plumbing the daemons and CLIs share: fatal
+// exits, dialing a federation's remote LQPs, and the graceful-drain signal
+// loop — one implementation, so a fix to the drain path lands in lqpd and
+// polygend at once.
+package cmdutil
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/lqp"
+	"repro/internal/wire"
+)
+
+// Fatal prints to stderr and exits 1.
+func Fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}
+
+// DialLQPs dials a comma-separated list of lqpd addresses and returns the
+// LQP map keyed by remote database name, plus a closer for the clients.
+// Progress is logged to stderr with the given prefix; a dial failure is
+// fatal (a federation with a missing member cannot answer its queries).
+func DialLQPs(addrs, logPrefix string) (map[string]lqp.LQP, func()) {
+	lqps := make(map[string]lqp.LQP)
+	clients := make([]*wire.Client, 0, 4)
+	for _, a := range strings.Split(addrs, ",") {
+		a = strings.TrimSpace(a)
+		client, err := wire.Dial(a)
+		if err != nil {
+			Fatal("%s: dialing LQP %s: %v", logPrefix, a, err)
+		}
+		clients = append(clients, client)
+		lqps[client.Name()] = client
+		fmt.Fprintf(os.Stderr, "%s: connected to LQP %s at %s\n", logPrefix, client.Name(), a)
+	}
+	return lqps, func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}
+}
+
+// ServeUntilSignal blocks until SIGINT/SIGTERM, then drains srv gracefully:
+// stop accepting, let in-flight requests finish up to the drain deadline,
+// then tear down. A second signal forces immediate teardown. A blown drain
+// deadline exits 1.
+func ServeUntilSignal(srv *wire.Server, drain time.Duration, name string) {
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Printf("%s: draining (deadline %v; signal again to force)\n", name, drain)
+	done := make(chan error, 1)
+	go func() { done <- srv.Shutdown(drain) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			Fatal("%s: %v", name, err)
+		}
+	case <-sig:
+		fmt.Printf("%s: forced shutdown\n", name)
+		srv.Close()
+	}
+}

@@ -120,24 +120,12 @@ func (q *PQP) ExecuteAllParallel(iom *translate.Matrix) (map[int]*core.Relation,
 	return out, nil
 }
 
-// RunParallel is Run with ExecuteParallel as the evaluation strategy.
+// RunParallel is Run with ExecuteParallel as the evaluation strategy. It
+// shares Run's translation path — plan cache included.
 func (q *PQP) RunParallel(e translate.Expr) (*Result, error) {
-	res := &Result{Expr: e}
-	var err error
-	if res.POM, err = translate.Analyze(e); err != nil {
+	res, err := q.plan(e)
+	if err != nil {
 		return nil, err
-	}
-	if res.Half, err = translate.PassOne(res.POM, q.schema); err != nil {
-		return nil, err
-	}
-	if res.IOM, err = translate.PassTwo(res.Half, q.schema); err != nil {
-		return nil, err
-	}
-	res.Plan = res.IOM
-	if q.Optimize {
-		if res.Plan, err = translate.Optimize(res.IOM); err != nil {
-			return nil, err
-		}
 	}
 	if res.Relation, err = q.ExecuteParallel(res.Plan); err != nil {
 		return nil, err

@@ -41,7 +41,9 @@
 package pqp
 
 import (
+	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -56,6 +58,12 @@ import (
 // PQP is a polygen query processor bound to a polygen schema and a set of
 // LQPs (one per local database).
 type PQP struct {
+	// id is a process-unique planner identity (see planKey): plans depend
+	// on everything a PQP is wired with — schema, LQP set and capabilities,
+	// resolver — none of which change after New, so the instance ID is the
+	// sound cache fingerprint for all of them (an address would not be:
+	// a successor's allocation can reuse a freed predecessor's).
+	id     uint64
 	schema *core.Schema
 	reg    *sourceset.Registry
 	alg    *core.Algebra
@@ -82,22 +90,45 @@ type PQP struct {
 	// (core.MergeBalanced) instead of the paper's left fold; the answers are
 	// instance-identical and wide merges get cheaper (B-SRC ablation).
 	BalancedMerge bool
+	// Plans caches translated, optimized plans keyed by canonical query
+	// text, schema, statistics version and optimizer options, so a shared
+	// long-lived PQP runs the translation pipeline — including the
+	// optimizer's join-order search — once per distinct query instead of
+	// once per request. New installs a DefaultPlanCacheSize cache; set nil
+	// to translate every request from scratch (the B-SERVE ablation does).
+	Plans *translate.PlanCache
 	// Trace, when non-nil, receives one line per executed IOM row.
 	Trace func(format string, args ...any)
 }
+
+// The flag fields above (Optimize, Stats, RelaxedJoinReorder, BalancedMerge,
+// Plans, Trace) are configuration: set them while wiring the federation,
+// before the PQP is shared. After that one PQP instance serves any number of
+// goroutines concurrently — QuerySQL, QueryAlgebra, Run and Open are safe
+// for concurrent use. Everything mutable underneath is either query-private
+// (relations, cursor trees, register maps) or independently synchronized:
+// the sourceset.Registry and stats.Catalog lock internally, the resolver's
+// canonical-ID interner publishes through an atomic snapshot, and the plan
+// cache locks around its LRU. The property suite in concurrent_test.go
+// holds a shared instance to cell-for-cell serial equivalence under -race.
 
 // New builds a PQP. resolver may be nil for exact instance matching; the
 // paper's worked example needs identity.CaseFold to match "CitiCorp" with
 // "Citicorp".
 func New(schema *core.Schema, reg *sourceset.Registry, resolver identity.Resolver, lqps map[string]lqp.LQP) *PQP {
 	return &PQP{
+		id:       nextPQPID.Add(1),
 		schema:   schema,
 		reg:      reg,
 		alg:      core.NewAlgebra(resolver),
 		lqps:     lqps,
 		Optimize: true,
+		Plans:    translate.NewPlanCache(0),
 	}
 }
+
+// nextPQPID hands out process-unique planner IDs.
+var nextPQPID atomic.Uint64
 
 // Algebra exposes the algebra evaluator (e.g. to install a conflict
 // handler).
@@ -153,8 +184,24 @@ type Result struct {
 	IOM *translate.Matrix
 	// Plan is the executed plan: the IOM after the Query Optimizer.
 	Plan *translate.Matrix
+	// CacheHit reports that the matrices came from the plan cache — the
+	// translation pipeline and the optimizer did not run for this request.
+	CacheHit bool
 	// Relation is the composite answer with source tags.
 	Relation *core.Relation
+}
+
+// PlanLines renders the executed plan one row per line — what the shell and
+// the mediator protocol show as "the plan" without shipping matrices.
+func (r *Result) PlanLines() []string {
+	if r == nil || r.Plan == nil {
+		return nil
+	}
+	lines := make([]string, len(r.Plan.Rows))
+	for i, row := range r.Plan.Rows {
+		lines[i] = row.String()
+	}
+	return lines
 }
 
 // QueryAlgebra runs a polygen algebraic expression (paper notation) through
@@ -179,7 +226,80 @@ func (q *PQP) QuerySQL(input string) (*Result, error) {
 
 // Run executes an already-built algebraic expression.
 func (q *PQP) Run(e translate.Expr) (*Result, error) {
+	res, err := q.plan(e)
+	if err != nil {
+		return nil, err
+	}
+	if res.Relation, err = q.Execute(res.Plan); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Open runs the translation pipeline for e (through the plan cache) and
+// returns the answer as a streaming cursor instead of a materialized
+// relation — the mediator's "queryopen" path. The caller owns the cursor
+// and must Close it. Plans the streaming engine cannot compile fall back to
+// materializing and re-cutting into batches, exactly as Execute does.
+func (q *PQP) Open(e translate.Expr) (core.Cursor, *Result, error) {
+	res, err := q.plan(e)
+	if err != nil {
+		return nil, nil, err
+	}
+	cur, err := q.OpenPlan(res.Plan)
+	if errors.Is(err, errRedefinedRegister) {
+		p, merr := q.ExecuteMaterialized(res.Plan)
+		if merr != nil {
+			return nil, nil, merr
+		}
+		return core.CursorOf(p), res, nil
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return cur, res, nil
+}
+
+// planKey builds the cache key of e under the PQP's current planning
+// inputs: the canonical query text, the schema instance, the statistics
+// version the optimizer would consult, and the optimizer option
+// fingerprint.
+func (q *PQP) planKey(e translate.Expr) translate.PlanKey {
+	var statsFP string
+	if q.Stats != nil {
+		// Instance identity + version: a fresh catalog (CollectStats) must
+		// miss even if its restarted version counter collides with the old
+		// catalog's. The ID is a process-unique monotonic counter, not an
+		// address, so a successor catalog reusing the freed one's memory
+		// still misses.
+		statsFP = fmt.Sprintf("%d:%d", q.Stats.ID(), q.Stats.Version())
+	}
+	return translate.PlanKey{
+		Query: e.String(),
+		// The planner ID covers everything fixed at New: schema, the LQP
+		// set and its pushdown capabilities, the resolver. The mutable
+		// flags are fingerprinted separately below.
+		Planner: fmt.Sprintf("pqp-%d", q.id),
+		Stats:   statsFP,
+		Options: fmt.Sprintf("opt=%t relaxed=%t exact=%t",
+			q.Optimize, q.RelaxedJoinReorder, q.alg.ResolverIsExact()),
+	}
+}
+
+// plan runs the translation pipeline for e — parse products through the
+// Query Optimizer — consulting the plan cache first. The matrices of a
+// cache hit are shared and immutable; execution never mutates a plan.
+func (q *PQP) plan(e translate.Expr) (*Result, error) {
 	res := &Result{Expr: e}
+	var key translate.PlanKey
+	if q.Plans != nil {
+		key = q.planKey(e)
+		if p, ok := q.Plans.Get(key); ok {
+			res.POM, res.Half, res.IOM, res.Plan = p.POM, p.Half, p.IOM, p.Plan
+			res.CacheHit = true
+			return res, nil
+		}
+	}
 	var err error
 	if res.POM, err = translate.Analyze(e); err != nil {
 		return nil, err
@@ -196,8 +316,8 @@ func (q *PQP) Run(e translate.Expr) (*Result, error) {
 			return nil, err
 		}
 	}
-	if res.Relation, err = q.Execute(res.Plan); err != nil {
-		return nil, err
+	if q.Plans != nil {
+		q.Plans.Put(key, &translate.CachedPlan{POM: res.POM, Half: res.Half, IOM: res.IOM, Plan: res.Plan})
 	}
 	return res, nil
 }

@@ -1,0 +1,109 @@
+package shell
+
+// Backend abstracts where the shell's queries run. The thick path wraps a
+// local *pqp.PQP; the thin path (cmd/polygen -connect) wraps a wire.Client
+// session against a polygend mediator, making the REPL a pure display
+// layer: parsing, optimization and execution all happen server-side, and
+// only the tagged answer crosses the wire.
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/pqp"
+	"repro/internal/wire"
+)
+
+// Answer is one executed query as the shell displays it.
+type Answer struct {
+	// Relation is the composite answer with source tags.
+	Relation *core.Relation
+	// PlanRows is the executed (optimized) plan, one row per line.
+	PlanRows []string
+	// CacheHit reports the plan came from a plan cache.
+	CacheHit bool
+}
+
+// Backend runs queries and serves federation metadata for one shell.
+type Backend interface {
+	// Query runs one polygen query: SQL, or paper algebra when algebraic.
+	Query(text string, algebraic bool) (*Answer, error)
+	// Schemes lists the polygen schemes with their attribute mappings.
+	Schemes() ([]wire.SchemeInfo, error)
+	// Close releases the backend (remote: ends the session).
+	Close() error
+}
+
+// LocalBackend runs queries on an in-process PQP.
+type LocalBackend struct {
+	q *pqp.PQP
+}
+
+// NewLocalBackend wraps processor.
+func NewLocalBackend(processor *pqp.PQP) *LocalBackend { return &LocalBackend{q: processor} }
+
+// Query implements Backend.
+func (b *LocalBackend) Query(text string, algebraic bool) (*Answer, error) {
+	var res *pqp.Result
+	var err error
+	if algebraic {
+		res, err = b.q.QueryAlgebra(text)
+	} else {
+		res, err = b.q.QuerySQL(text)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Answer{Relation: res.Relation, PlanRows: res.PlanLines(), CacheHit: res.CacheHit}, nil
+}
+
+// Schemes implements Backend.
+func (b *LocalBackend) Schemes() ([]wire.SchemeInfo, error) {
+	return wire.SchemeInfos(b.q.Schema()), nil
+}
+
+// Close implements Backend (a no-op: the PQP belongs to the caller).
+func (b *LocalBackend) Close() error { return nil }
+
+// RemoteBackend runs queries on a polygend mediator over one wire session.
+type RemoteBackend struct {
+	client  *wire.Client
+	session string
+	info    wire.SessionInfo
+}
+
+// NewRemoteBackend opens a session on the mediator behind client. The
+// backend owns the session but not the client; Close ends the session and
+// leaves the client to the caller.
+func NewRemoteBackend(client *wire.Client) (*RemoteBackend, error) {
+	info, err := client.OpenSession()
+	if err != nil {
+		return nil, fmt.Errorf("shell: opening mediator session: %w", err)
+	}
+	return &RemoteBackend{client: client, session: info.ID, info: info}, nil
+}
+
+// Session returns the mediator session ID.
+func (b *RemoteBackend) Session() string { return b.session }
+
+// Federation returns the remote federation name.
+func (b *RemoteBackend) Federation() string { return b.info.Federation }
+
+// Query implements Backend.
+func (b *RemoteBackend) Query(text string, algebraic bool) (*Answer, error) {
+	ans, err := b.client.Query(b.session, text, algebraic)
+	if err != nil {
+		return nil, err
+	}
+	return &Answer{Relation: ans.Relation, PlanRows: ans.PlanRows, CacheHit: ans.CacheHit}, nil
+}
+
+// Schemes implements Backend: the metadata came with the session handshake.
+func (b *RemoteBackend) Schemes() ([]wire.SchemeInfo, error) {
+	return b.info.Schemes, nil
+}
+
+// Close implements Backend: it ends the mediator session.
+func (b *RemoteBackend) Close() error {
+	return b.client.CloseSession(b.session)
+}

@@ -1,0 +1,114 @@
+package shell
+
+// The remote backend makes the shell a thin client of a polygend-style
+// mediator. These tests hold the two modes to the same observable behavior:
+// a local shell and a remote shell over the same federation print the same
+// answers, schemes and plans.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/identity"
+	"repro/internal/mediator"
+	"repro/internal/paperdata"
+	"repro/internal/pqp"
+	"repro/internal/wire"
+)
+
+func newPaperPQP() *pqp.PQP {
+	fed := paperdata.New()
+	return pqp.New(fed.Schema, fed.Registry, identity.CaseFold{}, fed.LQPs())
+}
+
+func startMediator(t *testing.T, processor *pqp.PQP) *wire.Client {
+	t.Helper()
+	svc := mediator.New(processor, mediator.Config{Federation: "paper"})
+	srv := wire.NewMediatorServer(svc)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	client, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	return client
+}
+
+func execLines(t *testing.T, sh *Shell, lines ...string) string {
+	t.Helper()
+	var out strings.Builder
+	for _, line := range lines {
+		if quit := sh.Exec(line, &out); quit {
+			break
+		}
+	}
+	return out.String()
+}
+
+// TestRemoteShellMatchesLocal: the same script through a local shell and a
+// thin remote shell produces identical output — answers, tags, schemes,
+// describe, and the \plan echo.
+func TestRemoteShellMatchesLocal(t *testing.T) {
+	script := []string{
+		`\plan on`,
+		`SELECT ONAME, CEO FROM PORGANIZATION WHERE INDUSTRY = "Banking"`,
+		`\alg ( PALUMNUS [DEGREE = "MBA"] ) [ANAME]`,
+		`\schemes`,
+		`\describe PORGANIZATION`,
+	}
+
+	local := New(newPaperPQP())
+	want := execLines(t, local, script...)
+
+	client := startMediator(t, newPaperPQP())
+	backend, err := NewRemoteBackend(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer backend.Close()
+	remote := NewWithBackend(backend)
+	got := execLines(t, remote, script...)
+
+	if got != want {
+		t.Errorf("remote shell output differs from local\n--- local ---\n%s--- remote ---\n%s", want, got)
+	}
+}
+
+// TestRemoteShellAuditUnavailable: \audit needs catalog access and must say
+// so instead of panicking on the nil PQP.
+func TestRemoteShellAuditUnavailable(t *testing.T) {
+	client := startMediator(t, newPaperPQP())
+	backend, err := NewRemoteBackend(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer backend.Close()
+	out := execLines(t, NewWithBackend(backend), `\audit`)
+	if !strings.Contains(out, "catalog access") {
+		t.Errorf(`\audit output = %q`, out)
+	}
+}
+
+// TestRemoteShellQueryError: a bad query prints the server's error and the
+// session keeps working.
+func TestRemoteShellQueryError(t *testing.T) {
+	client := startMediator(t, newPaperPQP())
+	backend, err := NewRemoteBackend(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer backend.Close()
+	sh := NewWithBackend(backend)
+	out := execLines(t, sh, `SELECT NOPE FROM NOWHERE`)
+	if out == "" || strings.Contains(out, "panic") {
+		t.Fatalf("bad query output = %q", out)
+	}
+	out = execLines(t, sh, `SELECT ONAME FROM PORGANIZATION WHERE INDUSTRY = "Banking"`)
+	if !strings.Contains(out, "CitiCorp") {
+		t.Fatalf("session unusable after error: %q", out)
+	}
+}

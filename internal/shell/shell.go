@@ -1,10 +1,11 @@
 // Package shell implements the interactive front end of cmd/polygen: a
-// line-oriented console over one PQP, in the spirit of the System P
-// prototype the paper's §V announces. Plain lines are SQL polygen queries;
-// backslash commands expose the federation's metadata — the polygen schema,
-// attribute mappings, source lineage and the cardinality-inconsistency
-// audit. The shell is an ordinary struct over io.Reader/io.Writer so that
-// tests can drive it.
+// line-oriented console in the spirit of the System P prototype the paper's
+// §V announces. Plain lines are SQL polygen queries; backslash commands
+// expose the federation's metadata — the polygen schema, attribute
+// mappings, source lineage and the cardinality-inconsistency audit. The
+// shell is an ordinary struct over io.Reader/io.Writer so that tests can
+// drive it, and it runs over a Backend (backend.go): a local PQP, or — in
+// -connect mode — a thin wire session against a polygend mediator.
 package shell
 
 import (
@@ -23,6 +24,9 @@ import (
 
 // Shell is one interactive session.
 type Shell struct {
+	// Backend runs the queries and serves scheme metadata.
+	Backend Backend
+	// PQP is set for local shells; it enables \audit (with Databases).
 	PQP *pqp.PQP
 	// Databases, when non-nil, enables \audit.
 	Databases map[string]*catalog.Database
@@ -34,9 +38,16 @@ type Shell struct {
 	Prompt string
 }
 
-// New returns a shell over processor.
+// New returns a shell over an in-process processor.
 func New(processor *pqp.PQP) *Shell {
-	return &Shell{PQP: processor, Prompt: "polygen> "}
+	return &Shell{Backend: NewLocalBackend(processor), PQP: processor, Prompt: "polygen> "}
+}
+
+// NewWithBackend returns a shell over any backend (e.g. a RemoteBackend
+// against a polygend mediator). \audit is unavailable without catalog
+// access.
+func NewWithBackend(b Backend) *Shell {
+	return &Shell{Backend: b, Prompt: "polygen> "}
 }
 
 // Run reads commands from in until EOF or \quit, writing results to out.
@@ -137,31 +148,42 @@ func (s *Shell) help(out io.Writer) {
 }
 
 func (s *Shell) schemes(out io.Writer) {
-	for _, name := range s.PQP.Schema().SchemeNames() {
-		scheme, _ := s.PQP.Schema().Scheme(name)
-		fmt.Fprintf(out, "%s(%s) key=%s\n", name, strings.Join(scheme.AttrNames(), ", "), scheme.Key)
+	infos, err := s.Backend.Schemes()
+	if err != nil {
+		fmt.Fprintln(out, err)
+		return
+	}
+	for _, si := range infos {
+		names := make([]string, len(si.Attrs))
+		for i, a := range si.Attrs {
+			names[i] = a.Name
+		}
+		fmt.Fprintf(out, "%s(%s) key=%s\n", si.Name, strings.Join(names, ", "), si.Key)
 	}
 }
 
 func (s *Shell) describe(name string, out io.Writer) {
-	scheme, ok := s.PQP.Schema().Scheme(name)
-	if !ok {
-		fmt.Fprintf(out, "no polygen scheme %q\n", name)
+	infos, err := s.Backend.Schemes()
+	if err != nil {
+		fmt.Fprintln(out, err)
 		return
 	}
-	fmt.Fprintf(out, "%s (key: %s)\n", scheme.Name, scheme.Key)
-	for _, pa := range scheme.Attrs {
-		ms := make([]string, len(pa.Mapping))
-		for i, la := range pa.Mapping {
-			ms[i] = la.String()
+	for _, si := range infos {
+		if si.Name != name {
+			continue
 		}
-		fmt.Fprintf(out, "  %-14s <- %s\n", pa.Name, strings.Join(ms, ", "))
+		fmt.Fprintf(out, "%s (key: %s)\n", si.Name, si.Key)
+		for _, a := range si.Attrs {
+			fmt.Fprintf(out, "  %-14s <- %s\n", a.Name, strings.Join(a.Mapping, ", "))
+		}
+		return
 	}
+	fmt.Fprintf(out, "no polygen scheme %q\n", name)
 }
 
 func (s *Shell) audit(out io.Writer) {
-	if s.Databases == nil {
-		fmt.Fprintln(out, `\audit needs direct catalog access (not available over remote LQPs)`)
+	if s.Databases == nil || s.PQP == nil {
+		fmt.Fprintln(out, `\audit needs direct catalog access (not available over remote LQPs or a mediator)`)
 		return
 	}
 	covs, err := audit.AuditSchema(s.PQP.Schema(), s.Resolver, s.Databases)
@@ -180,30 +202,30 @@ func (s *Shell) audit(out io.Writer) {
 }
 
 func (s *Shell) query(sql string, out io.Writer) {
-	res, err := s.PQP.QuerySQL(sql)
+	ans, err := s.Backend.Query(sql, false)
 	if err != nil {
 		fmt.Fprintln(out, err)
 		return
 	}
-	s.printResult(res, out)
+	s.printResult(ans, out)
 }
 
 func (s *Shell) algebra(expr string, out io.Writer) {
-	res, err := s.PQP.QueryAlgebra(expr)
+	ans, err := s.Backend.Query(expr, true)
 	if err != nil {
 		fmt.Fprintln(out, err)
 		return
 	}
-	s.printResult(res, out)
+	s.printResult(ans, out)
 }
 
-func (s *Shell) printResult(res *pqp.Result, out io.Writer) {
+func (s *Shell) printResult(ans *Answer, out io.Writer) {
 	if s.ShowPlan {
-		for _, row := range res.Plan.Rows {
-			fmt.Fprintln(out, "  "+row.String())
+		for _, row := range ans.PlanRows {
+			fmt.Fprintln(out, "  "+row)
 		}
 	}
-	header, rows := tables.RenderRelation(res.Relation)
+	header, rows := tables.RenderRelation(ans.Relation)
 	fmt.Fprintln(out, header)
 	for _, r := range rows {
 		fmt.Fprintln(out, r)

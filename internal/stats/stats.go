@@ -23,6 +23,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/lqp"
@@ -53,14 +54,44 @@ type Relation struct {
 // catalog serves one federation; the PQP carries it across queries so
 // estimates warm up once.
 type Catalog struct {
+	// id identifies this catalog instance, drawn from a process-wide
+	// monotonic counter: catalog identity in a plan-cache key must not be
+	// an address (a freed catalog's slot can be reused by its successor).
+	id uint64
+	// version counts plan-relevant catalog changes: relation statistics
+	// being set or replaced, cardinalities that actually move, and pinned
+	// latencies. The PQP's plan cache keys optimized plans on it, so a
+	// collection pass or a real cardinality shift re-plans while steady-state
+	// execution — whose per-operation latency observations only nudge the
+	// EWMA — keeps hitting cached plans. Accessed atomically.
+	version atomic.Uint64
+
 	mu   sync.RWMutex
 	rels map[Key]Relation
 	lat  map[string]time.Duration
 }
 
+// nextCatalogID hands out process-unique catalog IDs.
+var nextCatalogID atomic.Uint64
+
+// ID returns the catalog's process-unique instance identifier. Two
+// catalogs never share an ID, even when one is allocated after the other
+// is garbage: plans cached against a replaced catalog can therefore never
+// be mistaken for plans against its successor.
+func (c *Catalog) ID() uint64 { return c.id }
+
+// Version returns the catalog's plan-relevant change counter. Two calls
+// returning the same value bracket a window in which no statistics change
+// that could alter an optimizer decision was recorded.
+func (c *Catalog) Version() uint64 { return c.version.Load() }
+
 // NewCatalog returns an empty catalog.
 func NewCatalog() *Catalog {
-	return &Catalog{rels: make(map[Key]Relation), lat: make(map[string]time.Duration)}
+	return &Catalog{
+		id:   nextCatalogID.Add(1),
+		rels: make(map[Key]Relation),
+		lat:  make(map[string]time.Duration),
+	}
 }
 
 // SetRelation records (or replaces) the statistics of db's relation.
@@ -72,6 +103,7 @@ func (c *Catalog) SetRelation(db string, rs lqp.RelationStats) {
 		Columns: append([]string(nil), rs.Columns...),
 		Key:     append([]string(nil), rs.Key...),
 	}
+	c.version.Add(1)
 }
 
 // Relation returns the statistics of db's relation.
@@ -108,16 +140,24 @@ func (c *Catalog) ObserveCardinality(db, relation string, rows int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	k := Key{DB: db, Relation: relation}
-	r := c.rels[k]
+	r, known := c.rels[k]
+	if known && r.Rows == rows {
+		return // nothing moved; cached plans stay valid
+	}
 	r.Rows = rows
 	c.rels[k] = r
+	c.version.Add(1)
 }
 
 // latencyAlpha is the EWMA weight of a fresh latency observation.
 const latencyAlpha = 0.25
 
 // ObserveLatency folds one measured round-trip (or per-batch transfer) time
-// into db's moving average.
+// into db's moving average. It deliberately does not bump Version: the PQP
+// observes latency on every local operation it routes, so counting EWMA
+// drift as a plan-relevant change would invalidate the plan cache on every
+// query. Latency only tilts cost ranking, never correctness; SetLatency —
+// the deliberate re-model — does bump.
 func (c *Catalog) ObserveLatency(db string, d time.Duration) {
 	if d < 0 {
 		return
@@ -138,6 +178,7 @@ func (c *Catalog) SetLatency(db string, d time.Duration) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.lat[db] = d
+	c.version.Add(1)
 }
 
 // Latency returns db's current link latency estimate.

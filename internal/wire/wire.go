@@ -1,31 +1,39 @@
-// Package wire implements the network protocol between the Polygen Query
-// Processor and remote Local Query Processors (paper, Figure 1: the PQP
-// "routes [local queries] to the Local Query Processors"). The protocol is
+// Package wire implements the network protocols of the polygen federation:
+// between the Polygen Query Processor and remote Local Query Processors
+// (paper, Figure 1: the PQP "routes [local queries] to the Local Query
+// Processors"), and between thin clients and a mediator service wrapping a
+// whole PQP (query.go — the paper's §V System P made networkable). Both are
 // gob-encoded messages over TCP in two shapes:
 //
 //   - request/response: one request carries one lqp.Op, one pushed-down
-//     lqp.Plan, or a metadata query ("name", "relations", "stats"); one
-//     response carries the materialized relation, the statistics, or an
-//     error — the materializing path (Client.Execute / ExecutePlan /
-//     Stats).
-//   - streaming: an "open" (or "openplan") request is answered by a schema
-//     header followed by row-batch frames and a final done frame, on a
-//     connection dedicated to that stream — the streaming path
-//     (Client.Open / OpenPlan). The server starts framing as soon as the
-//     local operation yields rows, so remote retrieval overlaps with
-//     PQP-side operator work; a pushed-down plan evaluates entirely
-//     server-side, so only the filtered, narrowed rows are framed at all.
+//     lqp.Plan, a metadata query ("name", "relations", "stats"), or — on a
+//     mediator server — a whole polygen query; one response carries the
+//     materialized relation (plain or source-tagged), the statistics, or an
+//     error.
+//   - streaming: an "open"/"openplan" (or mediator "queryopen") request is
+//     answered by a schema header followed by row-batch frames and a final
+//     done frame, on a connection dedicated to that stream. The server
+//     starts framing as soon as the operation yields rows, so remote
+//     retrieval overlaps with client-side work; a pushed-down plan
+//     evaluates entirely server-side, so only the filtered, narrowed rows
+//     are framed at all.
 //
 // Both directions guard against stalled peers: the client sets read/write
 // deadlines around every exchange and every frame, the server sets write
 // deadlines (and an optional idle read deadline), and transport errors
-// close the connection — a wedged LQP fails a federation query instead of
+// close the connection — a wedged peer fails a federation query instead of
 // hanging it forever.
 //
-// Server serves a catalog.Database; Client implements lqp.LQP plus every
-// optional capability (lqp.Streamer, lqp.PlanRunner, lqp.PlanStreamer,
+// Server serves a catalog.Database (NewServer) and/or fronts a mediator
+// (NewMediatorServer); Client implements lqp.LQP plus every optional
+// capability (lqp.Streamer, lqp.PlanRunner, lqp.PlanStreamer,
 // lqp.StatsProvider), so the PQP — and the cost-based optimizer behind it —
-// is oblivious to whether an LQP is in-process or remote.
+// is oblivious to whether an LQP is in-process or remote. A Client holds a
+// bounded pool of connections (DefaultMaxConns; DialPool sizes it), so
+// concurrent Execute/ExecutePlan/Stats round trips against one server
+// proceed in parallel instead of serializing on a single gob stream, and a
+// transport failure poisons only the connection it happened on. Streams
+// always run on their own dedicated connection, outside the pool.
 package wire
 
 import (
@@ -40,6 +48,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/lqp"
 	"repro/internal/rel"
+	"repro/internal/sourceset"
 )
 
 // DefaultTimeout is the deadline applied to wire reads and writes when the
@@ -47,10 +56,17 @@ import (
 // wide-area link, short enough that a dead peer cannot wedge a query.
 const DefaultTimeout = 2 * time.Minute
 
+// DefaultMaxConns is the connection-pool bound of a Client built by Dial:
+// enough parallelism for a PQP fanning concurrent round trips at one LQP
+// (or a handful of shell sessions sharing a mediator client) without
+// letting one client monopolize a server's accept queue.
+const DefaultMaxConns = 4
+
 // request is one client→server message.
 type request struct {
 	// Kind selects the operation: "name", "relations", "stats", "execute",
-	// "open", "execplan" or "openplan".
+	// "open", "execplan", "openplan" against an LQP server; "session",
+	// "endsession", "query", "queryopen" against a mediator server.
 	Kind string
 	// Op is the local operation for Kind == "execute" / "open".
 	Op lqp.Op
@@ -59,6 +75,14 @@ type request struct {
 	// narrowed rows cross the wire — the transfer saving the cost-based
 	// optimizer plans for.
 	Plan lqp.Plan
+	// Session carries the session ID for mediator requests ("" runs the
+	// query sessionless).
+	Session string
+	// Text is the polygen query for Kind == "query" / "queryopen".
+	Text string
+	// Algebraic selects the algebra parser instead of the SQL front end for
+	// Kind == "query" / "queryopen".
+	Algebraic bool
 }
 
 // response is one server→client message.
@@ -70,17 +94,30 @@ type response struct {
 	HasRel    bool
 	// Stats carries the per-relation statistics for Kind == "stats".
 	Stats []lqp.RelationStats
+	// Session / Schemes answer a "session" request (query.go).
+	Session SessionInfo
+	// Poly carries a source-tagged result for Kind == "query", or the
+	// schema header of a "queryopen" stream.
+	Poly    flatPoly
+	HasPoly bool
+	// PlanRows is the executed (optimized) plan, one row per line, for
+	// mediator queries.
+	PlanRows []string
+	// CacheHit reports that the mediator answered from its plan cache.
+	CacheHit bool
 }
 
-// frame is one row batch of a streamed result ("open"). A stream is a
-// response carrying the schema (an empty Relation) followed by frames until
-// Done or Err. Tuples is the cursor batch as-is: gob encodes the named
-// slice types by their underlying form, so no per-batch conversion is
-// needed on either side.
+// frame is one row batch of a streamed result. A stream is a response
+// carrying the schema followed by frames until Done or Err. Tuples carries
+// plain rows ("open"/"openplan"); Poly carries source-tagged rows
+// ("queryopen"), each frame with its own source-name directory (query.go).
 type frame struct {
 	Err    string
 	Done   bool
 	Tuples []rel.Tuple
+	// Poly / Sources carry one tagged batch (see flatPoly).
+	Poly    []flatTuple
+	Sources []string
 }
 
 // flatRelation is the wire form of rel.Relation: schema flattened into the
@@ -108,9 +145,11 @@ func (f flatRelation) unflatten() *rel.Relation {
 	return r
 }
 
-// Server exposes one local database as an LQP over TCP.
+// Server exposes one local database as an LQP, a mediator as a query
+// service, or both, over TCP.
 type Server struct {
-	local *lqp.Local
+	local    *lqp.Local
+	mediator Mediator
 
 	// WriteTimeout bounds every response or frame write (defaults to
 	// DefaultTimeout); a client that stops reading gets its connection
@@ -118,19 +157,41 @@ type Server struct {
 	WriteTimeout time.Duration
 	// IdleTimeout, when positive, bounds the wait for the next request on a
 	// connection; idle clients beyond it are disconnected. Zero (the
-	// default) keeps idle connections open indefinitely — the PQP holds one
-	// connection per LQP across queries.
+	// default) keeps idle connections open indefinitely — the PQP holds
+	// pooled connections per LQP across queries.
 	IdleTimeout time.Duration
 
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]struct{}
 	closed   bool
+	draining bool
+	active   sync.WaitGroup
 }
 
-// NewServer returns a server for db.
+// NewServer returns an LQP server for db.
 func NewServer(db *catalog.Database) *Server {
 	return &Server{local: lqp.NewLocal(db), WriteTimeout: DefaultTimeout, conns: make(map[net.Conn]struct{})}
+}
+
+// NewMediatorServer returns a server fronting m: it answers "session",
+// "query" and "queryopen" requests (plus "name" with the federation name)
+// and refuses the LQP operation kinds — a mediator exposes answers, not its
+// local databases.
+func NewMediatorServer(m Mediator) *Server {
+	return &Server{mediator: m, WriteTimeout: DefaultTimeout, conns: make(map[net.Conn]struct{})}
+}
+
+// serverName is what a "name" request answers: the local database for an
+// LQP server, the federation name for a mediator server.
+func (s *Server) serverName() string {
+	if s.local != nil {
+		return s.local.Name()
+	}
+	if s.mediator != nil {
+		return s.mediator.Federation()
+	}
+	return ""
 }
 
 // Listen binds the server to addr (e.g. "127.0.0.1:0") and begins accepting
@@ -154,7 +215,7 @@ func (s *Server) acceptLoop(ln net.Listener) {
 			return // listener closed
 		}
 		s.mu.Lock()
-		if s.closed {
+		if s.closed || s.draining {
 			s.mu.Unlock()
 			conn.Close()
 			return
@@ -163,6 +224,20 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		s.mu.Unlock()
 		go s.serveConn(conn)
 	}
+}
+
+// beginRequest marks one request in flight, unless the server is draining
+// or closed — then the request is refused and the connection dropped.
+// Shutdown waits for every in-flight request (including open streams) to
+// finish before tearing connections down.
+func (s *Server) beginRequest() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.draining {
+		return false
+	}
+	s.active.Add(1)
+	return true
 }
 
 func (s *Server) serveConn(conn net.Conn) {
@@ -182,24 +257,38 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err := dec.Decode(&req); err != nil {
 			return // client went away, stalled or sent garbage; drop the connection
 		}
-		if req.Kind == "open" || req.Kind == "openplan" {
-			open := func() (rel.Cursor, string, error) {
-				if req.Kind == "openplan" {
-					cur, err := s.local.OpenPlan(req.Plan)
-					return cur, req.Plan.Relation(), err
-				}
-				cur, err := s.local.Open(req.Op)
-				return cur, req.Op.Relation, err
-			}
-			if err := s.serveStream(conn, enc, open); err != nil {
-				return // transport failure mid-stream; the connection is poisoned
-			}
-			continue
+		if !s.beginRequest() {
+			return // draining: finish nothing new on this connection
 		}
-		resp := s.handle(req)
-		if err := s.send(conn, enc, resp); err != nil {
-			return
+		err := s.dispatch(conn, enc, req)
+		s.active.Done()
+		if err != nil {
+			return // transport failure; the connection is poisoned
 		}
+	}
+}
+
+// dispatch serves one decoded request. The returned error is non-nil only
+// for transport failures; application errors travel in responses.
+func (s *Server) dispatch(conn net.Conn, enc *gob.Encoder, req request) error {
+	switch req.Kind {
+	case "open", "openplan":
+		open := func() (rel.Cursor, string, error) {
+			if s.local == nil {
+				return nil, "", fmt.Errorf("wire: server %q does not serve local operations", s.serverName())
+			}
+			if req.Kind == "openplan" {
+				cur, err := s.local.OpenPlan(req.Plan)
+				return cur, req.Plan.Relation(), err
+			}
+			cur, err := s.local.Open(req.Op)
+			return cur, req.Op.Relation, err
+		}
+		return s.serveStream(conn, enc, open)
+	case "queryopen":
+		return s.serveQueryStream(conn, enc, req)
+	default:
+		return s.send(conn, enc, s.handle(req))
 	}
 }
 
@@ -245,7 +334,14 @@ func (s *Server) serveStream(conn net.Conn, enc *gob.Encoder, open func() (rel.C
 func (s *Server) handle(req request) response {
 	switch req.Kind {
 	case "name":
-		return response{Name: s.local.Name()}
+		return response{Name: s.serverName()}
+	case "session", "endsession", "query":
+		return s.handleMediator(req)
+	}
+	if s.local == nil {
+		return response{Err: fmt.Sprintf("wire: server %q does not serve local operations (request kind %q)", s.serverName(), req.Kind)}
+	}
+	switch req.Kind {
 	case "relations":
 		rels, err := s.local.Relations()
 		if err != nil {
@@ -275,7 +371,8 @@ func (s *Server) handle(req request) response {
 	}
 }
 
-// Close stops accepting and tears down open connections.
+// Close stops accepting and tears down open connections, in-flight or not.
+// It is idempotent; Shutdown is the graceful variant.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -286,6 +383,9 @@ func (s *Server) Close() error {
 	var err error
 	if s.listener != nil {
 		err = s.listener.Close()
+		if errors.Is(err, net.ErrClosed) {
+			err = nil // Shutdown already stopped the listener
+		}
 	}
 	for c := range s.conns {
 		c.Close()
@@ -293,40 +393,123 @@ func (s *Server) Close() error {
 	return err
 }
 
-// Client is a remote LQP. It implements lqp.LQP over a single TCP
-// connection — requests are serialized by a mutex (the PQP issues local
-// queries one plan step at a time, and independent LQPs use independent
-// clients) — and lqp.Streamer over one dedicated connection per stream, so
-// several streams and the request/response exchange never block each other.
+// Shutdown drains the server: it stops accepting connections and requests,
+// waits up to d for the requests already in flight — including open streams
+// — to complete, then closes everything. A non-positive d waits without
+// bound. The error reports a blown deadline (connections were cut with
+// requests still running); Shutdown after Close (or a second Shutdown) is a
+// no-op.
+func (s *Server) Shutdown(d time.Duration) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	ln := s.listener
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close() // stop accepting; acceptLoop exits
+	}
+	done := make(chan struct{})
+	go func() {
+		s.active.Wait()
+		close(done)
+	}()
+	timedOut := false
+	if d > 0 {
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		select {
+		case <-done:
+		case <-timer.C:
+			timedOut = true
+		}
+	} else {
+		<-done
+	}
+	err := s.Close()
+	if timedOut {
+		return fmt.Errorf("wire: shutdown deadline %v expired with requests in flight", d)
+	}
+	return err
+}
+
+// Client is a remote LQP or a mediator-service client. It holds a bounded
+// pool of TCP connections: concurrent round trips (Execute, ExecutePlan,
+// Stats, Query, ...) each check a connection out of the pool, dialing new
+// ones up to the bound and queueing beyond it, so calls against one server
+// proceed in parallel instead of serializing on a single gob stream. A
+// transport failure closes only the connection it happened on; the next
+// call dials afresh. Streams (Open, OpenPlan, OpenQuery) run on a dedicated
+// connection per stream, outside the pool, so several streams and the
+// request/response traffic never block each other; Close tears stream
+// connections down too, so an in-flight stream fails fast instead of
+// leaking.
 type Client struct {
 	// Timeout bounds every wire read and write: the initial exchange of a
 	// round trip, and each frame of a stream. Zero means DefaultTimeout.
+	// Set it before sharing the client across goroutines.
 	Timeout time.Duration
+	// Reg interns the source tags of mediator query results. Dial installs
+	// a fresh registry; replace it (before first use) to share one registry
+	// across clients.
+	Reg *sourceset.Registry
 
-	addr string
+	addr     string
+	name     string
+	maxConns int
 
-	mu     sync.Mutex
-	conn   net.Conn
-	dec    *gob.Decoder
-	enc    *gob.Encoder
-	name   string
-	broken bool
+	mu      sync.Mutex
+	cond    *sync.Cond
+	idle    []*clientConn
+	live    map[net.Conn]struct{} // every pooled conn, checked out or idle
+	nconns  int
+	closed  bool
+	streams map[net.Conn]struct{} // dedicated per-stream conns
 }
 
-// Dial connects to a wire server and caches the remote database name.
+// clientConn is one pooled connection with its gob codecs.
+type clientConn struct {
+	conn net.Conn
+	dec  *gob.Decoder
+	enc  *gob.Encoder
+}
+
+// Dial connects with a DefaultMaxConns connection pool and caches the
+// remote server name.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
-	}
-	c := &Client{addr: addr, conn: conn, dec: gob.NewDecoder(conn), enc: gob.NewEncoder(conn)}
+	return DialPool(addr, DefaultMaxConns)
+}
+
+// DialPool connects with a connection pool bounded to maxConns (values < 1
+// mean 1: the pre-pool single-connection behavior).
+func DialPool(addr string, maxConns int) (*Client, error) {
+	c := newClient(addr, maxConns)
 	resp, err := c.roundTrip(request{Kind: "name"})
 	if err != nil {
-		conn.Close()
+		c.Close()
 		return nil, err
 	}
 	c.name = resp.Name
 	return c, nil
+}
+
+// newClient builds an unconnected client; connections are dialed lazily by
+// the pool.
+func newClient(addr string, maxConns int) *Client {
+	if maxConns < 1 {
+		maxConns = 1
+	}
+	c := &Client{
+		addr:     addr,
+		maxConns: maxConns,
+		Reg:      sourceset.NewRegistry(),
+		live:     make(map[net.Conn]struct{}),
+		streams:  make(map[net.Conn]struct{}),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	return c
 }
 
 func (c *Client) timeout() time.Duration {
@@ -336,36 +519,150 @@ func (c *Client) timeout() time.Duration {
 	return DefaultTimeout
 }
 
-func (c *Client) roundTrip(req request) (response, error) {
+func (c *Client) errClosed() error {
+	return fmt.Errorf("wire: client for %s is closed", c.addr)
+}
+
+// dialConn opens one pooled connection.
+func (c *Client) dialConn() (*clientConn, error) {
+	conn, err := net.DialTimeout("tcp", c.addr, c.timeout())
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", c.addr, err)
+	}
+	return &clientConn{conn: conn, dec: gob.NewDecoder(conn), enc: gob.NewEncoder(conn)}, nil
+}
+
+// acquire checks a connection out of the pool: an idle one if available, a
+// fresh dial while under the bound, otherwise it waits for a release.
+// reused reports that the connection sat idle in the pool — it may have
+// been dropped by the server since (idle timeout, restart), so a transport
+// failure on it is retriable.
+func (c *Client) acquire() (cc *clientConn, reused bool, err error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.broken {
-		return response{}, fmt.Errorf("wire: connection to %s is closed after an earlier failure", c.addr)
-	}
-	// A transport failure (including a blown deadline) poisons the gob
-	// stream; close the connection so a stalled LQP cannot wedge the
-	// federation query, and fail subsequent calls fast.
-	fail := func(err error) (response, error) {
-		c.broken = true
-		c.conn.Close()
-		return response{}, err
-	}
-	c.conn.SetDeadline(time.Now().Add(c.timeout()))
-	defer c.conn.SetDeadline(time.Time{})
-	if err := c.enc.Encode(req); err != nil {
-		return fail(fmt.Errorf("wire: send: %w", err))
-	}
-	var resp response
-	if err := c.dec.Decode(&resp); err != nil {
-		if errors.Is(err, io.EOF) {
-			return fail(fmt.Errorf("wire: server closed connection"))
+	for {
+		if c.closed {
+			c.mu.Unlock()
+			return nil, false, c.errClosed()
 		}
-		return fail(fmt.Errorf("wire: receive: %w", err))
+		if n := len(c.idle); n > 0 {
+			cc := c.idle[n-1]
+			c.idle = c.idle[:n-1]
+			c.mu.Unlock()
+			return cc, true, nil
+		}
+		if c.nconns < c.maxConns {
+			c.nconns++
+			c.mu.Unlock()
+			cc, err := c.dialConn()
+			c.mu.Lock()
+			if err != nil {
+				c.nconns--
+				c.cond.Signal()
+				c.mu.Unlock()
+				return nil, false, err
+			}
+			if c.closed {
+				c.nconns--
+				c.cond.Signal()
+				c.mu.Unlock()
+				cc.conn.Close()
+				return nil, false, c.errClosed()
+			}
+			c.live[cc.conn] = struct{}{}
+			c.mu.Unlock()
+			return cc, false, nil
+		}
+		c.cond.Wait()
+	}
+}
+
+// release returns a connection to the pool, or retires it when the exchange
+// failed (a transport error poisons the gob stream) or the client closed.
+func (c *Client) release(cc *clientConn, broken bool) {
+	c.mu.Lock()
+	if broken || c.closed {
+		c.nconns--
+		delete(c.live, cc.conn)
+		c.cond.Signal()
+		c.mu.Unlock()
+		cc.conn.Close()
+		return
+	}
+	c.idle = append(c.idle, cc)
+	c.cond.Signal()
+	c.mu.Unlock()
+}
+
+func (c *Client) roundTrip(req request) (response, error) {
+	resp, reused, err := c.roundTripOnce(req)
+	if err != nil && reused && req.Kind != "endsession" {
+		// The failure happened on a connection that sat idle in the pool —
+		// the server may have dropped it (idle timeout, restart) before the
+		// request ever ran. The sibling idle connections are almost surely
+		// stale from the same event, so flush them all and retry once; the
+		// retry then dials fresh instead of drawing the next stale conn.
+		// Every request kind is safe to replay except "endsession" (a
+		// replayed close would mis-report an already-closed session);
+		// "session" is replay-tolerant in the weak sense that a lost
+		// response orphans one server-side session until its idle expiry.
+		c.flushIdle()
+		resp, _, err = c.roundTripOnce(req)
+	}
+	if err != nil {
+		return response{}, err
 	}
 	if resp.Err != "" {
 		return response{}, errors.New(resp.Err)
 	}
 	return resp, nil
+}
+
+// flushIdle retires every idle pooled connection — called when one of them
+// turned out stale, which means its siblings (dropped by the same server
+// event) almost surely are too.
+func (c *Client) flushIdle() {
+	c.mu.Lock()
+	stale := c.idle
+	c.idle = nil
+	for _, cc := range stale {
+		c.nconns--
+		delete(c.live, cc.conn)
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	for _, cc := range stale {
+		cc.conn.Close()
+	}
+}
+
+// roundTripOnce performs one request/response exchange on one pooled
+// connection. The returned error is transport-level only (application
+// errors travel in resp.Err); reused reports the connection came from the
+// idle pool, making a transport failure retriable.
+func (c *Client) roundTripOnce(req request) (response, bool, error) {
+	cc, reused, err := c.acquire()
+	if err != nil {
+		return response{}, false, err
+	}
+	// A transport failure (including a blown deadline) poisons this
+	// connection's gob stream; retire it so a stalled server cannot wedge
+	// the pool, and let the next call dial afresh.
+	cc.conn.SetDeadline(time.Now().Add(c.timeout()))
+	if err := cc.enc.Encode(req); err != nil {
+		c.release(cc, true)
+		return response{}, reused, fmt.Errorf("wire: send: %w", err)
+	}
+	var resp response
+	if err := cc.dec.Decode(&resp); err != nil {
+		c.release(cc, true)
+		if errors.Is(err, io.EOF) {
+			return response{}, reused, fmt.Errorf("wire: server closed connection")
+		}
+		return response{}, reused, fmt.Errorf("wire: receive: %w", err)
+	}
+	cc.conn.SetDeadline(time.Time{})
+	c.release(cc, false)
+	return resp, reused, nil
 }
 
 // Name implements lqp.LQP.
@@ -421,7 +718,8 @@ func (c *Client) Stats() ([]lqp.RelationStats, error) {
 // rows arrive as frames on a connection dedicated to this stream, so the
 // server transfers ahead (into the sockets' buffers) while the caller
 // consumes — remote retrieval overlaps with PQP-side work. The cursor must
-// be closed; an abandoned stream only costs its own connection.
+// be closed; an abandoned stream only costs its own connection, and
+// Client.Close tears it down with the rest.
 func (c *Client) Open(op lqp.Op) (rel.Cursor, error) {
 	return c.openStream(request{Kind: "open", Op: op})
 }
@@ -435,42 +733,76 @@ func (c *Client) OpenPlan(p lqp.Plan) (rel.Cursor, error) {
 	return c.openStream(request{Kind: "openplan", Plan: p})
 }
 
-func (c *Client) openStream(req request) (rel.Cursor, error) {
+// startStream dials a dedicated connection, registers it with the client
+// (so Close can abort the stream), sends req and decodes the header
+// response. On error nothing stays registered or open.
+func (c *Client) startStream(req request) (net.Conn, *gob.Decoder, response, error) {
 	c.mu.Lock()
-	broken := c.broken
+	closed := c.closed
 	c.mu.Unlock()
-	if broken {
-		return nil, fmt.Errorf("wire: connection to %s is closed after an earlier failure", c.addr)
+	if closed {
+		return nil, nil, response{}, c.errClosed()
 	}
 	conn, err := net.DialTimeout("tcp", c.addr, c.timeout())
 	if err != nil {
-		return nil, fmt.Errorf("wire: dial %s: %w", c.addr, err)
+		return nil, nil, response{}, fmt.Errorf("wire: dial %s: %w", c.addr, err)
 	}
-	sc := &streamCursor{conn: conn, dec: gob.NewDecoder(conn), timeout: c.timeout()}
-	conn.SetDeadline(time.Now().Add(sc.timeout))
-	if err := gob.NewEncoder(conn).Encode(req); err != nil {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
 		conn.Close()
-		return nil, fmt.Errorf("wire: send: %w", err)
+		return nil, nil, response{}, c.errClosed()
+	}
+	c.streams[conn] = struct{}{}
+	c.mu.Unlock()
+	fail := func(err error) (net.Conn, *gob.Decoder, response, error) {
+		c.unregisterStream(conn)
+		conn.Close()
+		return nil, nil, response{}, err
+	}
+	dec := gob.NewDecoder(conn)
+	conn.SetDeadline(time.Now().Add(c.timeout()))
+	if err := gob.NewEncoder(conn).Encode(req); err != nil {
+		return fail(fmt.Errorf("wire: send: %w", err))
 	}
 	var resp response
-	if err := sc.dec.Decode(&resp); err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("wire: receive: %w", err)
+	if err := dec.Decode(&resp); err != nil {
+		return fail(fmt.Errorf("wire: receive: %w", err))
 	}
 	if resp.Err != "" {
-		conn.Close()
-		return nil, errors.New(resp.Err)
+		return fail(errors.New(resp.Err))
+	}
+	return conn, dec, resp, nil
+}
+
+func (c *Client) unregisterStream(conn net.Conn) {
+	c.mu.Lock()
+	delete(c.streams, conn)
+	c.mu.Unlock()
+}
+
+func (c *Client) openStream(req request) (rel.Cursor, error) {
+	conn, dec, resp, err := c.startStream(req)
+	if err != nil {
+		return nil, err
 	}
 	if !resp.HasRel {
+		c.unregisterStream(conn)
 		conn.Close()
 		return nil, fmt.Errorf("wire: open response carried no schema")
 	}
-	sc.schema = rel.NewSchema(resp.Relation.Attrs...)
-	return sc, nil
+	return &streamCursor{
+		client:  c,
+		conn:    conn,
+		dec:     dec,
+		schema:  rel.NewSchema(resp.Relation.Attrs...),
+		timeout: c.timeout(),
+	}, nil
 }
 
 // streamCursor decodes the frames of one streamed result.
 type streamCursor struct {
+	client  *Client
 	conn    net.Conn
 	dec     *gob.Decoder
 	schema  *rel.Schema
@@ -490,8 +822,7 @@ func (sc *streamCursor) Next() ([]rel.Tuple, error) {
 		var f frame
 		if err := sc.dec.Decode(&f); err != nil {
 			sc.done = true
-			sc.conn.Close()
-			sc.closed = true
+			sc.Close()
 			return nil, fmt.Errorf("wire: receive frame: %w", err)
 		}
 		switch {
@@ -512,15 +843,37 @@ func (sc *streamCursor) Close() error {
 		return nil
 	}
 	sc.closed = true
+	if sc.client != nil {
+		sc.client.unregisterStream(sc.conn)
+	}
 	return sc.conn.Close()
 }
 
-// Close tears down the connection.
+// Close tears down the pool and every in-flight stream. Round trips and
+// stream reads in progress fail with a transport error; later calls fail
+// fast with a closed-client error. Close is idempotent and safe to call
+// concurrently with any other method.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.broken = true
-	return c.conn.Close()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conns := make([]net.Conn, 0, len(c.live)+len(c.streams))
+	for conn := range c.live {
+		conns = append(conns, conn)
+	}
+	for conn := range c.streams {
+		conns = append(conns, conn)
+	}
+	c.idle = nil
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	for _, conn := range conns {
+		conn.Close()
+	}
+	return nil
 }
 
 var (

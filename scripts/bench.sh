@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Runs the headline benchmark families — B-KEY (key representation),
+# B-STREAM (streaming execution), B-OPT (cost-based optimizer) and B-SERVE
+# (mediator service throughput / plan cache) — and writes the results as
+# machine-readable JSON, one record per benchmark with every reported
+# metric. The bench trajectory lives in the file so runs can be compared
+# across commits.
+#
+# Usage:
+#   scripts/bench.sh [output.json]      # default BENCH_serve.json
+#   BENCHTIME=2s scripts/bench.sh       # real measurement run
+#   BENCHTIME=1x scripts/bench.sh       # smoke (default: 100x)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=${1:-BENCH_serve.json}
+benchtime=${BENCHTIME:-100x}
+pattern='BenchmarkKeyRepresentation|BenchmarkStreaming|BenchmarkFederatedPushdown|BenchmarkFederatedJoinOrder|BenchmarkServe'
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+echo "running benchmarks ($pattern) with -benchtime=$benchtime ..." >&2
+go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -short -timeout 30m . | tee "$raw" >&2
+
+# Benchmark output lines look like:
+#   BenchmarkName/sub=1-8   300   4039387 ns/op   2010 p50-µs   247.6 qps
+# i.e. name, iterations, then value/unit pairs. Emit one JSON object each.
+awk '
+BEGIN { print "["; first = 1 }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    if (!first) printf(",\n"); first = 0
+    printf("  {\"benchmark\": \"%s\", \"iterations\": %s", name, $2)
+    for (i = 3; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/"/, "", unit)
+        printf(", \"%s\": %s", unit, $i)
+    }
+    printf("}")
+}
+END { print "\n]" }
+' "$raw" > "$out"
+
+count=$(grep -c '"benchmark"' "$out" || true)
+if [ "$count" -eq 0 ]; then
+    echo "ERROR: no benchmark records parsed" >&2
+    exit 1
+fi
+echo "wrote $count benchmark records to $out" >&2

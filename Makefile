@@ -21,12 +21,13 @@ vet:
 fmt:
 	gofmt -l .
 
-# bench runs the headline benchmark families (B-KEY, B-STREAM, B-OPT,
-# B-SERVE) and writes machine-readable results to BENCH_serve.json.
-# BENCHTIME=2s make bench   for a real measurement run.
+# bench runs the headline benchmark suites (serve: B-KEY/B-STREAM/B-OPT/
+# B-SERVE -> BENCH_serve.json; par: B-PAR -> BENCH_par.json), one merged
+# machine-readable JSON file per suite, and fails if any suite produced no
+# records. BENCHTIME=2s make bench   for a real measurement run.
 bench:
-	bash scripts/bench.sh BENCH_serve.json
+	bash scripts/bench.sh
 
 # bench-smoke is the CI shape: one iteration per benchmark.
 bench-smoke:
-	BENCHTIME=1x bash scripts/bench.sh BENCH_serve.json
+	BENCHTIME=1x bash scripts/bench.sh

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/identity"
 	"repro/internal/lqp"
 	"repro/internal/mediator"
@@ -642,6 +643,106 @@ func BenchmarkParallelExecution(b *testing.B) {
 	})
 }
 
+// ---------------------------------------------------------------------------
+// B-PAR (intra-operator): morsel-driven partitioned hash operators. The
+// fixture is the B-KEY input (3 columns, 100 sources, duplicate entities,
+// half-overlapping relations) so serial numbers are directly comparable to
+// that family. workers=1 is the untouched serial path; workers=N runs the
+// same operator radix-partitioned into N partitions on an N-worker pool
+// (threshold 1: every input goes parallel). On a single-core host the
+// sweep measures partitioning overhead rather than speedup — scaling
+// numbers belong to multi-core runs (EXPERIMENTS.md B-PAR).
+
+func BenchmarkParallelHashOps(b *testing.B) {
+	for _, n := range []int{10000, 100000} {
+		p1, p2 := keyAblationInput(100, n)
+		cols := []string{"KEY", "CAT"}
+		for _, w := range []int{1, 2, 4} {
+			alg := core.NewAlgebra(nil)
+			if w > 1 {
+				alg.SetParallel(&core.Parallel{Pool: exec.NewPool(w), Threshold: 1})
+			}
+			type op struct {
+				name string
+				run  func() error
+			}
+			ops := []op{
+				{"Union", func() error { _, err := alg.Union(p1, p2); return err }},
+				{"Join", func() error { _, err := alg.Join(p1, "KEY", rel.ThetaEQ, p2, "KEY"); return err }},
+				{"Project", func() error { _, err := alg.Project(p1, cols); return err }},
+				{"Difference", func() error { _, err := alg.Difference(p1, p2); return err }},
+				{"Intersect", func() error { _, err := alg.Intersect(p1, p2); return err }},
+			}
+			for _, o := range ops {
+				b.Run(fmt.Sprintf("op=%s/n=%d/workers=%d", o.name, n, w), func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						if err := o.run(); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkParallelStreamJoin (B-PAR): the streaming engine's parallel
+// path — partitioned build plus the ParallelCursor probe — against the
+// serial streaming join, on the same B-KEY fixture.
+func BenchmarkParallelStreamJoin(b *testing.B) {
+	const n = 100000
+	p1, p2 := keyAblationInput(100, n)
+	for _, w := range []int{1, 2, 4} {
+		alg := core.NewAlgebra(nil)
+		if w > 1 {
+			alg.SetParallel(&core.Parallel{Pool: exec.NewPool(w), Threshold: 1})
+		}
+		b.Run(fmt.Sprintf("n=%d/workers=%d", n, w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cur, err := alg.StreamJoin(core.CursorOf(p1), "KEY", rel.ThetaEQ, core.CursorOf(p2), "KEY")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := core.Drain(cur); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelMediatorLatency (B-PAR): what intra-operator
+// parallelism buys a single mediator client — the latency of one heavy
+// union query (two ~1/5 selections over a 30k-entity two-database
+// federation) through the full session path, at pool sizes 1 (parallel
+// path disabled) and 4. Every other B-PAR point measures an operator in
+// isolation; this one includes translation, retrieval, tagging and the
+// mediator bookkeeping that dilute Amdahl's parallel fraction.
+func BenchmarkParallelMediatorLatency(b *testing.B) {
+	f := workload.New(workload.Config{Databases: 2, Entities: 30000, Overlap: 0.6, Categories: 5, Seed: 9})
+	const query = `(PENTITY [CAT = "cat1"]) UNION (PENTITY [CAT = "cat2"])`
+	for _, w := range []int{1, 4} {
+		q := pqp.New(f.Schema, f.Registry, nil, f.LQPs())
+		if w > 1 {
+			q.SetParallel(w, 1024)
+		} else {
+			q.SetParallel(-1, 0)
+		}
+		svc := mediator.New(q, mediator.Config{Federation: "ent"})
+		if _, err := svc.Query("", query, true); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := svc.Query("", query, true); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkMergeStrategy ablates the Merge fold shape: the paper's left
 // fold vs the balanced pairwise tree, at 16 sources.
 func BenchmarkMergeStrategy(b *testing.B) {
@@ -1033,8 +1134,11 @@ func serveClients(b *testing.B, addr string, n int) ([]*wire.Client, []string) {
 func BenchmarkServeThroughput(b *testing.B) {
 	const latency = time.Millisecond
 	queries := workload.StarQueries()
+	// The serving PQP's intra-operator worker pool defaults to GOMAXPROCS;
+	// the label carries it so runs from different machines compare.
+	workers := runtime.GOMAXPROCS(0)
 	for _, nclients := range []int{1, 2, 4, 8} {
-		b.Run(fmt.Sprintf("clients=%d", nclients), func(b *testing.B) {
+		b.Run(fmt.Sprintf("clients=%d/workers=%d", nclients, workers), func(b *testing.B) {
 			addr, _ := newServeMediator(b, workload.DefaultStarConfig(), latency, true)
 			clients, sessions := serveClients(b, addr, nclients)
 			// Warm the plan cache and the canonical-ID interner so every
@@ -1055,6 +1159,7 @@ func BenchmarkServeThroughput(b *testing.B) {
 			}
 			b.ReportMetric(res.QPS, "qps")
 			b.ReportMetric(float64(res.P50.Microseconds()), "p50-µs")
+			b.ReportMetric(float64(res.P95.Microseconds()), "p95-µs")
 			b.ReportMetric(float64(res.P99.Microseconds()), "p99-µs")
 		})
 	}

@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -42,7 +43,12 @@ func main() {
 	writeTimeout := flag.Duration("write-timeout", wire.DefaultTimeout, "per-message write deadline (a client that stops reading is dropped)")
 	idleTimeout := flag.Duration("idle-timeout", 0, "drop connections idle longer than this (0 = keep idle connections open)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline for in-flight requests")
+	maxProcs := flag.Int("max-procs", 0, "cap the daemon's scheduler parallelism (GOMAXPROCS; 0 = all cores) — on shared hosts, the cores left over are what a co-located polygend's worker pool gets")
 	flag.Parse()
+
+	if *maxProcs > 0 {
+		runtime.GOMAXPROCS(*maxProcs)
+	}
 
 	var db *catalog.Database
 	switch {

@@ -41,6 +41,8 @@ func main() {
 	noOptimize := flag.Bool("no-optimize", false, "disable the cost-based query optimizer")
 	relaxed := flag.Bool("relaxed-reorder", false, "permit tag-relaxed join reordering (see translate.Options)")
 	collect := flag.Bool("collect-stats", true, "probe LQP statistics at startup to seed the optimizer")
+	parWorkers := flag.Int("parallel-workers", 0, "intra-operator worker pool size shared by all sessions (0 = GOMAXPROCS, -1 disables the parallel path)")
+	parThreshold := flag.Int("parallel-threshold", 0, "minimum input tuples before a hash operator runs partitioned (0 = engine default)")
 	maxSessions := flag.Int("max-sessions", 0, "session table bound (0 = default)")
 	sessionIdle := flag.Duration("session-idle", 0, "idle session expiry (0 = default 1h)")
 	writeTimeout := flag.Duration("write-timeout", wire.DefaultTimeout, "per-message write deadline (a client that stops reading is dropped)")
@@ -71,6 +73,7 @@ func main() {
 
 	processor.Optimize = !*noOptimize
 	processor.RelaxedJoinReorder = *relaxed
+	processor.SetParallel(*parWorkers, *parThreshold)
 	if *cacheSize > 0 {
 		processor.Plans = translate.NewPlanCache(*cacheSize)
 	} else {
@@ -98,8 +101,8 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
-	fmt.Printf("polygend: serving federation %q on %s (plan cache %d, optimizer %v)\n",
-		fedName, bound, *cacheSize, processor.Optimize)
+	fmt.Printf("polygend: serving federation %q on %s (plan cache %d, optimizer %v, parallel workers %d)\n",
+		fedName, bound, *cacheSize, processor.Optimize, processor.ParallelWorkers())
 
 	cmdutil.ServeUntilSignal(srv, *drain, "polygend")
 	fmt.Println("polygend: bye")

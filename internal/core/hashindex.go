@@ -31,16 +31,24 @@ func (ix dataIndex) add(h uint64, pos int) { ix.Add(h, pos) }
 // portion is appended as an arena row. It is the one dedup kernel shared
 // by the materializing and streaming Project, Union and Intersect.
 func dedupInsert(out *Relation, ix dataIndex, t Tuple) {
-	h := t.DataHash64()
+	dedupInsertHashed(out, ix, t, t.DataHash64())
+}
+
+// dedupInsertHashed is dedupInsert with the data hash already computed (the
+// partitioned operators hash once to route a tuple to its partition and
+// reuse the hash for the partition-local dedup). It reports whether t's
+// data portion was new — i.e. whether a row was appended.
+func dedupInsertHashed(out *Relation, ix dataIndex, t Tuple, h uint64) bool {
 	if at, dup := ix.find(out.Tuples, t, h); dup {
 		existing := out.Tuples[at]
 		for i := range existing {
 			existing[i] = existing[i].MergeTags(t[i])
 		}
-		return
+		return false
 	}
 	row := out.NewRow(len(t))
 	copy(row, t)
 	ix.add(h, len(out.Tuples))
 	out.Tuples = append(out.Tuples, row)
+	return true
 }

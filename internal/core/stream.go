@@ -315,14 +315,17 @@ func (a *Algebra) StreamIntersect(l, r Cursor) (Cursor, error) {
 // intermediate sets.
 type differenceStream struct {
 	probeStream
+	a    *Algebra
 	out  *Relation
-	drop dataIndex
-	p2   *Relation
+	drop func(t Tuple, h uint64) bool
 	p2o  sourceset.Set
 	seen dataIndex
 }
 
-// StreamDifference is the streaming Difference primitive.
+// StreamDifference is the streaming Difference primitive. On a
+// parallel-configured algebra, a build side at or above the cost threshold
+// is hashed and radix-partitioned across the worker pool (the probe stays
+// serial: its first-occurrence dedup is inherently sequential state).
 func (a *Algebra) StreamDifference(l, r Cursor) (Cursor, error) {
 	if len(l.Attrs()) != len(r.Attrs()) {
 		closeAll([]Cursor{l, r})
@@ -334,6 +337,7 @@ func (a *Algebra) StreamDifference(l, r Cursor) (Cursor, error) {
 			l:      l,
 			r:      r,
 		},
+		a:    a,
 		out:  NewRelation("", l.Registry(), l.Attrs()...),
 		seen: newDataIndex(rel.DefaultBatchSize),
 	}, nil
@@ -349,12 +353,25 @@ func (c *differenceStream) Next() ([]Tuple, error) {
 		if err != nil {
 			return c.fail(err)
 		}
-		c.p2 = p2
-		c.drop = newDataIndex(len(p2.Tuples))
-		for i, t := range p2.Tuples {
-			c.drop.add(t.DataHash64(), i)
+		if parts := c.a.parParts(len(p2.Tuples)); parts > 1 {
+			pool := c.a.parPool()
+			ix, _ := buildPartitionedDataIndex(pool, parts, p2.Tuples)
+			c.drop = func(t Tuple, h uint64) bool {
+				_, gone := ix.Find(h, func(at int) bool { return p2.Tuples[at].DataEqual(t) })
+				return gone
+			}
+			c.p2o = originUnionPar(pool, p2)
+		} else {
+			ix := newDataIndex(len(p2.Tuples))
+			for i, t := range p2.Tuples {
+				ix.add(t.DataHash64(), i)
+			}
+			c.drop = func(t Tuple, h uint64) bool {
+				_, gone := ix.find(p2.Tuples, t, h)
+				return gone
+			}
+			c.p2o = p2.OriginUnion()
 		}
-		c.p2o = p2.OriginUnion()
 	}
 	for {
 		batch, err := c.l.Next()
@@ -364,7 +381,7 @@ func (c *differenceStream) Next() ([]Tuple, error) {
 		start := len(c.out.Tuples)
 		for _, t := range batch {
 			h := t.DataHash64()
-			if _, gone := c.drop.find(c.p2.Tuples, t, h); gone {
+			if c.drop(t, h) {
 				continue
 			}
 			if _, dup := c.seen.find(c.out.Tuples, t, h); dup {
@@ -395,7 +412,11 @@ type joinStream struct {
 	coalesce bool
 	out      *Relation
 	p2       *Relation
-	index    idIndex
+	index    joinIndex
+	// delegate, when set after the build, is the parallel probe path: a
+	// ParallelCursor fanning left batches out to pool workers and
+	// re-sequencing their joined rows to input order.
+	delegate Cursor
 	cur      []Tuple // current left batch
 	li       int     // current left tuple within cur
 	matches  []int32 // pending build-side matches of cur[li]
@@ -465,7 +486,24 @@ func (c *joinStream) Next() ([]Tuple, error) {
 			return c.fail(err)
 		}
 		c.p2 = p2
-		c.index = newIDIndex(c.a.Resolver(), p2.Tuples, c.yi)
+		if parts := c.a.parParts(len(p2.Tuples)); parts > 1 {
+			// Parallel partitioned build, then fan the probe out: each left
+			// batch joins against the (now read-only) index on a pool
+			// worker; re-sequencing keeps the serial engine's row order.
+			pool := c.a.parPool()
+			c.index = buildParIDIndex(pool, parts, c.a.Resolver(), p2.Tuples, c.yi)
+			c.delegate = ParallelCursor(c.l, pool, 2*pool.Workers(), c.probeBatch)
+		} else {
+			c.index = newIDIndex(c.a.Resolver(), p2.Tuples, c.yi)
+		}
+	}
+	if c.delegate != nil {
+		rows, err := c.delegate.Next()
+		if err != nil {
+			c.err = err
+			return nil, err
+		}
+		return rows, nil
 	}
 	res := c.a.Resolver()
 	rows := make([]Tuple, 0, rel.DefaultBatchSize)
@@ -498,6 +536,48 @@ func (c *joinStream) Next() ([]Tuple, error) {
 			c.matches = c.index.lookup(res.CanonicalID(t1[c.xi].D))
 		}
 	}
+}
+
+// probeBatch is the ParallelCursor fn of the parallel probe path: join one
+// left batch against the built index, emitting DefaultBatchSize-capped
+// chunks so a high-fanout key streams through the cursor's flow control
+// instead of materializing a batch's whole expansion (the serial path's
+// bounded-batch guarantee, kept). Rows are carved from a batch-local arena
+// (concurrent workers must not share one relation's arena); the resolver's
+// canonical-ID interner is safe for concurrent probes.
+func (c *joinStream) probeBatch(batch []Tuple, emit func([]Tuple) bool) error {
+	res := c.a.Resolver()
+	scratch := NewRelation("", c.reg, c.attrs...)
+	rows := make([]Tuple, 0, rel.DefaultBatchSize)
+	for _, t1 := range batch {
+		if t1[c.xi].D.IsNull() {
+			continue
+		}
+		for _, pi := range c.index.lookup(res.CanonicalID(t1[c.xi].D)) {
+			rows = append(rows, c.a.joinRow(scratch, t1, c.xi, c.p2.Tuples[pi], c.yi, c.coalesce))
+			if len(rows) >= rel.DefaultBatchSize {
+				if !emit(rows) {
+					return nil // cursor closing: abandon the batch
+				}
+				rows = make([]Tuple, 0, rel.DefaultBatchSize)
+			}
+		}
+	}
+	emit(rows)
+	return nil
+}
+
+// Close overrides probeStream.Close: once the parallel probe is delegated,
+// the ParallelCursor owns the left cursor (its dispatcher may be inside
+// l.Next) and must be the one to close it.
+func (c *joinStream) Close() error {
+	if c.delegate != nil {
+		c.err = io.EOF
+		err := c.delegate.Close()
+		// built is true whenever delegate is set; r was drained already.
+		return err
+	}
+	return c.probeStream.Close()
 }
 
 // productStream is the streaming Cartesian Product: the right operand is

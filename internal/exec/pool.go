@@ -1,0 +1,124 @@
+// Package exec provides the shared bounded worker pool behind the engine's
+// morsel-driven intra-operator parallelism (HyPer-style: work is cut into
+// fixed-size morsels that idle workers pull, so skewed partitions cannot
+// leave cores idle behind one straggler).
+//
+// One pool belongs to one PQP. Every parallel operator of every concurrent
+// query on that PQP draws helpers from the same pool, so a mediator serving
+// many sessions cannot oversubscribe the machine: the pool bounds the
+// *extra* goroutines the engine adds on top of the request goroutines that
+// exist anyway. A caller always executes work itself — helpers only join
+// when a pool slot is free — which makes sharing deadlock-free by
+// construction: no task ever waits for a slot to start.
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a bounded source of helper goroutines. The zero value and the nil
+// pool are valid and mean "no helpers": every Do and Submit runs inline on
+// the caller. Pools are safe for concurrent use and have no shutdown — an
+// idle pool holds no goroutines, only a channel.
+type Pool struct {
+	workers int
+	// extra is a semaphore over the workers-1 helper slots. Callers
+	// participate in their own Do, so a pool of W allows W-way parallelism
+	// for one caller and never more than (callers + W - 1) goroutines in
+	// total across all concurrent callers.
+	extra chan struct{}
+}
+
+// NewPool returns a pool allowing up to workers concurrent executors per
+// Do (the caller plus workers-1 helpers). workers <= 0 means GOMAXPROCS.
+// A pool of 1 never spawns: it is the serial engine with extra steps
+// skipped.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers, extra: make(chan struct{}, workers-1)}
+}
+
+// Workers returns the pool's parallelism bound (1 for a nil pool).
+func (p *Pool) Workers() int {
+	if p == nil || p.workers < 1 {
+		return 1
+	}
+	return p.workers
+}
+
+func (p *Pool) tryAcquire() bool {
+	if p == nil || p.extra == nil {
+		return false
+	}
+	select {
+	case p.extra <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (p *Pool) release() { <-p.extra }
+
+// Do runs fn(0), …, fn(n-1), each exactly once, with up to Workers
+// concurrent executors. Tasks are pulled off a shared atomic counter
+// (morsel-driven), so an uneven task costs at most one straggler, not a
+// static share of the work. The caller participates; helper goroutines are
+// spawned only while a pool slot is immediately free, so concurrent Do
+// calls on a shared pool degrade toward inline execution instead of
+// oversubscribing or blocking. Do returns when every task has finished.
+//
+// fn must be safe to call from multiple goroutines for distinct task
+// indices; tasks see all writes that happened before Do, and the caller
+// sees all task writes after Do returns.
+func (p *Pool) Do(n int, fn func(task int)) {
+	if n <= 0 {
+		return
+	}
+	if n == 1 || p == nil || p.workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	var wg sync.WaitGroup
+	for spawned := 1; spawned < n && spawned < p.workers && p.tryAcquire(); spawned++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer p.release()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+}
+
+// Submit runs fn on a helper goroutine when a pool slot is free, inline
+// otherwise. It is the fire-and-forget face of the pool, used by pipeline
+// stages that overlap with their caller (ParallelCursor batch workers);
+// completion is the submitter's business to track.
+func (p *Pool) Submit(fn func()) {
+	if p.tryAcquire() {
+		go func() {
+			defer p.release()
+			fn()
+		}()
+		return
+	}
+	fn()
+}

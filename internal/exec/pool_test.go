@@ -1,0 +1,109 @@
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestDoCoversEveryTaskOnce: every index runs exactly once, for pool sizes
+// and task counts around the interesting boundaries.
+func TestDoCoversEveryTaskOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 7} {
+		for _, n := range []int{0, 1, 2, 7, 100, 1000} {
+			p := NewPool(workers)
+			counts := make([]int32, n)
+			p.Do(n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: task %d ran %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+// TestNilPoolRunsInline: the nil pool is the serial engine.
+func TestNilPoolRunsInline(t *testing.T) {
+	var p *Pool
+	if got := p.Workers(); got != 1 {
+		t.Fatalf("nil pool Workers() = %d, want 1", got)
+	}
+	sum := 0
+	p.Do(5, func(i int) { sum += i }) // no atomics: must be single-goroutine
+	if sum != 10 {
+		t.Fatalf("sum = %d, want 10", sum)
+	}
+	ran := false
+	p.Submit(func() { ran = true })
+	if !ran {
+		t.Fatal("nil pool Submit must run inline")
+	}
+}
+
+// TestDoBoundsParallelism: concurrent executors never exceed the pool size,
+// even when many Do calls share one pool.
+func TestDoBoundsParallelism(t *testing.T) {
+	const workers = 3
+	p := NewPool(workers)
+	var cur, peak atomic.Int32
+	task := func(int) {
+		c := cur.Add(1)
+		for {
+			pk := peak.Load()
+			if c <= pk || peak.CompareAndSwap(pk, c) {
+				break
+			}
+		}
+		time.Sleep(200 * time.Microsecond)
+		cur.Add(-1)
+	}
+	var wg sync.WaitGroup
+	const callers = 4
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Do(50, task)
+		}()
+	}
+	wg.Wait()
+	// Each caller participates in its own Do; the pool adds at most
+	// workers-1 helpers on top of all callers combined.
+	if max := int32(callers + workers - 1); peak.Load() > max {
+		t.Fatalf("peak concurrency %d exceeds callers+helpers bound %d", peak.Load(), max)
+	}
+}
+
+// TestSubmitRunsEverything: submitted tasks all execute, whether on helpers
+// or inline.
+func TestSubmitRunsEverything(t *testing.T) {
+	p := NewPool(2)
+	var done sync.WaitGroup
+	var n atomic.Int32
+	for i := 0; i < 100; i++ {
+		done.Add(1)
+		p.Submit(func() {
+			defer done.Done()
+			n.Add(1)
+		})
+	}
+	done.Wait()
+	if n.Load() != 100 {
+		t.Fatalf("ran %d of 100 submitted tasks", n.Load())
+	}
+}
+
+// TestDoPropagatesMemory: the caller observes task writes without its own
+// synchronization (Do is a barrier).
+func TestDoPropagatesMemory(t *testing.T) {
+	p := NewPool(4)
+	out := make([]int, 512)
+	p.Do(len(out), func(i int) { out[i] = i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}

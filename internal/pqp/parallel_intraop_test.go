@@ -1,0 +1,54 @@
+package pqp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// Four-engine parity at the PQP level for intra-operator parallelism: the
+// same queries over a federation big enough to cross the cost threshold
+// must produce cell-for-cell identical answers — row order included — from
+// a parallel-configured PQP (streaming and materializing engines, whose
+// hash operators dispatch to the partitioned kernels) and a
+// parallel-disabled one. Run under the CI -race job, this also holds the
+// shared worker pool to the data-race contract.
+func TestIntraOpParallelEnginesMatchSerial(t *testing.T) {
+	f := workload.New(workload.Config{Databases: 2, Entities: 20000, Overlap: 0.6, Categories: 5, Seed: 9})
+	queries := []string{
+		// Union of two big selections: the Union operands carry ~1/5 of
+		// 20k entities each, above the 1k threshold set below.
+		`(PENTITY [CAT = "cat1"]) UNION (PENTITY [CAT = "cat2"])`,
+		// Difference and intersection of overlapping selections (CAT maps
+		// into every database, so both operands merge to the same degree).
+		`(PENTITY [CAT >= "cat1"]) MINUS (PENTITY [CAT = "cat3"])`,
+		`(PENTITY [CAT >= "cat1"]) INTERSECT (PENTITY [CAT <= "cat3"])`,
+		// Projection collapsing 20k rows onto the CAT domain.
+		`PENTITY [CAT, KEY]`,
+	}
+	serial := New(f.Schema, f.Registry, nil, f.LQPs())
+	serial.SetParallel(-1, 0) // parallel path off: the serial reference
+	par := New(f.Schema, f.Registry, nil, f.LQPs())
+	par.SetParallel(4, 1024)
+	for _, qt := range queries {
+		want, err := serial.QueryAlgebra(qt)
+		if err != nil {
+			t.Fatalf("%s: serial: %v", qt, err)
+		}
+		got, err := par.QueryAlgebra(qt) // streaming engine
+		if err != nil {
+			t.Fatalf("%s: parallel streaming: %v", qt, err)
+		}
+		if a, b := strings.Join(render(want.Relation), "\n"), strings.Join(render(got.Relation), "\n"); a != b {
+			t.Errorf("%s: parallel streaming answer diverged from serial", qt)
+		}
+		mat, err := par.ExecuteMaterialized(got.Plan)
+		if err != nil {
+			t.Fatalf("%s: parallel materializing: %v", qt, err)
+		}
+		if a, b := strings.Join(render(want.Relation), "\n"), strings.Join(render(mat), "\n"); a != b {
+			t.Errorf("%s: parallel materializing answer diverged from serial", qt)
+		}
+	}
+}

@@ -27,6 +27,13 @@
 // queries, so canonical IDs warm up once per federation rather than once
 // per query.
 //
+// Within one query, hash operators over inputs at or above a cost
+// threshold additionally run morsel-driven parallel (core/parallel.go):
+// radix-partitioned builds and probes fan out across a worker pool shared
+// by all of the PQP's concurrent sessions (SetParallel), with results —
+// row order included — identical to the serial engines'. Small inputs
+// never leave the serial path.
+//
 // Before execution, Run hands the IOM to the cost-based Query Optimizer
 // (translate.OptimizeWithOptions) with the federation knowledge the PQP
 // holds: the polygen schema, each LQP's pushdown capability, the instance
@@ -47,6 +54,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/identity"
 	"repro/internal/lqp"
 	"repro/internal/rel"
@@ -116,7 +124,7 @@ type PQP struct {
 // paper's worked example needs identity.CaseFold to match "CitiCorp" with
 // "Citicorp".
 func New(schema *core.Schema, reg *sourceset.Registry, resolver identity.Resolver, lqps map[string]lqp.LQP) *PQP {
-	return &PQP{
+	q := &PQP{
 		id:       nextPQPID.Add(1),
 		schema:   schema,
 		reg:      reg,
@@ -125,6 +133,41 @@ func New(schema *core.Schema, reg *sourceset.Registry, resolver identity.Resolve
 		Optimize: true,
 		Plans:    translate.NewPlanCache(0),
 	}
+	// Morsel-driven intra-operator parallelism is on by default: one
+	// GOMAXPROCS-sized pool per PQP, shared by every concurrent session's
+	// operators, with the cost threshold keeping small inputs — the paper's
+	// worked example among them — on the untouched serial path. On a
+	// single-core box the pool has one worker and the engine never leaves
+	// that path.
+	q.SetParallel(0, 0)
+	return q
+}
+
+// SetParallel configures morsel-driven intra-operator parallelism: the
+// hash operators (Union, Join, Project, Intersect, Difference — and the
+// streaming Join/Difference build sides) of inputs at or above threshold
+// tuples radix-partition their work across a worker pool shared by all of
+// this PQP's concurrent queries. workers bounds the pool (0 = GOMAXPROCS);
+// workers < 0 disables the parallel path entirely. threshold <= 0 means
+// core.DefaultParallelThreshold. Like the flag fields, this is wiring-time
+// configuration: call it before the PQP is shared across goroutines.
+func (q *PQP) SetParallel(workers, threshold int) {
+	if workers < 0 {
+		q.alg.SetParallel(nil)
+		return
+	}
+	q.alg.SetParallel(&core.Parallel{Pool: exec.NewPool(workers), Threshold: threshold})
+}
+
+// ParallelWorkers reports the size of the PQP's intra-operator worker pool
+// (1 when the parallel path is disabled or single-worker) — benchmark
+// labels include it so results are comparable across machines.
+func (q *PQP) ParallelWorkers() int {
+	par := q.alg.ParallelConfig()
+	if par == nil {
+		return 1
+	}
+	return par.Pool.Workers()
 }
 
 // nextPQPID hands out process-unique planner IDs.

@@ -177,6 +177,16 @@ func (p *prefetchCursor) run() {
 	defer close(p.done)
 	defer close(p.ch)
 	for {
+		// Check stop before producing, not only at the hand-off: when the
+		// buffer has room, the send would win the race against a
+		// just-closed stop and the producer would keep draining the inner
+		// cursor — up to depth extra batches of work (and inner Next calls)
+		// after Close. An abandoned cursor must stop at the next iteration.
+		select {
+		case <-p.stop:
+			return
+		default:
+		}
 		batch, err := p.in.Next()
 		select {
 		case p.ch <- prefetched{batch: batch, err: err}:

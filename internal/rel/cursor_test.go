@@ -143,6 +143,117 @@ func TestPrefetchCloseBeforeDrain(t *testing.T) {
 	}
 }
 
+// blockingCursor parks in Next until released, modeling a stalled remote
+// producer; Close releases it (as closing a network stream would).
+type blockingCursor struct {
+	schema   *Schema
+	release  chan struct{}
+	closes   atomic.Int32
+	nexts    atomic.Int32
+	released atomic.Bool
+}
+
+func newBlockingCursor() *blockingCursor {
+	return &blockingCursor{schema: SchemaOf("A"), release: make(chan struct{})}
+}
+
+func (c *blockingCursor) Schema() *Schema { return c.schema }
+func (c *blockingCursor) Next() ([]Tuple, error) {
+	c.nexts.Add(1)
+	<-c.release
+	return nil, io.EOF
+}
+func (c *blockingCursor) Close() error {
+	c.closes.Add(1)
+	if c.released.CompareAndSwap(false, true) {
+		close(c.release)
+	}
+	return nil
+}
+
+// TestPrefetchCloseBeforeFirstNext: closing a prefetch cursor before any
+// Next — even while the producer is parked inside the inner cursor's Next —
+// must return immediately; once the inner cursor unblocks, the read-ahead
+// goroutine must exit and the deferred close must fire. Run under -race,
+// this is the regression test for the producer lifecycle: no goroutine
+// leak, no deadlock.
+func TestPrefetchCloseBeforeFirstNext(t *testing.T) {
+	inner := newBlockingCursor()
+	c := Prefetch(inner, 1)
+	// Let the producer reach the inner Next so Close races a parked read.
+	deadline := time.Now().Add(5 * time.Second)
+	for inner.nexts.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	done := make(chan error, 1)
+	go func() { done <- c.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close blocked on a parked producer")
+	}
+	// Unblock the parked Next (as a closing network stream would). The
+	// producer must now exit and Prefetch's deferred close must close the
+	// inner cursor — a second Close call on top of ours here.
+	inner.Close()
+	deadline = time.Now().Add(5 * time.Second)
+	for inner.closes.Load() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if n := inner.closes.Load(); n < 2 {
+		t.Fatalf("producer never exited or never ran the deferred inner close (%d closes)", n)
+	}
+}
+
+// countingCursor yields unlimited batches instantly, counting Next calls.
+type countingCursor struct {
+	schema *Schema
+	nexts  atomic.Int32
+	closed atomic.Bool
+}
+
+func (c *countingCursor) Schema() *Schema { return c.schema }
+func (c *countingCursor) Next() ([]Tuple, error) {
+	c.nexts.Add(1)
+	return []Tuple{{Int(1)}}, nil
+}
+func (c *countingCursor) Close() error { c.closed.Store(true); return nil }
+
+// TestPrefetchCloseOnFullChannel: with the read-ahead buffer full and the
+// producer parked on the hand-off, Close must not deadlock, must stop the
+// producer promptly (no racing ahead to refill the buffer), and must close
+// the inner cursor.
+func TestPrefetchCloseOnFullChannel(t *testing.T) {
+	inner := &countingCursor{schema: SchemaOf("A")}
+	const depth = 2
+	c := Prefetch(inner, depth)
+	// Wait for the buffer to fill: depth batches buffered plus one in the
+	// producer's hand, i.e. depth+1 Next calls.
+	deadline := time.Now().Add(5 * time.Second)
+	for inner.nexts.Load() < depth+1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	produced := inner.nexts.Load()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for !inner.closed.Load() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if !inner.closed.Load() {
+		t.Fatal("inner cursor never closed")
+	}
+	// The producer was parked on a full channel at Close; stopping it must
+	// not consume more than the one in-flight batch it already held.
+	if after := inner.nexts.Load(); after > produced+1 {
+		t.Fatalf("producer kept reading after Close: %d Next calls grew to %d", produced, after)
+	}
+}
+
 // errCursor fails after yielding one batch.
 type errCursor struct {
 	schema *Schema

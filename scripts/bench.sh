@@ -1,49 +1,102 @@
 #!/usr/bin/env bash
-# Runs the headline benchmark families — B-KEY (key representation),
-# B-STREAM (streaming execution), B-OPT (cost-based optimizer) and B-SERVE
-# (mediator service throughput / plan cache) — and writes the results as
+# Runs the headline benchmark suites and writes each one's results as
 # machine-readable JSON, one record per benchmark with every reported
-# metric. The bench trajectory lives in the file so runs can be compared
-# across commits.
+# metric — the perf trajectory lives in those files so runs can be compared
+# across commits:
+#
+#   serve  B-KEY / B-STREAM / B-OPT / B-SERVE        -> BENCH_serve.json
+#   par    B-PAR (partitioned hash ops, parallel     -> BENCH_par.json
+#          stream join, mediator latency, parallel
+#          plan execution)
+#
+# Every suite must produce at least one JSON record; a suite whose pattern
+# matches nothing (a renamed benchmark, a build failure swallowed by tee)
+# fails the run loudly instead of silently dropping the trajectory.
 #
 # Usage:
-#   scripts/bench.sh [output.json]      # default BENCH_serve.json
+#   scripts/bench.sh [suite ...]        # default: all suites
 #   BENCHTIME=2s scripts/bench.sh       # real measurement run
-#   BENCHTIME=1x scripts/bench.sh       # smoke (default: 100x)
+#   BENCHTIME=1x scripts/bench.sh par   # smoke one suite (default: 100x)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_serve.json}
 benchtime=${BENCHTIME:-100x}
-pattern='BenchmarkKeyRepresentation|BenchmarkStreaming|BenchmarkFederatedPushdown|BenchmarkFederatedJoinOrder|BenchmarkServe'
 
-raw=$(mktemp)
-trap 'rm -f "$raw"' EXIT
-echo "running benchmarks ($pattern) with -benchtime=$benchtime ..." >&2
-go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -short -timeout 30m . | tee "$raw" >&2
+suite_pattern() {
+    case "$1" in
+    serve) echo 'BenchmarkKeyRepresentation|BenchmarkStreaming|BenchmarkFederatedPushdown|BenchmarkFederatedJoinOrder|BenchmarkServe' ;;
+    par) echo 'BenchmarkParallelHashOps|BenchmarkParallelStreamJoin|BenchmarkParallelMediatorLatency|BenchmarkParallelExecution' ;;
+    *) echo "ERROR: unknown suite '$1' (want: serve par)" >&2; return 1 ;;
+    esac
+}
+
+suite_out() {
+    case "$1" in
+    serve) echo BENCH_serve.json ;;
+    par) echo BENCH_par.json ;;
+    esac
+}
 
 # Benchmark output lines look like:
 #   BenchmarkName/sub=1-8   300   4039387 ns/op   2010 p50-µs   247.6 qps
 # i.e. name, iterations, then value/unit pairs. Emit one JSON object each.
-awk '
-BEGIN { print "["; first = 1 }
-/^Benchmark/ {
-    name = $1; sub(/-[0-9]+$/, "", name)
-    if (!first) printf(",\n"); first = 0
-    printf("  {\"benchmark\": \"%s\", \"iterations\": %s", name, $2)
-    for (i = 3; i + 1 <= NF; i += 2) {
-        unit = $(i + 1)
-        gsub(/"/, "", unit)
-        printf(", \"%s\": %s", unit, $i)
+to_json() {
+    awk '
+    BEGIN { print "["; first = 1 }
+    /^Benchmark/ {
+        name = $1; sub(/-[0-9]+$/, "", name)
+        if (!first) printf(",\n"); first = 0
+        printf("  {\"benchmark\": \"%s\", \"iterations\": %s", name, $2)
+        for (i = 3; i + 1 <= NF; i += 2) {
+            unit = $(i + 1)
+            gsub(/"/, "", unit)
+            printf(", \"%s\": %s", unit, $i)
+        }
+        printf("}")
     }
-    printf("}")
+    END { print "\n]" }
+    '
 }
-END { print "\n]" }
-' "$raw" > "$out"
 
-count=$(grep -c '"benchmark"' "$out" || true)
-if [ "$count" -eq 0 ]; then
-    echo "ERROR: no benchmark records parsed" >&2
+run_suite() {
+    local suite=$1 pattern out raw count
+    # `|| return` so a bad suite name fails fast even though the caller's
+    # `run_suite X || failed=1` context suppresses errexit in here.
+    pattern=$(suite_pattern "$suite") || return 1
+    out=$(suite_out "$suite")
+    if [ -z "$out" ]; then
+        echo "ERROR: no output file mapped for suite '$suite'" >&2
+        return 1
+    fi
+    raw=$(mktemp)
+    trap 'rm -f "$raw"' RETURN
+    echo "== suite $suite: running ($pattern) with -benchtime=$benchtime ..." >&2
+    # Explicit status check: the caller's `run_suite X || failed=1` context
+    # suppresses errexit in here, and a benchmark that b.Fatals after
+    # emitting some records would otherwise "pass" with truncated JSON
+    # (pipefail, set at the top, surfaces go test's failure through tee).
+    if ! go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -short -timeout 30m . | tee "$raw" >&2; then
+        echo "ERROR: suite $suite benchmark run failed" >&2
+        return 1
+    fi
+    to_json <"$raw" >"$out"
+    count=$(grep -c '"benchmark"' "$out" || true)
+    if [ "$count" -eq 0 ]; then
+        echo "ERROR: suite $suite produced no benchmark records ($out is empty)" >&2
+        return 1
+    fi
+    echo "== suite $suite: wrote $count benchmark records to $out" >&2
+}
+
+suites=("$@")
+if [ ${#suites[@]} -eq 0 ]; then
+    suites=(serve par)
+fi
+failed=0
+for s in "${suites[@]}"; do
+    run_suite "$s" || failed=1
+done
+if [ "$failed" -ne 0 ]; then
+    echo "ERROR: at least one suite produced no JSON — fix the pattern or the benchmarks" >&2
     exit 1
 fi
-echo "wrote $count benchmark records to $out" >&2

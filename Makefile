@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke fmt vet
+.PHONY: all build test race chaos bench bench-smoke fmt vet
 
 all: build test
 
@@ -14,6 +14,15 @@ test:
 
 race:
 	$(GO) test -race -timeout=20m ./...
+
+# chaos runs the fault-injection property suite under the race detector:
+# replicated sources with one replica killed/hung/slowed/cut per scenario,
+# over a pinned seed matrix (deterministic per seed — a CI failure replays
+# here verbatim). The federation and faultinject packages are chaos suites
+# in their entirety, so they run unfiltered.
+chaos:
+	$(GO) test -race -count=1 -timeout=15m ./internal/federation/... ./internal/faultinject/...
+	$(GO) test -race -count=1 -timeout=15m -run 'Fault|Flaky|Chaos' ./internal/workload/... ./internal/wire/...
 
 vet:
 	$(GO) vet ./...

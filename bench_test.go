@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/federation"
 	"repro/internal/identity"
 	"repro/internal/lqp"
 	"repro/internal/mediator"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/rel"
 	"repro/internal/relalg"
 	"repro/internal/sourceset"
+	"repro/internal/stats"
 	"repro/internal/tables"
 	"repro/internal/translate"
 	"repro/internal/wire"
@@ -1205,5 +1207,105 @@ func BenchmarkServePlanCache(b *testing.B) {
 				b.ReportMetric(float64(st.Hits)/float64(b.N), "hits/query")
 			}
 		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// B-FAULT: fault-tolerant federation (internal/federation over a replicated
+// star). Each logical source has three replicas; one misbehaves per
+// scenario — killed (every call fails), hung (stalls until the per-call
+// deadline), slow (latency spike), cut (dies after its first streamed
+// batch) — and "none" is the fault-free control behind the same federation
+// layer. The numbers to watch: qps and p99 degrade gracefully instead of
+// stalling (a dead replica costs at most its deadline plus failover, never
+// a hang), and hedges/retries quantify how often the resilience machinery
+// actually fired. EXPERIMENTS.md records a snapshot.
+
+// BenchmarkFaultScenarios (B-FAULT) drives the closed-loop star query mix at
+// four workers against each scenario. Every query must still answer
+// correctly (the workload property suite holds the answers identical
+// cell-for-cell); here only latency and throughput are measured.
+func BenchmarkFaultScenarios(b *testing.B) {
+	queries := workload.StarQueries()
+	for _, scenario := range workload.Scenarios() {
+		b.Run("scenario="+string(scenario), func(b *testing.B) {
+			cat := stats.NewCatalog()
+			cfg := workload.FaultConfig{
+				Star:     workload.DefaultStarConfig(),
+				Scenario: scenario,
+				Seed:     1,
+				Latency:  2 * time.Millisecond,
+				Hang:     time.Second,
+				Federation: federation.Config{
+					CallTimeout: 250 * time.Millisecond,
+					MaxRetries:  1,
+					BackoffBase: time.Millisecond,
+					BackoffMax:  4 * time.Millisecond,
+					HedgeDelay:  0, // adaptive: hedge at the primary's p95
+					Seed:        1,
+					Stats:       cat,
+				},
+			}
+			rs := workload.NewReplicatedStar(cfg)
+			q := pqp.New(rs.Star.Schema, rs.Star.Registry, nil, rs.LQPs())
+			for _, qt := range queries {
+				if _, err := q.QueryAlgebra(qt); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			res := workload.Drive(4, b.N, func(w, i int) error {
+				_, err := q.QueryAlgebra(queries[(w+i)%len(queries)])
+				return err
+			})
+			b.StopTimer()
+			if res.Errors > 0 {
+				b.Fatalf("%d queries failed under scenario %s; three replicas should absorb one fault", res.Errors, scenario)
+			}
+			var hedges, retries int64
+			for _, db := range []string{"FD", "DD", "MD"} {
+				f := cat.Faults(db)
+				hedges += f.Hedges
+				retries += f.Retries
+			}
+			b.ReportMetric(res.QPS, "qps")
+			b.ReportMetric(float64(res.P50.Microseconds()), "p50-µs")
+			b.ReportMetric(float64(res.P95.Microseconds()), "p95-µs")
+			b.ReportMetric(float64(res.P99.Microseconds()), "p99-µs")
+			b.ReportMetric(float64(hedges)/float64(res.Ops), "hedges/query")
+			b.ReportMetric(float64(retries)/float64(res.Ops), "retries/query")
+		})
+	}
+}
+
+// BenchmarkFaultDeadline (B-FAULT) is the never-stalls demonstration in
+// isolation: a single query against a federation whose primary replicas all
+// hang far longer than the per-call deadline. Wall time per query must sit
+// near the deadline-plus-failover budget, nowhere near the hang.
+func BenchmarkFaultDeadline(b *testing.B) {
+	const deadline = 50 * time.Millisecond
+	cfg := workload.FaultConfig{
+		Star:     workload.DefaultStarConfig(),
+		Scenario: workload.ScenarioHung,
+		Seed:     1,
+		Hang:     10 * time.Second,
+		Federation: federation.Config{
+			CallTimeout:     deadline,
+			MaxRetries:      1,
+			BackoffBase:     time.Millisecond,
+			BackoffMax:      4 * time.Millisecond,
+			HedgeDelay:      -1, // isolate the deadline path
+			BreakerCooldown: time.Hour,
+			Seed:            1,
+		},
+	}
+	rs := workload.NewReplicatedStar(cfg)
+	q := pqp.New(rs.Star.Schema, rs.Star.Registry, nil, rs.LQPs())
+	const query = `((PFACT [CAT = "cat3"]) [VAL >= 5000]) [VAL]`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.QueryAlgebra(query); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

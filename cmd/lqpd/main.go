@@ -17,6 +17,14 @@
 //
 // With -save the chosen database is also written to a snapshot file on
 // startup (handy for turning the embedded paper databases into files).
+//
+// The -chaos-* flags turn the daemon into a deliberately unreliable replica
+// for fault-tolerance testing: deterministic (seeded) injected errors,
+// latency spikes, hangs, mid-stream cursor cuts and transport cuts, so the
+// federation layer's retries, hedging and failover can be exercised against
+// a live wire:
+//
+//	lqpd -db AD -addr :7001 -chaos-err-every 5 -chaos-cut-every 3 -chaos-seed 42
 package main
 
 import (
@@ -27,8 +35,12 @@ import (
 	"strings"
 	"time"
 
+	"net"
+
 	"repro/internal/catalog"
 	"repro/internal/cmdutil"
+	"repro/internal/faultinject"
+	"repro/internal/lqp"
 	"repro/internal/paperdata"
 	"repro/internal/wire"
 )
@@ -44,6 +56,17 @@ func main() {
 	idleTimeout := flag.Duration("idle-timeout", 0, "drop connections idle longer than this (0 = keep idle connections open)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline for in-flight requests")
 	maxProcs := flag.Int("max-procs", 0, "cap the daemon's scheduler parallelism (GOMAXPROCS; 0 = all cores) — on shared hosts, the cores left over are what a co-located polygend's worker pool gets")
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the deterministic fault-injection cadence")
+	chaosErrEvery := flag.Int("chaos-err-every", 0, "inject a transient error every Nth LQP call (0 = off)")
+	chaosSlowEvery := flag.Int("chaos-slow-every", 0, "inject -chaos-latency before every Nth LQP call (0 = off)")
+	chaosLatency := flag.Duration("chaos-latency", 50*time.Millisecond, "latency spike for -chaos-slow-every")
+	chaosHangEvery := flag.Int("chaos-hang-every", 0, "hang every Nth LQP call for -chaos-hang, then fail it (0 = off)")
+	chaosHang := flag.Duration("chaos-hang", 5*time.Second, "hang duration for -chaos-hang-every")
+	chaosCutEvery := flag.Int("chaos-cut-every", 0, "cut every Nth opened cursor mid-stream (0 = off)")
+	chaosCutAfter := flag.Int("chaos-cut-after", 1, "batches a cut cursor delivers before dying")
+	chaosPingErrEvery := flag.Int("chaos-ping-err-every", 0, "fail every Nth health-probe ping (0 = off)")
+	chaosConnCutReads := flag.Int("chaos-conn-cut-reads", 0, "kill each accepted connection after its Nth read (0 = off)")
+	chaosConnCutWrites := flag.Int("chaos-conn-cut-writes", 0, "kill each accepted connection after its Nth write (0 = off)")
 	flag.Parse()
 
 	if *maxProcs > 0 {
@@ -97,14 +120,43 @@ func main() {
 		fmt.Printf("lqpd: wrote snapshot of %s to %s\n", db.Name(), *save)
 	}
 
-	srv := wire.NewServer(db)
+	var served wire.LocalLQP = lqp.NewLocal(db)
+	profile := faultinject.Profile{
+		Seed:         *chaosSeed,
+		ErrEvery:     *chaosErrEvery,
+		SlowEvery:    *chaosSlowEvery,
+		Latency:      *chaosLatency,
+		HangEvery:    *chaosHangEvery,
+		Hang:         *chaosHang,
+		CutEvery:     *chaosCutEvery,
+		CutAfter:     *chaosCutAfter,
+		PingErrEvery: *chaosPingErrEvery,
+	}
+	chaotic := *chaosErrEvery > 0 || *chaosSlowEvery > 0 || *chaosHangEvery > 0 ||
+		*chaosCutEvery > 0 || *chaosPingErrEvery > 0
+	if chaotic {
+		served = faultinject.New(served, profile)
+	}
+	srv := wire.NewServerFor(served)
 	srv.WriteTimeout = *writeTimeout
 	srv.IdleTimeout = *idleTimeout
+	if *chaosConnCutReads > 0 || *chaosConnCutWrites > 0 {
+		connProfile := faultinject.ConnProfile{
+			CutAfterReads:  *chaosConnCutReads,
+			CutAfterWrites: *chaosConnCutWrites,
+		}
+		srv.ConnHook = func(conn net.Conn) net.Conn { return faultinject.WrapConn(conn, connProfile) }
+		chaotic = true
+	}
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		fatal("%v", err)
 	}
-	fmt.Printf("lqpd: serving %s (%s) on %s\n", db.Name(), strings.Join(db.Relations(), ", "), bound)
+	chaosNote := ""
+	if chaotic {
+		chaosNote = fmt.Sprintf(" [CHAOS seed=%d]", *chaosSeed)
+	}
+	fmt.Printf("lqpd: serving %s (%s) on %s%s\n", db.Name(), strings.Join(db.Relations(), ", "), bound, chaosNote)
 
 	cmdutil.ServeUntilSignal(srv, *drain, "lqpd")
 }

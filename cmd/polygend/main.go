@@ -11,6 +11,14 @@
 //	polygend -addr 127.0.0.1:7100                   # paper federation, in-process LQPs
 //	polygend -addr :7100 -workload star             # synthetic star federation
 //	polygend -addr :7100 -remote 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003
+//	polygend -addr :7100 -replicas 'AD=:7001|:7004,PD=:7002|:7005,CD=:7003' \
+//	         -degrade partial -health-interval 2s
+//
+// Every query runs through the fault-tolerance layer (internal/federation):
+// per-replica call deadlines, bounded retries with failover, hedged streaming
+// opens and circuit breakers. -replicas gives each logical source several
+// lqpd endpoints to fail over between; -degrade picks what happens when a
+// source exhausts them all.
 //
 // SIGINT/SIGTERM begin a graceful shutdown: the daemon stops accepting,
 // drains in-flight requests up to -drain, then exits. A second signal
@@ -23,7 +31,9 @@ import (
 	"time"
 
 	"repro/internal/cmdutil"
+	"repro/internal/federation"
 	"repro/internal/identity"
+	"repro/internal/lqp"
 	"repro/internal/mediator"
 	"repro/internal/paperdata"
 	"repro/internal/pqp"
@@ -36,6 +46,12 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:0", "listen address")
 	wl := flag.String("workload", "paper", `federation to serve: "paper" (the paper's AD/PD/CD) or "star" (synthetic star schema)`)
 	remote := flag.String("remote", "", "comma-separated lqpd addresses to use as the federation's LQPs (paper workload only)")
+	replicas := flag.String("replicas", "", `replicated federation spec (paper workload only): comma-separated NAME=addr|addr|... groups of lqpd replicas per logical source, e.g. "AD=:7001|:7004,PD=:7002,CD=:7003"; overrides -remote`)
+	degrade := flag.String("degrade", "fail", `default degradation policy when a source exhausts its replicas: "fail" (the query fails, naming the source) or "partial" (the leg drops out, named in the answer's diagnostics); sessions may override per-session`)
+	healthInterval := flag.Duration("health-interval", 0, "active replica health-probe period (0 disables active probing; passive failure marking always applies)")
+	callTimeout := flag.Duration("call-timeout", 10*time.Second, "per-replica call deadline before a call fails over")
+	retries := flag.Int("retries", 1, "extra passes over a source's replica set before a call is exhausted")
+	hedgeDelay := flag.Duration("hedge-delay", 0, "wait before hedging a streaming open on the next replica (0 = adaptive from observed latency, negative disables hedging)")
 	name := flag.String("name", "", "federation name announced to clients (defaults to the workload name)")
 	cacheSize := flag.Int("plan-cache", translate.DefaultPlanCacheSize, "plan cache capacity in plans (0 disables the cache)")
 	noOptimize := flag.Bool("no-optimize", false, "disable the cost-based query optimizer")
@@ -50,23 +66,55 @@ func main() {
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline for in-flight requests")
 	flag.Parse()
 
+	policy, err := federation.ParsePolicy(*degrade)
+	if err != nil {
+		fatal("%v", err)
+	}
+	fedCfg := federation.Config{
+		CallTimeout:   *callTimeout,
+		MaxRetries:    *retries,
+		HedgeDelay:    *hedgeDelay,
+		ProbeInterval: *healthInterval,
+	}
+
+	// Every LQP map is served through the fault-tolerance layer: per-call
+	// deadlines, retries with failover, hedged opens and circuit breakers
+	// (internal/federation). With -replicas a logical source has several
+	// endpoints to fail over between; otherwise each source is a
+	// single-replica group and the layer contributes deadlines and retries.
+	resilient := func(lqps map[string]lqp.LQP) map[string]lqp.LQP {
+		reg := federation.NewRegistry(fedCfg)
+		for name, l := range lqps {
+			reg.Add(name, l)
+		}
+		reg.Start()
+		return reg.LQPs()
+	}
+
 	var processor *pqp.PQP
 	switch *wl {
 	case "paper":
 		fed := paperdata.New()
-		lqps := fed.LQPs()
-		if *remote != "" {
-			var closeLQPs func()
-			lqps, closeLQPs = cmdutil.DialLQPs(*remote, "polygend")
+		var lqps map[string]lqp.LQP
+		switch {
+		case *replicas != "":
+			reg, closeReg := cmdutil.DialReplicas(*replicas, fedCfg, "polygend")
+			defer closeReg()
+			lqps = reg.LQPs()
+		case *remote != "":
+			dialed, closeLQPs := cmdutil.DialLQPs(*remote, "polygend")
 			defer closeLQPs()
+			lqps = resilient(dialed)
+		default:
+			lqps = resilient(fed.LQPs())
 		}
 		processor = pqp.New(fed.Schema, fed.Registry, identity.CaseFold{}, lqps)
 	case "star":
-		if *remote != "" {
-			fatal("-remote is only supported with -workload paper")
+		if *remote != "" || *replicas != "" {
+			fatal("-remote/-replicas are only supported with -workload paper")
 		}
 		star := workload.NewStar(workload.DefaultStarConfig())
-		processor = pqp.New(star.Schema, star.Registry, nil, star.LQPs())
+		processor = pqp.New(star.Schema, star.Registry, nil, resilient(star.LQPs()))
 	default:
 		fatal("unknown workload %q (want paper or star)", *wl)
 	}
@@ -93,6 +141,7 @@ func main() {
 		Federation:  fedName,
 		MaxSessions: *maxSessions,
 		SessionIdle: *sessionIdle,
+		Degrade:     policy,
 	})
 	srv := wire.NewMediatorServer(svc)
 	srv.WriteTimeout = *writeTimeout
@@ -101,8 +150,8 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
-	fmt.Printf("polygend: serving federation %q on %s (plan cache %d, optimizer %v, parallel workers %d)\n",
-		fedName, bound, *cacheSize, processor.Optimize, processor.ParallelWorkers())
+	fmt.Printf("polygend: serving federation %q on %s (plan cache %d, optimizer %v, parallel workers %d, degrade %s)\n",
+		fedName, bound, *cacheSize, processor.Optimize, processor.ParallelWorkers(), policy)
 
 	cmdutil.ServeUntilSignal(srv, *drain, "polygend")
 	fmt.Println("polygend: bye")

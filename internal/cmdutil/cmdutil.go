@@ -12,6 +12,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/federation"
 	"repro/internal/lqp"
 	"repro/internal/wire"
 )
@@ -40,6 +41,53 @@ func DialLQPs(addrs, logPrefix string) (map[string]lqp.LQP, func()) {
 		fmt.Fprintf(os.Stderr, "%s: connected to LQP %s at %s\n", logPrefix, client.Name(), a)
 	}
 	return lqps, func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}
+}
+
+// DialReplicas dials a replicated federation spec — comma-separated
+// NAME=addr|addr|... groups, each listing one logical source's lqpd
+// replicas — and returns a started federation.Registry with one resilient
+// source per name, plus a closer that stops the probe loop and hangs up the
+// clients. Every replica must report the logical name it was declared
+// under; a dial failure or name mismatch is fatal.
+func DialReplicas(spec string, cfg federation.Config, logPrefix string) (*federation.Registry, func()) {
+	reg := federation.NewRegistry(cfg)
+	var clients []*wire.Client
+	for _, group := range strings.Split(spec, ",") {
+		group = strings.TrimSpace(group)
+		eq := strings.IndexByte(group, '=')
+		if eq <= 0 {
+			Fatal("%s: bad replica group %q (want NAME=addr|addr|...)", logPrefix, group)
+		}
+		name := group[:eq]
+		var reps []lqp.LQP
+		for _, a := range strings.Split(group[eq+1:], "|") {
+			a = strings.TrimSpace(a)
+			if a == "" {
+				continue
+			}
+			client, err := wire.Dial(a)
+			if err != nil {
+				Fatal("%s: dialing %s replica %s: %v", logPrefix, name, a, err)
+			}
+			clients = append(clients, client)
+			if got := client.Name(); got != name {
+				Fatal("%s: replica %s serves database %q, declared as %q", logPrefix, a, got, name)
+			}
+			reps = append(reps, client)
+			fmt.Fprintf(os.Stderr, "%s: connected to %s replica at %s\n", logPrefix, name, a)
+		}
+		if len(reps) == 0 {
+			Fatal("%s: replica group %q lists no addresses", logPrefix, group)
+		}
+		reg.Add(name, reps...)
+	}
+	reg.Start()
+	return reg, func() {
+		reg.Stop()
 		for _, c := range clients {
 			c.Close()
 		}

@@ -225,6 +225,28 @@ func (s *Schema) PolygenAttrOf(la LocalAttr) (SchemeAttr, bool) {
 	return SchemeAttr{}, false
 }
 
+// LocalColumns enumerates the column names of db's local scheme that the
+// polygen schema knows about, in scheme-declaration order, duplicates
+// removed. The federation's graceful-degradation path uses it to shape the
+// empty stand-in relation of a source whose replicas are all exhausted —
+// when the source cannot be asked for its schema, the polygen mappings are
+// the authority on what its columns would have been.
+func (s *Schema) LocalColumns(db, localScheme string) ([]string, bool) {
+	var cols []string
+	seen := make(map[string]bool)
+	for _, name := range s.order {
+		for _, a := range s.schemes[name].Attrs {
+			for _, la := range a.Mapping {
+				if la.DB == db && la.Scheme == localScheme && !seen[la.Attr] {
+					seen[la.Attr] = true
+					cols = append(cols, la.Attr)
+				}
+			}
+		}
+	}
+	return cols, len(cols) > 0
+}
+
 // ResolveAttr finds which scheme-attribute a (scheme, polygen attr name)
 // reference denotes, confirming the attribute exists.
 func (s *Schema) ResolveAttr(scheme, attr string) (PolygenAttr, error) {

@@ -1,0 +1,301 @@
+// Package federation is the fault-tolerance layer between the Polygen Query
+// Processor and its Local Query Processors: where the rest of the system
+// treats each LQP as one assumed-healthy endpoint, this package maps each
+// logical source name to N replica endpoints and hides their failures
+// behind the same lqp.LQP interface the PQP already programs against.
+//
+// The pieces:
+//
+//   - Registry: the source registry. Each logical LQP name maps to a Source
+//     over N replicas with per-replica health state, fed passively (every
+//     transport error marks its replica) and actively (a periodic
+//     health-check loop probing the wire "ping" kind through the Pinger
+//     capability).
+//   - Source: the resilient LQP wrapper. Every call gets a per-call
+//     deadline; failures retry with exponential backoff plus seeded jitter
+//     and fail over to the next healthy replica; a per-replica circuit
+//     breaker stops hammering endpoints that keep failing; streaming opens
+//     hedge the tail (a second replica's Open launches after a p95-based
+//     delay from the replica's latency estimator, first winner cancels the
+//     loser) and resume mid-stream cuts on another replica by row offset.
+//     All LQP operations here are reads against replicated snapshots, so
+//     every operation is safe to retry.
+//   - Policy and Diagnostics: graceful degradation. Under PolicyFail an
+//     exhausted source fails the query with a typed *ExhaustedError naming
+//     it; under PolicyPartial the PQP drops that scatter leg and the
+//     answer's source tags — the paper's audit trail — plus the query's
+//     Diagnostics (missing sources, retries, hedges, replicas used) report
+//     exactly what contributed.
+//
+// Everything here is proven by the fault-injection property suites
+// (internal/faultinject, pqp's fault tests): under injected kills, hangs,
+// latency spikes and mid-stream cuts, answers that arrive are cell-for-cell
+// and tag-identical to the fault-free run.
+package federation
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Policy selects how a query degrades when a source exhausts all replicas.
+type Policy uint8
+
+const (
+	// PolicyFail fails the whole query with an *ExhaustedError naming the
+	// exhausted source — the default: no silent data loss.
+	PolicyFail Policy = iota
+	// PolicyPartial drops the exhausted scatter leg and lets the query
+	// answer from the sources that remain; the answer's source tags and
+	// Diagnostics identify exactly what contributed.
+	PolicyPartial
+)
+
+// String renders the policy as its flag value.
+func (p Policy) String() string {
+	if p == PolicyPartial {
+		return "partial"
+	}
+	return "fail"
+}
+
+// ParsePolicy parses a policy flag value ("", "fail" or "partial").
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "", "fail":
+		return PolicyFail, nil
+	case "partial":
+		return PolicyPartial, nil
+	default:
+		return PolicyFail, fmt.Errorf("federation: unknown degradation policy %q (want fail or partial)", s)
+	}
+}
+
+// Pinger is the health-probe capability of an endpoint: one liveness round
+// trip bounded by d. wire.Client implements it over the wire "ping" kind;
+// faultinject.Flaky implements it with its fault schedule; endpoints
+// without it are probed passively only (call failures mark them).
+type Pinger interface {
+	Ping(d time.Duration) error
+}
+
+// Config tunes a Registry and its Sources. The zero value serves with the
+// defaults below.
+type Config struct {
+	// CallTimeout bounds every replica call (the per-call deadline). A
+	// replica that neither answers nor errors within it counts as failed
+	// and the call fails over. Default 10s.
+	CallTimeout time.Duration
+	// MaxRetries is how many extra passes over the replica set a call makes
+	// after the first before giving up exhausted. Default 1 (every replica
+	// is tried twice).
+	MaxRetries int
+	// BackoffBase / BackoffMax bound the exponential backoff between
+	// retried attempts (base doubles per attempt, jittered, capped at max).
+	// Defaults 5ms / 250ms.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// HedgeDelay is how long a streaming Open waits on the primary replica
+	// before launching a hedge on the next one. 0 derives the delay from
+	// the primary's latency estimator (its p95, floored at HedgeMin);
+	// negative disables hedging.
+	HedgeDelay time.Duration
+	// HedgeMin floors the adaptive hedge delay. Default 1ms.
+	HedgeMin time.Duration
+	// BreakerThreshold is how many consecutive failures open a replica's
+	// circuit breaker; BreakerCooldown is how long the breaker stays open
+	// before the replica is probed again (half-open). Defaults 3 / 1s.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// ProbeInterval is the active health-check period. 0 disables active
+	// probing (passive marking still applies).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds each health probe. Default min(CallTimeout, 1s).
+	ProbeTimeout time.Duration
+	// Seed fixes the backoff jitter, keeping chaos runs reproducible.
+	Seed int64
+	// Stats, when non-nil, receives error/retry/hedge counters and latency
+	// observations per logical source (stats.Catalog.Faults).
+	Stats *stats.Catalog
+}
+
+func (c Config) withDefaults() Config {
+	if c.CallTimeout <= 0 {
+		c.CallTimeout = 10 * time.Second
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 5 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 250 * time.Millisecond
+	}
+	if c.HedgeMin <= 0 {
+		c.HedgeMin = time.Millisecond
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+		if c.CallTimeout < c.ProbeTimeout {
+			c.ProbeTimeout = c.CallTimeout
+		}
+	}
+	return c
+}
+
+// ExhaustedError reports that a call tried every replica of a source (with
+// retries) and none answered. It is the typed error the degradation policy
+// dispatches on: PolicyFail surfaces it to the caller naming the source;
+// PolicyPartial converts it into a dropped scatter leg plus a Diagnostics
+// entry.
+type ExhaustedError struct {
+	// Source is the logical LQP name whose replicas are exhausted.
+	Source string
+	// Attempts is how many replica calls were made in total.
+	Attempts int
+	// Last is the final replica's error.
+	Last error
+}
+
+func (e *ExhaustedError) Error() string {
+	return fmt.Sprintf("federation: source %s exhausted all replicas (%d attempts): %v", e.Source, e.Attempts, e.Last)
+}
+
+func (e *ExhaustedError) Unwrap() error { return e.Last }
+
+// DeadlineError reports one replica call that outlived its per-call
+// deadline — the replica may still be computing, but the federation has
+// moved on.
+type DeadlineError struct {
+	Source  string
+	Replica string
+	Timeout time.Duration
+}
+
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("federation: %s replica %s: call exceeded deadline %v", e.Source, e.Replica, e.Timeout)
+}
+
+// Diagnostics collects one query's fault-handling record: which sources
+// went missing (PolicyPartial), how many retries and hedges fired, and
+// which replica of each source actually contributed. The PQP binds one to
+// every query it runs (federation-backed sources report into it through
+// the Collectable capability) and returns it on the Result, so a degraded
+// answer is always accompanied by an exact account of what it is missing.
+// Safe for concurrent use — scatter legs report from parallel goroutines.
+type Diagnostics struct {
+	mu       sync.Mutex
+	missing  map[string]bool
+	retries  int
+	hedges   int
+	replicas map[string]map[string]bool
+}
+
+// NewDiagnostics returns an empty collector.
+func NewDiagnostics() *Diagnostics { return &Diagnostics{} }
+
+// AddMissing records a source whose scatter leg was dropped.
+func (d *Diagnostics) AddMissing(source string) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.missing == nil {
+		d.missing = make(map[string]bool)
+	}
+	d.missing[source] = true
+}
+
+// addRetry books n retried calls.
+func (d *Diagnostics) addRetry(n int) {
+	if d == nil || n <= 0 {
+		return
+	}
+	d.mu.Lock()
+	d.retries += n
+	d.mu.Unlock()
+}
+
+// addHedge books one launched hedge.
+func (d *Diagnostics) addHedge() {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	d.hedges++
+	d.mu.Unlock()
+}
+
+// addReplica records that source's call was served by the labeled replica.
+func (d *Diagnostics) addReplica(source, label string) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.replicas == nil {
+		d.replicas = make(map[string]map[string]bool)
+	}
+	set := d.replicas[source]
+	if set == nil {
+		set = make(map[string]bool)
+		d.replicas[source] = set
+	}
+	set[label] = true
+}
+
+// Report is the flat, wire-friendly form of a query's diagnostics.
+type Report struct {
+	// Missing lists the sources whose scatter legs were dropped
+	// (PolicyPartial), sorted. Empty means every source contributed.
+	Missing []string
+	// Retries / Hedges count retried calls and launched hedges.
+	Retries int
+	Hedges  int
+	// Replicas maps each contributing source to the sorted labels of the
+	// replicas that served it.
+	Replicas map[string][]string
+}
+
+// Degraded reports whether the answer is missing any source.
+func (r Report) Degraded() bool { return len(r.Missing) > 0 }
+
+// Report snapshots the collector. A nil collector reports a zero Report.
+func (d *Diagnostics) Report() Report {
+	if d == nil {
+		return Report{}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var rep Report
+	for s := range d.missing {
+		rep.Missing = append(rep.Missing, s)
+	}
+	sort.Strings(rep.Missing)
+	rep.Retries = d.retries
+	rep.Hedges = d.hedges
+	if len(d.replicas) > 0 {
+		rep.Replicas = make(map[string][]string, len(d.replicas))
+		for s, set := range d.replicas {
+			labels := make([]string, 0, len(set))
+			for l := range set {
+				labels = append(labels, l)
+			}
+			sort.Strings(labels)
+			rep.Replicas[s] = labels
+		}
+	}
+	return rep
+}

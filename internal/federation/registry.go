@@ -1,0 +1,226 @@
+package federation
+
+// This file is the source registry: the map from logical LQP names to
+// replica sets that the mediator (or any PQP embedder) builds at startup,
+// plus the active health-check loop that probes every replica's Pinger
+// capability on a fixed period and feeds the per-replica health state that
+// call routing reads.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/lqp"
+)
+
+// Addresser is implemented by endpoints that know their network address
+// (wire.Client does); the registry uses it to label replicas in health
+// snapshots and diagnostics. Endpoints without it are labeled name#index.
+type Addresser interface {
+	Addr() string
+}
+
+// Registry maps logical source names to their replicated Sources and runs
+// the active health-check loop. Build it once at startup, Add every
+// source, then hand LQPs() to the PQP — the federation is transparent from
+// there on.
+type Registry struct {
+	cfg Config
+
+	mu      sync.Mutex
+	order   []string
+	sources map[string]*Source
+
+	stop    chan struct{}
+	stopped sync.WaitGroup
+	started bool
+}
+
+// NewRegistry returns an empty registry with cfg's defaults applied.
+func NewRegistry(cfg Config) *Registry {
+	return &Registry{
+		cfg:     cfg.withDefaults(),
+		sources: make(map[string]*Source),
+	}
+}
+
+// Config returns the registry's effective (default-applied) configuration.
+func (g *Registry) Config() Config { return g.cfg }
+
+// Add registers a logical source backed by the given replicas (at least
+// one) and returns its Source. Replica order is preference order: calls
+// route to the first healthy one. Adding a name twice replaces it.
+func (g *Registry) Add(name string, replicas ...lqp.LQP) *Source {
+	reps := make([]*replica, len(replicas))
+	for i, l := range replicas {
+		label := fmt.Sprintf("%s#%d", name, i)
+		if a, ok := l.(Addresser); ok {
+			label = a.Addr()
+		}
+		reps[i] = &replica{label: label, l: l, healthy: true}
+	}
+	s := newSource(name, g.cfg, reps)
+	g.mu.Lock()
+	if _, exists := g.sources[name]; !exists {
+		g.order = append(g.order, name)
+	}
+	g.sources[name] = s
+	g.mu.Unlock()
+	return s
+}
+
+// Source returns the named source.
+func (g *Registry) Source(name string) (*Source, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s, ok := g.sources[name]
+	return s, ok
+}
+
+// LQPs returns the logical-name → resilient-LQP map the PQP consumes.
+func (g *Registry) LQPs() map[string]lqp.LQP {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	m := make(map[string]lqp.LQP, len(g.sources))
+	for name, s := range g.sources {
+		m[name] = s
+	}
+	return m
+}
+
+// Start launches the active health-check loop (a no-op when
+// Config.ProbeInterval is zero or the loop is already running). Stop it
+// with Stop.
+func (g *Registry) Start() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.started || g.cfg.ProbeInterval <= 0 {
+		return
+	}
+	g.started = true
+	g.stop = make(chan struct{})
+	g.stopped.Add(1)
+	go g.probeLoop()
+}
+
+// Stop halts the health-check loop and waits for in-flight probes.
+func (g *Registry) Stop() {
+	g.mu.Lock()
+	if !g.started {
+		g.mu.Unlock()
+		return
+	}
+	g.started = false
+	stop := g.stop
+	g.mu.Unlock()
+	close(stop)
+	g.stopped.Wait()
+}
+
+func (g *Registry) probeLoop() {
+	defer g.stopped.Done()
+	ticker := time.NewTicker(g.cfg.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-ticker.C:
+			g.ProbeAll()
+		}
+	}
+}
+
+// ProbeAll probes every replica of every source once, concurrently, and
+// returns when all probes have answered or timed out. The loop calls it on
+// each tick; tests and operators can call it directly for an on-demand
+// sweep.
+func (g *Registry) ProbeAll() {
+	g.mu.Lock()
+	sources := make([]*Source, 0, len(g.sources))
+	for _, name := range g.order {
+		sources = append(sources, g.sources[name])
+	}
+	g.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for _, s := range sources {
+		for _, r := range s.reps {
+			p, ok := r.l.(Pinger)
+			if !ok {
+				continue // passive marking only
+			}
+			wg.Add(1)
+			go func(s *Source, r *replica, p Pinger) {
+				defer wg.Done()
+				if err := probe(p, g.cfg.ProbeTimeout); err != nil {
+					r.markDown(s.cfg, err)
+					s.noteError()
+				} else {
+					r.markUp()
+				}
+			}(s, r, p)
+		}
+	}
+	wg.Wait()
+}
+
+// probe runs one ping under its own deadline, guarding against Pinger
+// implementations that ignore the passed bound. A probe abandoned at the
+// deadline finishes on its own goroutine.
+func probe(p Pinger, timeout time.Duration) error {
+	ch := make(chan error, 1)
+	go func() { ch <- p.Ping(timeout) }()
+	timer := time.NewTimer(timeout + timeout/2)
+	defer timer.Stop()
+	select {
+	case err := <-ch:
+		return err
+	case <-timer.C:
+		return fmt.Errorf("federation: health probe exceeded %v", timeout)
+	}
+}
+
+// ReplicaHealth is one replica's state in a registry snapshot.
+type ReplicaHealth struct {
+	// Source is the logical name; Replica the endpoint label.
+	Source  string
+	Replica string
+	// Healthy is the last-known liveness; BreakerOpen whether the circuit
+	// breaker is currently rejecting calls.
+	Healthy     bool
+	BreakerOpen bool
+	// LastError is the most recent failure ("" when none).
+	LastError string
+}
+
+// Health snapshots every replica's state, sources in registration order.
+func (g *Registry) Health() []ReplicaHealth {
+	g.mu.Lock()
+	sources := make([]*Source, 0, len(g.sources))
+	for _, name := range g.order {
+		sources = append(sources, g.sources[name])
+	}
+	g.mu.Unlock()
+
+	now := time.Now()
+	var out []ReplicaHealth
+	for _, s := range sources {
+		for _, r := range s.reps {
+			r.mu.Lock()
+			h := ReplicaHealth{
+				Source:      s.name,
+				Replica:     r.label,
+				Healthy:     r.healthy,
+				BreakerOpen: !r.openUntil.IsZero() && now.Before(r.openUntil),
+			}
+			if r.lastErr != nil {
+				h.LastError = r.lastErr.Error()
+			}
+			r.mu.Unlock()
+			out = append(out, h)
+		}
+	}
+	return out
+}

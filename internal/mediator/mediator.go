@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/federation"
 	"repro/internal/pqp"
 	"repro/internal/sourceset"
 	"repro/internal/translate"
@@ -48,6 +49,11 @@ type Config struct {
 	// SessionIdle is the idle expiry: sessions untouched this long are
 	// pruned on the next OpenSession (default 1h; <0 disables expiry).
 	SessionIdle time.Duration
+	// Degrade is the default degradation policy of sessions that do not
+	// request one: PolicyFail (the zero value) fails a query whole when a
+	// source exhausts its replicas; PolicyPartial lets exhausted scatter
+	// legs drop out, named in the answer's diagnostics.
+	Degrade federation.Policy
 }
 
 const (
@@ -100,7 +106,8 @@ type Session struct {
 	// Created is the session's start time.
 	Created time.Time
 
-	limit int
+	limit  int
+	policy federation.Policy
 
 	mu       sync.Mutex
 	lastUsed time.Time
@@ -122,9 +129,16 @@ type TrailEntry struct {
 	Rows int
 	// CacheHit reports the plan came from the plan cache.
 	CacheHit bool
+	// Missing names the sources a degraded (partial-policy) answer lost;
+	// empty for complete answers and for streams (whose losses the mediator
+	// learns only after the client drains the cursor).
+	Missing []string
 	// Err is the failure, "" on success.
 	Err string
 }
+
+// Policy returns the session's degradation policy.
+func (se *Session) Policy() federation.Policy { return se.policy }
 
 // Trail returns a copy of the session's audit trail, oldest first.
 func (se *Session) Trail() []TrailEntry {
@@ -164,13 +178,23 @@ func newSessionID() (string, error) {
 
 // OpenSession implements wire.Mediator: it prunes idle sessions, admits a
 // new one under the bound, and returns its ID plus the federation metadata.
-func (s *Service) OpenSession() (wire.SessionInfo, error) {
+// The session's degradation policy is the requested one, or the service
+// default when the request leaves it empty; the effective policy is echoed
+// in SessionInfo.Policy.
+func (s *Service) OpenSession(opts wire.SessionOptions) (wire.SessionInfo, error) {
+	policy := s.cfg.Degrade
+	if opts.Policy != "" {
+		var err error
+		if policy, err = federation.ParsePolicy(opts.Policy); err != nil {
+			return wire.SessionInfo{}, fmt.Errorf("mediator: %w", err)
+		}
+	}
 	id, err := newSessionID()
 	if err != nil {
 		return wire.SessionInfo{}, err
 	}
 	now := time.Now()
-	sess := &Session{ID: id, Created: now, limit: s.cfg.TrailLimit, lastUsed: now}
+	sess := &Session{ID: id, Created: now, limit: s.cfg.TrailLimit, policy: policy, lastUsed: now}
 	s.mu.Lock()
 	s.pruneLocked(now)
 	if len(s.sessions) >= s.cfg.MaxSessions {
@@ -184,7 +208,17 @@ func (s *Service) OpenSession() (wire.SessionInfo, error) {
 		Federation: s.cfg.Federation,
 		Sources:    s.sourceNames(),
 		Schemes:    s.SchemeInfos(),
+		Policy:     policy.String(),
 	}, nil
+}
+
+// policyOf resolves the degradation policy for one request: the session's
+// when there is one, the service default for sessionless callers.
+func (s *Service) policyOf(sess *Session) federation.Policy {
+	if sess != nil {
+		return sess.policy
+	}
+	return s.cfg.Degrade
 }
 
 // sourceNames lists the federation's interned source names in registry
@@ -276,15 +310,17 @@ func (s *Service) Query(session, text string, algebraic bool) (*wire.MediatedAns
 	if err != nil {
 		return fail(err)
 	}
-	res, err := s.q.Run(e)
+	res, err := s.q.RunPolicy(e, s.policyOf(sess))
 	if err != nil {
 		return fail(err)
 	}
+	rep := res.Diag.Report()
 	entry.Duration = time.Since(start)
 	entry.Rows = res.Relation.Cardinality()
 	entry.CacheHit = res.CacheHit
+	entry.Missing = rep.Missing
 	sess.record(entry)
-	return &wire.MediatedAnswer{Relation: res.Relation, PlanRows: res.PlanLines(), CacheHit: res.CacheHit}, nil
+	return &wire.MediatedAnswer{Relation: res.Relation, PlanRows: res.PlanLines(), CacheHit: res.CacheHit, Diag: rep}, nil
 }
 
 // OpenQuery implements wire.Mediator: the streamed variant. The trail
@@ -307,14 +343,16 @@ func (s *Service) OpenQuery(session, text string, algebraic bool) (*wire.Mediate
 	if err != nil {
 		return fail(err)
 	}
-	cur, res, err := s.q.Open(e)
+	cur, res, err := s.q.OpenPolicy(e, s.policyOf(sess))
 	if err != nil {
 		return fail(err)
 	}
 	entry.Duration = time.Since(start)
 	entry.CacheHit = res.CacheHit
 	sess.record(entry)
-	return &wire.MediatedStream{Cursor: cur, PlanRows: res.PlanLines(), CacheHit: res.CacheHit}, nil
+	// Result.Diag is the live collector; the server snapshots it (Report)
+	// only after the stream drains, so mid-stream failovers are counted.
+	return &wire.MediatedStream{Cursor: cur, PlanRows: res.PlanLines(), CacheHit: res.CacheHit, Diag: res.Diag.Report}, nil
 }
 
 // SchemeInfos renders the polygen schema's metadata for thin clients.

@@ -227,7 +227,7 @@ func TestTrailRecords(t *testing.T) {
 
 func TestTrailBounded(t *testing.T) {
 	svc := newService(t, Config{TrailLimit: 3})
-	info, err := svc.OpenSession()
+	info, err := svc.OpenSession(wire.SessionOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,19 +270,19 @@ func TestSessionLifecycle(t *testing.T) {
 
 func TestSessionBoundAndExpiry(t *testing.T) {
 	svc := newService(t, Config{MaxSessions: 2, SessionIdle: 10 * time.Millisecond})
-	a, err := svc.OpenSession()
+	a, err := svc.OpenSession(wire.SessionOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := svc.OpenSession(); err != nil {
+	if _, err := svc.OpenSession(wire.SessionOptions{}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := svc.OpenSession(); err == nil {
+	if _, err := svc.OpenSession(wire.SessionOptions{}); err == nil {
 		t.Fatal("session table bound not enforced")
 	}
 	// After the idle expiry both sessions are prunable; admission resumes.
 	time.Sleep(20 * time.Millisecond)
-	if _, err := svc.OpenSession(); err != nil {
+	if _, err := svc.OpenSession(wire.SessionOptions{}); err != nil {
 		t.Fatalf("expired sessions not pruned: %v", err)
 	}
 	if _, ok := svc.Session(a.ID); ok {

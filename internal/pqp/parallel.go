@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/federation"
 	"repro/internal/translate"
 )
 
@@ -23,7 +24,11 @@ import (
 // assigns one stable ID per canonical form, so interleaved interning cannot
 // change any row's join result.
 func (q *PQP) ExecuteParallel(iom *translate.Matrix) (*core.Relation, error) {
-	regs, err := q.ExecuteAllParallel(iom)
+	return q.executeParallel(iom, execEnv{policy: q.Degrade})
+}
+
+func (q *PQP) executeParallel(iom *translate.Matrix, env execEnv) (*core.Relation, error) {
+	regs, err := q.executeAllParallel(iom, env)
 	if err != nil {
 		return nil, err
 	}
@@ -32,6 +37,10 @@ func (q *PQP) ExecuteParallel(iom *translate.Matrix) (*core.Relation, error) {
 
 // ExecuteAllParallel is ExecuteParallel returning every register.
 func (q *PQP) ExecuteAllParallel(iom *translate.Matrix) (map[int]*core.Relation, error) {
+	return q.executeAllParallel(iom, execEnv{policy: q.Degrade})
+}
+
+func (q *PQP) executeAllParallel(iom *translate.Matrix, env execEnv) (map[int]*core.Relation, error) {
 	if iom.Cardinality() == 0 {
 		return nil, fmt.Errorf("pqp: empty plan")
 	}
@@ -101,7 +110,7 @@ func (q *PQP) ExecuteAllParallel(iom *translate.Matrix) (map[int]*core.Relation,
 				}
 				view[d] = ds.rel
 			}
-			s.rel, s.err = q.step(row, view)
+			s.rel, s.err = q.step(row, view, env)
 			if q.Trace != nil && s.err == nil {
 				q.Trace("%-60s -> %d tuples", row.String(), s.rel.Cardinality())
 			}
@@ -127,8 +136,10 @@ func (q *PQP) RunParallel(e translate.Expr) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if res.Relation, err = q.ExecuteParallel(res.Plan); err != nil {
+	env := execEnv{policy: q.Degrade, diag: federation.NewDiagnostics()}
+	if res.Relation, err = q.executeParallel(res.Plan, env); err != nil {
 		return nil, err
 	}
+	res.Diag = env.diag
 	return res, nil
 }

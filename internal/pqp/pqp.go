@@ -55,6 +55,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/federation"
 	"repro/internal/identity"
 	"repro/internal/lqp"
 	"repro/internal/rel"
@@ -98,6 +99,16 @@ type PQP struct {
 	// (core.MergeBalanced) instead of the paper's left fold; the answers are
 	// instance-identical and wide merges get cheaper (B-SRC ablation).
 	BalancedMerge bool
+	// Degrade is the default degradation policy for queries run without an
+	// explicit one (RunPolicy/OpenPolicy override per call). PolicyFail —
+	// the zero value — fails the whole query when a source exhausts all of
+	// its replicas; PolicyPartial drops the exhausted scatter leg and
+	// answers from the sources that remain, with the missing sources named
+	// in the result's diagnostics. Only federation-backed LQPs
+	// (internal/federation.Source) ever produce the typed exhaustion the
+	// policy dispatches on; with plain LQPs both policies behave like
+	// PolicyFail.
+	Degrade federation.Policy
 	// Plans caches translated, optimized plans keyed by canonical query
 	// text, schema, statistics version and optimizer options, so a shared
 	// long-lived PQP runs the translation pipeline — including the
@@ -232,6 +243,13 @@ type Result struct {
 	CacheHit bool
 	// Relation is the composite answer with source tags.
 	Relation *core.Relation
+	// Diag is the query's fault-handling collector: retries, hedges,
+	// replicas used and — under PolicyPartial — the sources that went
+	// missing. Run/RunPolicy results carry the completed record; for
+	// Open/OpenPolicy the collector keeps accumulating while the answer
+	// streams (mid-stream failovers), so snapshot it with Diag.Report()
+	// after draining. Nil for results produced before execution.
+	Diag *federation.Diagnostics
 }
 
 // PlanLines renders the executed plan one row per line — what the shell and
@@ -267,16 +285,80 @@ func (q *PQP) QuerySQL(input string) (*Result, error) {
 	return q.Run(e)
 }
 
-// Run executes an already-built algebraic expression.
-func (q *PQP) Run(e translate.Expr) (*Result, error) {
+// Run executes an already-built algebraic expression under the PQP's
+// default degradation policy.
+func (q *PQP) Run(e translate.Expr) (*Result, error) { return q.RunPolicy(e, q.Degrade) }
+
+// RunPolicy is Run with an explicit per-query degradation policy — the
+// mediator routes each session's policy through it.
+func (q *PQP) RunPolicy(e translate.Expr, policy federation.Policy) (*Result, error) {
 	res, err := q.plan(e)
 	if err != nil {
 		return nil, err
 	}
-	if res.Relation, err = q.Execute(res.Plan); err != nil {
+	env := execEnv{policy: policy, diag: federation.NewDiagnostics()}
+	if res.Relation, err = q.execute(res.Plan, env); err != nil {
 		return nil, err
 	}
+	res.Diag = env.diag
 	return res, nil
+}
+
+// execEnv is the per-query execution environment threaded through the
+// engines: the degradation policy and the diagnostics collector every
+// federation-backed LQP call reports into. The zero value (PolicyFail, no
+// collector) is the behavior of the plain public entry points.
+type execEnv struct {
+	policy federation.Policy
+	diag   *federation.Diagnostics
+}
+
+// boundLQP returns the diagnostics-bound view of l when the environment
+// collects and l is federation-backed; otherwise l itself.
+func (q *PQP) boundLQP(l lqp.LQP, env execEnv) lqp.LQP {
+	if env.diag == nil {
+		return l
+	}
+	if c, ok := l.(federation.Collectable); ok {
+		return c.Bind(env.diag)
+	}
+	return l
+}
+
+// degrade decides what becomes of a failed local operation: under
+// PolicyPartial an exhausted source (every replica tried, none answered)
+// turns into an empty relation with the columns the operation would have
+// produced — the dropped scatter leg — and a diagnostics entry; any other
+// failure, or any failure under PolicyFail, stays fatal.
+func (q *PQP) degrade(row translate.Row, plan lqp.Plan, env execEnv, cause error) (*rel.Relation, error) {
+	var ex *federation.ExhaustedError
+	if env.policy != federation.PolicyPartial || !errors.As(cause, &ex) {
+		return nil, cause
+	}
+	cols, ok := q.degradedColumns(row.EL, plan)
+	if !ok {
+		return nil, fmt.Errorf("pqp: cannot degrade %s.%s (columns unknown): %w", row.EL, plan.Base().Relation, cause)
+	}
+	env.diag.AddMissing(row.EL)
+	return rel.NewRelation(plan.Base().Relation, rel.SchemaOf(cols...)), nil
+}
+
+// degradedColumns shapes a dropped scatter leg's empty stand-in: a
+// projecting subplan fixes the columns itself; otherwise the statistics
+// catalog (populated by CollectStats) or the polygen schema's attribute
+// mappings supply the source relation's column list.
+func (q *PQP) degradedColumns(db string, plan lqp.Plan) ([]string, bool) {
+	for i := len(plan.Ops) - 1; i >= 0; i-- {
+		if plan.Ops[i].Kind == lqp.OpProject {
+			return plan.Ops[i].Attrs, true
+		}
+	}
+	if q.Stats != nil {
+		if cols, ok := q.Stats.Columns(db, plan.Base().Relation); ok {
+			return cols, true
+		}
+	}
+	return q.schema.LocalColumns(db, plan.Base().Relation)
 }
 
 // Open runs the translation pipeline for e (through the plan cache) and
@@ -285,13 +367,22 @@ func (q *PQP) Run(e translate.Expr) (*Result, error) {
 // and must Close it. Plans the streaming engine cannot compile fall back to
 // materializing and re-cutting into batches, exactly as Execute does.
 func (q *PQP) Open(e translate.Expr) (core.Cursor, *Result, error) {
+	return q.OpenPolicy(e, q.Degrade)
+}
+
+// OpenPolicy is Open with an explicit per-query degradation policy. The
+// returned Result carries the live diagnostics collector (Result.Diag);
+// mid-stream failovers keep reporting into it while the cursor drains.
+func (q *PQP) OpenPolicy(e translate.Expr, policy federation.Policy) (core.Cursor, *Result, error) {
 	res, err := q.plan(e)
 	if err != nil {
 		return nil, nil, err
 	}
-	cur, err := q.OpenPlan(res.Plan)
+	env := execEnv{policy: policy, diag: federation.NewDiagnostics()}
+	res.Diag = env.diag
+	cur, err := q.openPlan(res.Plan, env)
 	if errors.Is(err, errRedefinedRegister) {
-		p, merr := q.ExecuteMaterialized(res.Plan)
+		p, merr := q.executeMaterialized(res.Plan, env)
 		if merr != nil {
 			return nil, nil, merr
 		}
@@ -370,7 +461,11 @@ func (q *PQP) plan(e translate.Expr) (*Result, error) {
 // register's relation. It is the reference engine the streaming Execute is
 // proven against; the two agree cell for cell.
 func (q *PQP) ExecuteMaterialized(iom *translate.Matrix) (*core.Relation, error) {
-	regs, err := q.ExecuteAll(iom)
+	return q.executeMaterialized(iom, execEnv{policy: q.Degrade})
+}
+
+func (q *PQP) executeMaterialized(iom *translate.Matrix, env execEnv) (*core.Relation, error) {
+	regs, err := q.executeAll(iom, env)
 	if err != nil {
 		return nil, err
 	}
@@ -383,12 +478,16 @@ func (q *PQP) ExecuteMaterialized(iom *translate.Matrix) (*core.Relation, error)
 // paper's Tables 4–9. (Streaming would be no help here: every register is
 // consumed by the caller, so each one must materialize anyway.)
 func (q *PQP) ExecuteAll(iom *translate.Matrix) (map[int]*core.Relation, error) {
+	return q.executeAll(iom, execEnv{policy: q.Degrade})
+}
+
+func (q *PQP) executeAll(iom *translate.Matrix, env execEnv) (map[int]*core.Relation, error) {
 	if iom.Cardinality() == 0 {
 		return nil, fmt.Errorf("pqp: empty plan")
 	}
 	regs := make(map[int]*core.Relation, iom.Cardinality())
 	for _, row := range iom.Rows {
-		r, err := q.step(row, regs)
+		r, err := q.step(row, regs, env)
 		if err != nil {
 			return nil, fmt.Errorf("pqp: executing %s: %w", row, err)
 		}
@@ -400,9 +499,9 @@ func (q *PQP) ExecuteAll(iom *translate.Matrix) (map[int]*core.Relation, error) 
 	return regs, nil
 }
 
-func (q *PQP) step(row translate.Row, regs map[int]*core.Relation) (*core.Relation, error) {
+func (q *PQP) step(row translate.Row, regs map[int]*core.Relation, env execEnv) (*core.Relation, error) {
 	if row.EL != "PQP" {
-		return q.runLocal(row)
+		return q.runLocal(row, env)
 	}
 	operand := func(o translate.Operand) (*core.Relation, error) {
 		if o.Kind != translate.OpdReg {
@@ -511,7 +610,7 @@ func (q *PQP) binary(row translate.Row, regs map[int]*core.Relation, fn func(a, 
 // operation; when the subplan carries fused Select/Restrict steps it is
 // {EL} — exactly what the displaced PQP-resident rows would have added,
 // since every cell of a freshly retrieved relation has origin {EL}.
-func (q *PQP) runLocal(row translate.Row) (*core.Relation, error) {
+func (q *PQP) runLocal(row translate.Row, env execEnv) (*core.Relation, error) {
 	processor, ok := q.lqps[row.EL]
 	if !ok {
 		return nil, fmt.Errorf("no LQP for local database %q", row.EL)
@@ -520,17 +619,21 @@ func (q *PQP) runLocal(row translate.Row) (*core.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
+	l := q.boundLQP(processor, env)
 	start := time.Now()
 	var plain *rel.Relation
 	if len(plan.Ops) == 1 {
-		plain, err = processor.Execute(plan.Base())
+		plain, err = l.Execute(plan.Base())
 	} else {
-		plain, err = lqp.ExecutePlanOn(processor, plan)
+		plain, err = lqp.ExecutePlanOn(l, plan)
 	}
 	if err != nil {
-		return nil, err
+		if plain, err = q.degrade(row, plan, env, err); err != nil {
+			return nil, err
+		}
+	} else {
+		q.observeLocal(row, plan, plain, time.Since(start))
 	}
-	q.observeLocal(row, plan, plain, time.Since(start))
 	return q.tagPlain(plain, row.EL, row.LHR.Name, plan.Mediates())
 }
 

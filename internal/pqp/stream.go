@@ -41,9 +41,13 @@ var errRedefinedRegister = errors.New("pqp: plan redefines a register")
 // cell-for-cell identical to ExecuteMaterialized's (the property suite and
 // the paper-table tests hold both engines to it).
 func (q *PQP) Execute(iom *translate.Matrix) (*core.Relation, error) {
-	cur, err := q.OpenPlan(iom)
+	return q.execute(iom, execEnv{policy: q.Degrade})
+}
+
+func (q *PQP) execute(iom *translate.Matrix, env execEnv) (*core.Relation, error) {
+	cur, err := q.openPlan(iom, env)
 	if errors.Is(err, errRedefinedRegister) {
-		return q.ExecuteMaterialized(iom)
+		return q.executeMaterialized(iom, env)
 	}
 	if err != nil {
 		return nil, err
@@ -64,6 +68,10 @@ func (q *PQP) Execute(iom *translate.Matrix) (*core.Relation, error) {
 // closes the whole tree). Local rows are opened against their LQPs during
 // compilation, in plan order.
 func (q *PQP) OpenPlan(iom *translate.Matrix) (core.Cursor, error) {
+	return q.openPlan(iom, execEnv{policy: q.Degrade})
+}
+
+func (q *PQP) openPlan(iom *translate.Matrix, env execEnv) (core.Cursor, error) {
 	if iom.Cardinality() == 0 {
 		return nil, fmt.Errorf("pqp: empty plan")
 	}
@@ -109,7 +117,7 @@ func (q *PQP) OpenPlan(iom *translate.Matrix) (core.Cursor, error) {
 	}
 
 	for _, row := range iom.Rows {
-		c, err := q.openRow(row, takeReg)
+		c, err := q.openRow(row, takeReg, env)
 		if err != nil {
 			closePending()
 			return nil, fmt.Errorf("pqp: executing %s: %w", row, err)
@@ -142,9 +150,9 @@ func (q *PQP) OpenPlan(iom *translate.Matrix) (core.Cursor, error) {
 
 // openRow builds the cursor for one plan row, claiming its register
 // operands through takeReg.
-func (q *PQP) openRow(row translate.Row, takeReg func(int) (core.Cursor, error)) (core.Cursor, error) {
+func (q *PQP) openRow(row translate.Row, takeReg func(int) (core.Cursor, error), env execEnv) (core.Cursor, error) {
 	if row.EL != "PQP" {
-		return q.openLocal(row)
+		return q.openLocal(row, env)
 	}
 	operand := func(o translate.Operand) (core.Cursor, error) {
 		if o.Kind != translate.OpdReg {
@@ -240,7 +248,7 @@ func (q *PQP) openRow(row translate.Row, takeReg func(int) (core.Cursor, error))
 // narrowed batches cross the LQP boundary; the tag cursor reconstructs the
 // intermediate tags the displaced PQP-side filters would have added (see
 // runLocal).
-func (q *PQP) openLocal(row translate.Row) (core.Cursor, error) {
+func (q *PQP) openLocal(row translate.Row, env execEnv) (core.Cursor, error) {
 	processor, ok := q.lqps[row.EL]
 	if !ok {
 		return nil, fmt.Errorf("no LQP for local database %q", row.EL)
@@ -249,14 +257,25 @@ func (q *PQP) openLocal(row translate.Row) (core.Cursor, error) {
 	if err != nil {
 		return nil, err
 	}
+	l := q.boundLQP(processor, env)
 	var rc rel.Cursor
 	if len(plan.Ops) == 1 {
-		rc, err = lqp.OpenLQP(processor, plan.Base())
+		rc, err = lqp.OpenLQP(l, plan.Base())
 	} else {
-		rc, err = lqp.OpenPlanOn(processor, plan)
+		rc, err = lqp.OpenPlanOn(l, plan)
 	}
 	if err != nil {
-		return nil, err
+		// An exhausted source degrades (policy permitting) to an empty
+		// stream with the columns the operation would have produced; no
+		// prefetch needed for a stream with nothing to fetch. Mid-stream
+		// exhaustion after a successful open stays fatal under either
+		// policy: rows already delivered downstream cannot be recalled,
+		// and a partial prefix must never masquerade as the leg's answer.
+		plain, derr := q.degrade(row, plan, env, err)
+		if derr != nil {
+			return nil, derr
+		}
+		return q.newTagCursor(rel.CursorOf(plain), row.EL, row.LHR.Name, plan.Mediates()), nil
 	}
 	return q.newTagCursor(rel.Prefetch(rc, prefetchDepth), row.EL, row.LHR.Name, plan.Mediates()), nil
 }

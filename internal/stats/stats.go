@@ -66,9 +66,10 @@ type Catalog struct {
 	// EWMA — keeps hitting cached plans. Accessed atomically.
 	version atomic.Uint64
 
-	mu   sync.RWMutex
-	rels map[Key]Relation
-	lat  map[string]time.Duration
+	mu     sync.RWMutex
+	rels   map[Key]Relation
+	lat    map[string]time.Duration
+	faults map[string]*FaultCounters
 }
 
 // nextCatalogID hands out process-unique catalog IDs.

@@ -160,9 +160,11 @@ type blockingMediator struct {
 	release chan struct{}
 }
 
-func (m *blockingMediator) Federation() string                { return "blocky" }
-func (m *blockingMediator) OpenSession() (SessionInfo, error) { return SessionInfo{ID: "s"}, nil }
-func (m *blockingMediator) CloseSession(string) error         { return nil }
+func (m *blockingMediator) Federation() string { return "blocky" }
+func (m *blockingMediator) OpenSession(SessionOptions) (SessionInfo, error) {
+	return SessionInfo{ID: "s"}, nil
+}
+func (m *blockingMediator) CloseSession(string) error { return nil }
 func (m *blockingMediator) OpenQuery(string, string, bool) (*MediatedStream, error) {
 	return nil, errors.New("blockingMediator: streams unsupported")
 }

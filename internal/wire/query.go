@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/federation"
 	"repro/internal/rel"
 	"repro/internal/sourceset"
 )
@@ -37,7 +38,7 @@ type Mediator interface {
 	Federation() string
 	// OpenSession creates a session and returns its ID plus the federation
 	// metadata a thin client needs (scheme names, attribute mappings).
-	OpenSession() (SessionInfo, error)
+	OpenSession(opts SessionOptions) (SessionInfo, error)
 	// CloseSession ends a session. Closing an unknown session is an error.
 	CloseSession(id string) error
 	// Query runs one polygen query — SQL, or paper algebra when algebraic —
@@ -50,6 +51,15 @@ type Mediator interface {
 	OpenQuery(session, text string, algebraic bool) (*MediatedStream, error)
 }
 
+// SessionOptions is what a client asks of its session.
+type SessionOptions struct {
+	// Policy is the degradation policy of every query the session runs:
+	// "fail" (the whole query fails when a source exhausts its replicas),
+	// "partial" (exhausted scatter legs drop out, named in the answer's
+	// diagnostics), or "" for the mediator's default.
+	Policy string
+}
+
 // MediatedAnswer is one materialized mediator answer.
 type MediatedAnswer struct {
 	// Relation is the composite answer with source tags.
@@ -58,6 +68,8 @@ type MediatedAnswer struct {
 	PlanRows []string
 	// CacheHit reports the plan came from the mediator's plan cache.
 	CacheHit bool
+	// Diag is the query's fault-handling record.
+	Diag federation.Report
 }
 
 // MediatedStream is one streaming mediator answer.
@@ -67,6 +79,11 @@ type MediatedStream struct {
 	// PlanRows / CacheHit are as in MediatedAnswer.
 	PlanRows []string
 	CacheHit bool
+	// Diag, when non-nil, snapshots the query's fault-handling record; the
+	// server calls it after the stream completes (the record keeps growing
+	// while batches flow — mid-stream failovers count) and ships it on the
+	// Done frame.
+	Diag func() federation.Report
 }
 
 // SessionInfo is the answer to a "session" request.
@@ -82,6 +99,10 @@ type SessionInfo struct {
 	// Schemes is the polygen schema's metadata, enough for a thin shell's
 	// \schemes and \describe without catalog access.
 	Schemes []SchemeInfo
+	// Policy echoes the session's effective degradation policy ("fail" or
+	// "partial") after the mediator resolved the requested one against its
+	// default.
+	Policy string
 }
 
 // SchemeInfo describes one polygen scheme to thin clients.
@@ -271,7 +292,7 @@ func (s *Server) handleMediator(req request) response {
 	}
 	switch req.Kind {
 	case "session":
-		info, err := s.mediator.OpenSession()
+		info, err := s.mediator.OpenSession(SessionOptions{Policy: req.Policy})
 		if err != nil {
 			return response{Err: err.Error()}
 		}
@@ -286,7 +307,7 @@ func (s *Server) handleMediator(req request) response {
 		if err != nil {
 			return response{Err: err.Error()}
 		}
-		return response{Poly: flattenPoly(ans.Relation), HasPoly: true, PlanRows: ans.PlanRows, CacheHit: ans.CacheHit}
+		return response{Poly: flattenPoly(ans.Relation), HasPoly: true, PlanRows: ans.PlanRows, CacheHit: ans.CacheHit, Diag: ans.Diag}
 	default:
 		return response{Err: fmt.Sprintf("wire: unknown mediator request kind %q", req.Kind)}
 	}
@@ -313,7 +334,11 @@ func (s *Server) serveQueryStream(conn net.Conn, enc *gob.Encoder, req request) 
 	for {
 		batch, err := ms.Cursor.Next()
 		if err == io.EOF {
-			return s.send(conn, enc, frame{Done: true})
+			done := frame{Done: true}
+			if ms.Diag != nil {
+				done.Diag = ms.Diag()
+			}
+			return s.send(conn, enc, done)
 		}
 		if err != nil {
 			return s.send(conn, enc, frame{Err: err.Error()})
@@ -325,12 +350,18 @@ func (s *Server) serveQueryStream(conn net.Conn, enc *gob.Encoder, req request) 
 	}
 }
 
-// OpenSession opens a mediator session and returns its ID plus the
-// federation metadata. The federation's source names are interned into the
-// client registry in the server's canonical order, so decoded tag sets
-// format identically on both ends.
+// OpenSession opens a mediator session with default options and returns
+// its ID plus the federation metadata. The federation's source names are
+// interned into the client registry in the server's canonical order, so
+// decoded tag sets format identically on both ends.
 func (c *Client) OpenSession() (SessionInfo, error) {
-	resp, err := c.roundTrip(request{Kind: "session"})
+	return c.OpenSessionWith(SessionOptions{})
+}
+
+// OpenSessionWith is OpenSession with explicit session options (e.g. the
+// "partial" degradation policy).
+func (c *Client) OpenSessionWith(opts SessionOptions) (SessionInfo, error) {
+	resp, err := c.roundTrip(request{Kind: "session", Policy: opts.Policy})
 	if err != nil {
 		return SessionInfo{}, err
 	}
@@ -355,6 +386,11 @@ type QueryAnswer struct {
 	PlanRows []string
 	// CacheHit reports the mediator answered from its plan cache.
 	CacheHit bool
+	// Diag is the query's fault-handling record: retries, hedges, replicas
+	// used and — under the partial policy — the sources the answer is
+	// missing. On the streaming path it arrives with the Done frame; read
+	// it from the cursor (Diagnosed) instead.
+	Diag federation.Report
 }
 
 // Query runs one polygen query on the mediator and returns the
@@ -372,7 +408,15 @@ func (c *Client) Query(session, text string, algebraic bool) (*QueryAnswer, erro
 	if err != nil {
 		return nil, err
 	}
-	return &QueryAnswer{Relation: p, PlanRows: resp.PlanRows, CacheHit: resp.CacheHit}, nil
+	return &QueryAnswer{Relation: p, PlanRows: resp.PlanRows, CacheHit: resp.CacheHit, Diag: resp.Diag}, nil
+}
+
+// Diagnosed is the capability of streamed answers whose final frame
+// carried the query's fault-handling record — the cursor returned by
+// OpenQuery implements it. The record is complete (and ok true) only after
+// Next has returned io.EOF; an aborted stream never learns it.
+type Diagnosed interface {
+	Diagnostics() (federation.Report, bool)
 }
 
 // OpenQuery runs one polygen query on the mediator and streams the tagged
@@ -411,6 +455,14 @@ type polyStreamCursor struct {
 	timeout time.Duration
 	done    bool
 	closed  bool
+	diag    federation.Report
+	hasDiag bool
+}
+
+// Diagnostics returns the fault-handling record shipped on the stream's
+// Done frame; ok is false until the stream has drained to io.EOF.
+func (pc *polyStreamCursor) Diagnostics() (federation.Report, bool) {
+	return pc.diag, pc.hasDiag
 }
 
 func (pc *polyStreamCursor) Name() string                  { return pc.name }
@@ -427,7 +479,7 @@ func (pc *polyStreamCursor) Next() ([]core.Tuple, error) {
 		if err := pc.dec.Decode(&f); err != nil {
 			pc.done = true
 			pc.Close()
-			return nil, fmt.Errorf("wire: receive frame: %w", err)
+			return nil, fmt.Errorf("wire: receive frame from %s: %w", pc.client.addr, err)
 		}
 		switch {
 		case f.Err != "":
@@ -435,6 +487,8 @@ func (pc *polyStreamCursor) Next() ([]core.Tuple, error) {
 			return nil, errors.New(f.Err)
 		case f.Done:
 			pc.done = true
+			pc.diag = f.Diag
+			pc.hasDiag = true
 			return nil, io.EOF
 		case len(f.Poly) > 0:
 			batch, err := unflattenBatch(f.Poly, f.Sources, pc.client.Reg, len(pc.attrs))
@@ -458,3 +512,4 @@ func (pc *polyStreamCursor) Close() error {
 }
 
 var _ core.Cursor = (*polyStreamCursor)(nil)
+var _ Diagnosed = (*polyStreamCursor)(nil)

@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/federation"
 	"repro/internal/lqp"
 	"repro/internal/rel"
 	"repro/internal/sourceset"
@@ -66,7 +67,9 @@ const DefaultMaxConns = 4
 type request struct {
 	// Kind selects the operation: "name", "relations", "stats", "execute",
 	// "open", "execplan", "openplan" against an LQP server; "session",
-	// "endsession", "query", "queryopen" against a mediator server.
+	// "endsession", "query", "queryopen" against a mediator server; "ping"
+	// against either (the health-check probe: the cheapest possible round
+	// trip, answered without touching the database or the mediator).
 	Kind string
 	// Op is the local operation for Kind == "execute" / "open".
 	Op lqp.Op
@@ -83,6 +86,9 @@ type request struct {
 	// Algebraic selects the algebra parser instead of the SQL front end for
 	// Kind == "query" / "queryopen".
 	Algebraic bool
+	// Policy is the degradation policy a "session" request asks for
+	// ("", "fail" or "partial"); the mediator's default applies when empty.
+	Policy string
 }
 
 // response is one server→client message.
@@ -105,6 +111,10 @@ type response struct {
 	PlanRows []string
 	// CacheHit reports that the mediator answered from its plan cache.
 	CacheHit bool
+	// Diag is the query's fault-handling record (retries, hedges, replicas
+	// used, and — under the partial degradation policy — the sources the
+	// answer is missing) for mediator "query" answers.
+	Diag federation.Report
 }
 
 // frame is one row batch of a streamed result. A stream is a response
@@ -118,6 +128,10 @@ type frame struct {
 	// Poly / Sources carry one tagged batch (see flatPoly).
 	Poly    []flatTuple
 	Sources []string
+	// Diag rides the Done frame of a "queryopen" stream: the query's final
+	// fault-handling record, complete only once the answer has fully
+	// streamed (mid-stream failovers count into it).
+	Diag federation.Report
 }
 
 // flatRelation is the wire form of rel.Relation: schema flattened into the
@@ -145,11 +159,29 @@ func (f flatRelation) unflatten() *rel.Relation {
 	return r
 }
 
+// LocalLQP is the full-capability LQP a Server serves: the base interface
+// plus the streaming, plan-pushdown and statistics capabilities. lqp.Local
+// satisfies it, and so does any wrapper that forwards all five interfaces —
+// faultinject.Flaky wraps a Local this way so cmd/lqpd can serve a
+// deliberately unreliable replica for chaos testing.
+type LocalLQP interface {
+	lqp.LQP
+	lqp.Streamer
+	lqp.PlanRunner
+	lqp.PlanStreamer
+	lqp.StatsProvider
+}
+
 // Server exposes one local database as an LQP, a mediator as a query
 // service, or both, over TCP.
 type Server struct {
-	local    *lqp.Local
+	local    LocalLQP
 	mediator Mediator
+
+	// ConnHook, when set, wraps every accepted connection before it is
+	// served — the fault-injection harness uses it to cut, stall or delay
+	// the transport mid-exchange (faultinject.FlakyConn). Set before Listen.
+	ConnHook func(net.Conn) net.Conn
 
 	// WriteTimeout bounds every response or frame write (defaults to
 	// DefaultTimeout); a client that stops reading gets its connection
@@ -171,7 +203,14 @@ type Server struct {
 
 // NewServer returns an LQP server for db.
 func NewServer(db *catalog.Database) *Server {
-	return &Server{local: lqp.NewLocal(db), WriteTimeout: DefaultTimeout, conns: make(map[net.Conn]struct{})}
+	return NewServerFor(lqp.NewLocal(db))
+}
+
+// NewServerFor returns an LQP server for any full-capability LQP — the seam
+// the fault-injection harness uses to serve a faultinject.Flaky-wrapped
+// database (cmd/lqpd's -chaos-* flags).
+func NewServerFor(l LocalLQP) *Server {
+	return &Server{local: l, WriteTimeout: DefaultTimeout, conns: make(map[net.Conn]struct{})}
 }
 
 // NewMediatorServer returns a server fronting m: it answers "session",
@@ -213,6 +252,9 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		conn, err := ln.Accept()
 		if err != nil {
 			return // listener closed
+		}
+		if s.ConnHook != nil {
+			conn = s.ConnHook(conn)
 		}
 		s.mu.Lock()
 		if s.closed || s.draining {
@@ -333,7 +375,10 @@ func (s *Server) serveStream(conn net.Conn, enc *gob.Encoder, open func() (rel.C
 
 func (s *Server) handle(req request) response {
 	switch req.Kind {
-	case "name":
+	case "name", "ping":
+		// "ping" is the health-check probe: answered from memory, without
+		// touching the database or the mediator, so it measures liveness and
+		// transport alone.
 		return response{Name: s.serverName()}
 	case "session", "endsession", "query":
 		return s.handleMediator(req)
@@ -650,15 +695,15 @@ func (c *Client) roundTripOnce(req request) (response, bool, error) {
 	cc.conn.SetDeadline(time.Now().Add(c.timeout()))
 	if err := cc.enc.Encode(req); err != nil {
 		c.release(cc, true)
-		return response{}, reused, fmt.Errorf("wire: send: %w", err)
+		return response{}, reused, fmt.Errorf("wire: send to %s: %w", c.addr, err)
 	}
 	var resp response
 	if err := cc.dec.Decode(&resp); err != nil {
 		c.release(cc, true)
 		if errors.Is(err, io.EOF) {
-			return response{}, reused, fmt.Errorf("wire: server closed connection")
+			return response{}, reused, fmt.Errorf("wire: server %s closed connection", c.addr)
 		}
-		return response{}, reused, fmt.Errorf("wire: receive: %w", err)
+		return response{}, reused, fmt.Errorf("wire: receive from %s: %w", c.addr, err)
 	}
 	cc.conn.SetDeadline(time.Time{})
 	c.release(cc, false)
@@ -667,6 +712,44 @@ func (c *Client) roundTripOnce(req request) (response, bool, error) {
 
 // Name implements lqp.LQP.
 func (c *Client) Name() string { return c.name }
+
+// Addr returns the endpoint address the client dials — the label the
+// federation layer uses to name replicas in health reports and diagnostics.
+func (c *Client) Addr() string { return c.addr }
+
+// Ping performs one health-check round trip bounded by d (<= 0 means the
+// client's Timeout): dial, "ping", response, close — always on a fresh,
+// dedicated connection. Probing outside the pool keeps a health check
+// honest (a wedged pool would otherwise block the probe that is supposed
+// to detect the wedge) and exercises the same dial path a failover would.
+func (c *Client) Ping(d time.Duration) error {
+	if d <= 0 {
+		d = c.timeout()
+	}
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return c.errClosed()
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, d)
+	if err != nil {
+		return fmt.Errorf("wire: dial %s: %w", c.addr, err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(d))
+	if err := gob.NewEncoder(conn).Encode(request{Kind: "ping"}); err != nil {
+		return fmt.Errorf("wire: send to %s: %w", c.addr, err)
+	}
+	var resp response
+	if err := gob.NewDecoder(conn).Decode(&resp); err != nil {
+		return fmt.Errorf("wire: receive from %s: %w", c.addr, err)
+	}
+	if resp.Err != "" {
+		return errors.New(resp.Err)
+	}
+	return nil
+}
 
 // Relations implements lqp.LQP.
 func (c *Client) Relations() ([]string, error) {
@@ -763,11 +846,11 @@ func (c *Client) startStream(req request) (net.Conn, *gob.Decoder, response, err
 	dec := gob.NewDecoder(conn)
 	conn.SetDeadline(time.Now().Add(c.timeout()))
 	if err := gob.NewEncoder(conn).Encode(req); err != nil {
-		return fail(fmt.Errorf("wire: send: %w", err))
+		return fail(fmt.Errorf("wire: send to %s: %w", c.addr, err))
 	}
 	var resp response
 	if err := dec.Decode(&resp); err != nil {
-		return fail(fmt.Errorf("wire: receive: %w", err))
+		return fail(fmt.Errorf("wire: receive from %s: %w", c.addr, err))
 	}
 	if resp.Err != "" {
 		return fail(errors.New(resp.Err))
@@ -823,7 +906,7 @@ func (sc *streamCursor) Next() ([]rel.Tuple, error) {
 		if err := sc.dec.Decode(&f); err != nil {
 			sc.done = true
 			sc.Close()
-			return nil, fmt.Errorf("wire: receive frame: %w", err)
+			return nil, fmt.Errorf("wire: receive frame from %s: %w", sc.client.addr, err)
 		}
 		switch {
 		case f.Err != "":

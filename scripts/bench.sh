@@ -8,6 +8,9 @@
 #   par    B-PAR (partitioned hash ops, parallel     -> BENCH_par.json
 #          stream join, mediator latency, parallel
 #          plan execution)
+#   fault  B-FAULT (replicated star under injected   -> BENCH_fault.json
+#          faults: scenario latency percentiles,
+#          hedge/retry fire rates, deadline bound)
 #
 # Every suite must produce at least one JSON record; a suite whose pattern
 # matches nothing (a renamed benchmark, a build failure swallowed by tee)
@@ -26,7 +29,8 @@ suite_pattern() {
     case "$1" in
     serve) echo 'BenchmarkKeyRepresentation|BenchmarkStreaming|BenchmarkFederatedPushdown|BenchmarkFederatedJoinOrder|BenchmarkServe' ;;
     par) echo 'BenchmarkParallelHashOps|BenchmarkParallelStreamJoin|BenchmarkParallelMediatorLatency|BenchmarkParallelExecution' ;;
-    *) echo "ERROR: unknown suite '$1' (want: serve par)" >&2; return 1 ;;
+    fault) echo 'BenchmarkFaultScenarios|BenchmarkFaultDeadline' ;;
+    *) echo "ERROR: unknown suite '$1' (want: serve par fault)" >&2; return 1 ;;
     esac
 }
 
@@ -34,6 +38,7 @@ suite_out() {
     case "$1" in
     serve) echo BENCH_serve.json ;;
     par) echo BENCH_par.json ;;
+    fault) echo BENCH_fault.json ;;
     esac
 }
 
@@ -90,7 +95,7 @@ run_suite() {
 
 suites=("$@")
 if [ ${#suites[@]} -eq 0 ]; then
-    suites=(serve par)
+    suites=(serve par fault)
 fi
 failed=0
 for s in "${suites[@]}"; do

@@ -16,6 +16,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/federation"
@@ -1307,5 +1308,102 @@ func BenchmarkFaultDeadline(b *testing.B) {
 		if _, err := q.QueryAlgebra(query); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// B-COL: columnar execution. Two families: the column-major hash kernels
+// against the row engine on the B-KEY fixture (same input as B-PAR
+// workers=1, so numbers line up across the three BENCH files), and the
+// binary stream-frame codec against the legacy gob framing over a real TCP
+// stream. ColBatch inputs are built outside the timer — the kernels are
+// measured, not the row-to-column conversion (which the wire decode path
+// never pays: binary frames arrive columnar).
+
+func BenchmarkColumnarHashOps(b *testing.B) {
+	for _, n := range []int{10000, 100000} {
+		p1, p2 := keyAblationInput(100, n)
+		c1, c2 := core.FromRelation(p1), core.FromRelation(p2)
+		alg := core.NewAlgebra(nil)
+		type op struct {
+			name string
+			row  func() error
+			col  func() error
+		}
+		ops := []op{
+			{"Union",
+				func() error { _, err := alg.Union(p1, p2); return err },
+				func() error { _, err := core.ColUnion(c1, c2); return err }},
+			{"Difference",
+				func() error { _, err := alg.Difference(p1, p2); return err },
+				func() error { _, err := core.ColDifference(c1, c2); return err }},
+			{"Intersect",
+				func() error { _, err := alg.Intersect(p1, p2); return err },
+				func() error { _, err := core.ColIntersect(c1, c2); return err }},
+		}
+		for _, o := range ops {
+			for _, eng := range []struct {
+				name string
+				run  func() error
+			}{{"row", o.row}, {"col", o.col}} {
+				b.Run(fmt.Sprintf("op=%s/n=%d/engine=%s", o.name, n, eng.name), func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						if err := eng.run(); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkColumnarWireStream (B-COL): one full LQP stream — open, drain,
+// close — over loopback TCP under both frame codecs. The binary codec
+// decodes O(columns) per frame where gob decodes O(rows×columns); the
+// allocs/op gap is the point of the measurement.
+func BenchmarkColumnarWireStream(b *testing.B) {
+	const n = 100000
+	db := catalog.NewDatabase("BD")
+	db.MustCreate("BIG", rel.SchemaOf("KEY", "CAT", "VAL"))
+	for i := 0; i < n; i++ {
+		if err := db.Insert("BIG", rel.Tuple{
+			rel.String(fmt.Sprintf("E%07d", i/2)),
+			rel.String(fmt.Sprintf("cat%d", i%97)),
+			rel.Int(int64(i)),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	srv := wire.NewServer(db)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	for _, codec := range []string{"gob", "bin"} {
+		client, err := wire.Dial(addr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		client.LegacyFrames = codec == "gob"
+		b.Run(fmt.Sprintf("codec=%s/n=%d", codec, n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cur, err := client.Open(lqp.Retrieve("BIG"))
+				if err != nil {
+					b.Fatal(err)
+				}
+				r, err := rel.Drain(cur)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(r.Tuples) != n {
+					b.Fatalf("streamed %d tuples, want %d", len(r.Tuples), n)
+				}
+			}
+		})
+		client.Close()
 	}
 }

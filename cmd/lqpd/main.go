@@ -54,6 +54,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:0", "listen address")
 	writeTimeout := flag.Duration("write-timeout", wire.DefaultTimeout, "per-message write deadline (a client that stops reading is dropped)")
 	idleTimeout := flag.Duration("idle-timeout", 0, "drop connections idle longer than this (0 = keep idle connections open)")
+	legacyFrames := flag.Bool("legacy-frames", false, "refuse the binary stream-frame codec and serve gob row frames only (interop escape hatch)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline for in-flight requests")
 	maxProcs := flag.Int("max-procs", 0, "cap the daemon's scheduler parallelism (GOMAXPROCS; 0 = all cores) — on shared hosts, the cores left over are what a co-located polygend's worker pool gets")
 	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the deterministic fault-injection cadence")
@@ -140,6 +141,7 @@ func main() {
 	srv := wire.NewServerFor(served)
 	srv.WriteTimeout = *writeTimeout
 	srv.IdleTimeout = *idleTimeout
+	srv.LegacyFrames = *legacyFrames
 	if *chaosConnCutReads > 0 || *chaosConnCutWrites > 0 {
 		connProfile := faultinject.ConnProfile{
 			CutAfterReads:  *chaosConnCutReads,

@@ -301,10 +301,10 @@ func (a *Algebra) Intersect(p1, p2 *Relation) (*Relation, error) {
 		// with merely colliding hashes are filtered by DataEqual.
 		matched := false
 		row := scratch[:len(t)]
-		for _, mi := range index.Bucket(h) {
+		index.ForEach(h, func(mi int) bool {
 			m := p2.Tuples[mi]
 			if !m.DataEqual(t) {
-				continue
+				return true
 			}
 			if !matched {
 				matched = true
@@ -314,7 +314,8 @@ func (a *Algebra) Intersect(p1, p2 *Relation) (*Relation, error) {
 			for i := range row {
 				row[i] = row[i].MergeTags(m[i]).WithIntermediate(mediators)
 			}
-		}
+			return true
+		})
 		if !matched {
 			continue
 		}

@@ -16,7 +16,6 @@ package core
 
 import (
 	"fmt"
-	"hash/maphash"
 
 	"repro/internal/rel"
 	"repro/internal/sourceset"
@@ -82,12 +81,11 @@ func (t Tuple) DataKey() string {
 // distinct data collide only with ordinary hash probability, so callers
 // bucket by the hash and confirm candidates with DataEqual.
 func (t Tuple) DataHash64() uint64 {
-	var h maphash.Hash
-	h.SetSeed(rel.Seed)
+	h := uint64(rel.HashFoldInit)
 	for _, c := range t {
-		c.D.HashInto(&h)
+		h = rel.HashFold(h, c.D.Hash64(rel.Seed))
 	}
-	return h.Sum64()
+	return h
 }
 
 // DataEqual reports whether two tuples have identical data portions (tags

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/rel"
+	"repro/internal/sourceset"
+)
+
+// The columnar kernels are the fifth engine of the parity contract: every
+// ColBatch operator must equal the serial row operator cell for cell AND row
+// for row (the columnar kernels reproduce first-occurrence order exactly),
+// on inputs covering mixed kinds, NaN/-0 and >64-source overflow tag sets.
+
+// colOver converts a relation to a single tagged column batch.
+func colOver(p *Relation) *ColBatch { return FromRelation(p) }
+
+// cellsSame compares rows datum-identically (all NaNs are one datum — the
+// engine's identity notion; Value.Equal would make NaN rows incomparable)
+// plus tag-set equality.
+func cellsSame(a, b Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].D.Kind() != b[i].D.Kind() || !a[i].D.Identical(b[i].D) ||
+			!a[i].O.Equal(b[i].O) || !a[i].I.Equal(b[i].I) {
+			return false
+		}
+	}
+	return true
+}
+
+func wantSameOrderedCol(t *testing.T, label string, i int, got *ColBatch, ref *Relation) {
+	t.Helper()
+	gr, rr := render(got.Relation()), render(ref)
+	if !equalStrings(gr, rr) {
+		t.Fatalf("iteration %d: %s: columnar row order or cells diverged from serial:\ncol:\n%s\nserial:\n%s",
+			i, label, strings.Join(gr, "\n"), strings.Join(rr, "\n"))
+	}
+}
+
+// TestPropertyColOpsMatchAllEngines: for random wide inputs every columnar
+// kernel must equal the serial operator row for row and the string-keyed
+// reference engine cell for cell.
+func TestPropertyColOpsMatchAllEngines(t *testing.T) {
+	g, reg := newWideGen(90)
+	alg := NewAlgebra(nil)
+	for i := 0; i < 300; i++ {
+		p1 := g.wideRelation(reg, "A", "B")
+		p2 := g.wideRelation(reg, "A", "B")
+
+		ser, err := alg.Union(p1, p2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		col, err := ColUnion(colOver(p1), colOver(p2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSameOrderedCol(t, "col union", i, col, ser)
+		ref, err := alg.RefUnion(p1, p2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSameRendered(t, "col union vs reference", i, col.Relation(), ref)
+
+		ser, err = alg.Difference(p1, p2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		col, err = ColDifference(colOver(p1), colOver(p2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSameOrderedCol(t, "col difference", i, col, ser)
+		ref, err = alg.RefDifference(p1, p2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSameRendered(t, "col difference vs reference", i, col.Relation(), ref)
+
+		ser, err = alg.Intersect(p1, p2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		col, err = ColIntersect(colOver(p1), colOver(p2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSameOrderedCol(t, "col intersect", i, col, ser)
+		ref, err = alg.RefIntersect(p1, p2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSameRendered(t, "col intersect vs reference", i, col.Relation(), ref)
+	}
+}
+
+// TestColBatchRoundTrip: relation -> ColBatch -> Rows is the identity, tags
+// included, and the columnar data hashes match the row-major DataHash64
+// bit for bit (the combinable-hash contract).
+func TestColBatchRoundTrip(t *testing.T) {
+	g, reg := newWideGen(91)
+	for i := 0; i < 200; i++ {
+		p := g.wideRelation(reg, "A", "B", "C")
+		b := FromRelation(p)
+		if b.Len() != len(p.Tuples) {
+			t.Fatalf("iteration %d: batch length %d for %d tuples", i, b.Len(), len(p.Tuples))
+		}
+		rows := b.Rows()
+		for ri, want := range p.Tuples {
+			if !cellsSame(rows[ri], want) {
+				t.Fatalf("iteration %d: row %d diverged:\ncol: %v\nrow: %v", i, ri, rows[ri], want)
+			}
+			for ci := range want {
+				c := b.Cell(ri, ci)
+				if !cellsSame(Tuple{c}, Tuple{want[ci]}) {
+					t.Fatalf("iteration %d: cell (%d,%d) diverged: %v vs %v", i, ri, ci, c, want[ci])
+				}
+			}
+		}
+		hashes := b.DataHashes(nil)
+		for ri, want := range p.Tuples {
+			if hashes[ri] != want.DataHash64() {
+				t.Fatalf("iteration %d: row %d columnar hash %x != row hash %x", i, ri, hashes[ri], want.DataHash64())
+			}
+		}
+	}
+}
+
+// TestColBatchSpecialValues: NaN unification, -0 round-trip, empty strings
+// and >64-source overflow sets survive the columnar representation.
+func TestColBatchSpecialValues(t *testing.T) {
+	reg := sourceset.NewRegistry()
+	big := sourceset.Empty()
+	for i := 0; i < 70; i++ {
+		big = big.With(reg.Intern(fmt.Sprintf("src%02d", i)))
+	}
+	p := NewRelation("S", reg, Attr{Name: "A"}, Attr{Name: "B"})
+	nan := math.NaN()
+	negz := math.Copysign(0, -1)
+	rows := []Tuple{
+		{Cell{D: rel.Float(nan), O: big}, Cell{D: rel.String("")}},
+		{Cell{D: rel.Float(negz), I: big}, Cell{D: rel.Null()}},
+		{Cell{D: rel.Bool(false), O: big, I: big}, Cell{D: rel.Int(0)}},
+	}
+	p.Tuples = rows
+	b := FromRelation(p)
+	got := b.Rows()
+	for i := range rows {
+		for ci := range rows[i] {
+			w, g := rows[i][ci], got[i][ci]
+			if w.D.Kind() != g.D.Kind() || !w.D.Identical(g.D) || !w.O.Equal(g.O) || !w.I.Equal(g.I) {
+				t.Fatalf("row %d col %d: %v, %v, %v != %v, %v, %v", i, ci, g.D, g.O, g.I, w.D, w.O, w.I)
+			}
+		}
+	}
+	// -0 round-trips bit-exactly through the packed column.
+	if math.Copysign(1, got[1][0].D.FloatVal()) != -1 {
+		t.Fatal("-0 lost its sign through the columnar round trip")
+	}
+	// NaN hashes like every NaN.
+	h := b.DataHashes(nil)
+	alt := Tuple{Cell{D: rel.Float(math.NaN())}, Cell{D: rel.String("")}}
+	if h[0] != alt.DataHash64() {
+		t.Fatal("columnar NaN hash diverges from unified row NaN hash")
+	}
+}
+
+// TestColCursorBatchEdges: the tagged columnar cursors across batch size 1,
+// empty input, a final short batch, and mid-batch Close.
+func TestColCursorBatchEdges(t *testing.T) {
+	g, reg := newWideGen(92)
+	p := g.wideRelation(reg, "A", "B")
+	for len(p.Tuples) < 7 {
+		p = g.wideRelation(reg, "A", "B")
+	}
+	p.Tuples = p.Tuples[:7]
+
+	// Batch size 1: seven singleton batches, rows in order.
+	c := NewColSliceCursor(p, 1)
+	var rows []Tuple
+	for {
+		b, err := c.NextCol()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Len() != 1 {
+			t.Fatalf("batch size 1 yielded %d rows", b.Len())
+		}
+		rows = append(rows, b.Rows()...)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("batch size 1 yielded %d rows in total", len(rows))
+	}
+	for i := range rows {
+		if !cellsSame(rows[i], p.Tuples[i]) {
+			t.Fatalf("row %d diverged through batch-1 cursor", i)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Empty input: immediate EOF on both row and columnar forms.
+	empty := NewRelation("E", reg, Attr{Name: "A"}, Attr{Name: "B"})
+	c = NewColSliceCursor(empty, 3)
+	if _, err := c.NextCol(); err != io.EOF {
+		t.Fatalf("empty columnar cursor: err %v, want EOF", err)
+	}
+	if _, err := c.Next(); err != io.EOF {
+		t.Fatalf("empty columnar cursor Next: err %v, want EOF", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Final short batch: 7 rows at batch 3 is 3+3+1.
+	c = NewColSliceCursor(p, 3)
+	var sizes []int
+	for {
+		b, err := c.NextCol()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, b.Len())
+	}
+	if len(sizes) != 3 || sizes[0] != 3 || sizes[1] != 3 || sizes[2] != 1 {
+		t.Fatalf("batch sizes %v, want [3 3 1]", sizes)
+	}
+	c.Close()
+
+	// Mid-batch Close: Close after the first batch ends the stream.
+	c = NewColSliceCursor(p, 3)
+	if _, err := c.NextCol(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.NextCol(); err != io.EOF {
+		t.Fatalf("NextCol after Close: err %v, want EOF", err)
+	}
+
+	// Prebuilt batch cursor skips empty batches and interleaves Next with
+	// NextCol (both advance the same stream).
+	b1 := FromRelation(p)
+	e := NewColBatch("", reg, p.Attrs)
+	bc := NewColBatchCursor("", reg, p.Attrs, []*ColBatch{e, b1, e})
+	batch, err := bc.Next()
+	if err != nil || len(batch) != 7 {
+		t.Fatalf("batch cursor: %d rows, err %v", len(batch), err)
+	}
+	if _, err := bc.NextCol(); err != io.EOF {
+		t.Fatalf("batch cursor after last: err %v, want EOF", err)
+	}
+	bc.Close()
+}

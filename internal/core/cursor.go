@@ -82,7 +82,29 @@ func (c *relationCursor) Next() ([]Tuple, error) {
 	return b, nil
 }
 
+// NextCol implements ColCursor: the next batch-sized run, columnarized
+// (tag sets interned into the batch dictionary). Next keeps its zero-copy
+// row batches; only columnar consumers (the mediator server's binary
+// frames) pay for the conversion.
+func (c *relationCursor) NextCol() (*ColBatch, error) {
+	if c.at >= len(c.tuples) {
+		return nil, io.EOF
+	}
+	end := c.at + c.batch
+	if end > len(c.tuples) {
+		end = len(c.tuples)
+	}
+	b := NewColBatch(c.name, c.reg, c.attrs)
+	for _, t := range c.tuples[c.at:end] {
+		b.AppendTuple(t)
+	}
+	c.at = end
+	return b, nil
+}
+
 func (c *relationCursor) Close() error { return nil }
+
+var _ ColCursor = (*relationCursor)(nil)
 
 // Drain materializes a cursor into a polygen relation and closes it. Batch
 // tuples are retained, not copied — the Cursor contract keeps them valid

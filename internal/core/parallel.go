@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"hash/maphash"
 	"io"
 
 	"repro/internal/exec"
@@ -288,12 +287,11 @@ func (a *Algebra) ParProject(p *Relation, attrs []string, parts int) (*Relation,
 // projHash64 hashes the data portion of t's idx-selected columns — exactly
 // the DataHash64 of the projected scratch tuple, without building it.
 func projHash64(t Tuple, idx []int) uint64 {
-	var h maphash.Hash
-	h.SetSeed(rel.Seed)
+	h := uint64(rel.HashFoldInit)
 	for _, ci := range idx {
-		t[ci].D.HashInto(&h)
+		h = rel.HashFold(h, t[ci].D.Hash64(rel.Seed))
 	}
-	return h.Sum64()
+	return h
 }
 
 func (a *Algebra) parProject(parts int, p *Relation, idx []int, outAttrs []Attr) *Relation {
@@ -428,10 +426,10 @@ func (a *Algebra) parIntersect(parts int, p1, p2 *Relation) *Relation {
 			t := p1.Tuples[i]
 			matched := false
 			row := scratch[:len(t)]
-			for _, mi := range index.Bucket(h) {
+			index.ForEach(h, func(mi int) bool {
 				m := p2.Tuples[mi]
 				if !m.DataEqual(t) {
-					continue
+					return true
 				}
 				if !matched {
 					matched = true
@@ -441,7 +439,8 @@ func (a *Algebra) parIntersect(parts int, p1, p2 *Relation) *Relation {
 				for ci := range row {
 					row[ci] = row[ci].MergeTags(m[ci]).WithIntermediate(mediators)
 				}
-			}
+				return true
+			})
 			if !matched {
 				continue
 			}

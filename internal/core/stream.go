@@ -278,10 +278,10 @@ func (a *Algebra) StreamIntersect(l, r Cursor) (Cursor, error) {
 			h := t.DataHash64()
 			matched := false
 			row := scratch[:len(t)]
-			for _, mi := range index.Bucket(h) {
+			index.ForEach(h, func(mi int) bool {
 				m := p2.Tuples[mi]
 				if !m.DataEqual(t) {
-					continue
+					return true
 				}
 				if !matched {
 					matched = true
@@ -291,7 +291,8 @@ func (a *Algebra) StreamIntersect(l, r Cursor) (Cursor, error) {
 				for i := range row {
 					row[i] = row[i].MergeTags(m[i]).WithIntermediate(mediators)
 				}
-			}
+				return true
+			})
 			if !matched {
 				return
 			}

@@ -16,7 +16,11 @@ type Streamer interface {
 	// Open evaluates op and returns a cursor over the result. The batches
 	// obey the rel.Cursor contract (immutable, valid across Next calls);
 	// they may alias live base-relation storage, so callers must copy any
-	// tuple they intend to modify.
+	// tuple they intend to modify. Cursors that can also yield batches in
+	// column-major form implement rel.ColCursor (Local's retrieval cursors
+	// and wire.Client's binary-codec streams do); consumers that want
+	// column vectors — the wire server's binary frames, the PQP's tagging
+	// scan — type-assert for it and fall back to row batches.
 	Open(op Op) (rel.Cursor, error)
 }
 

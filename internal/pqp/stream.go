@@ -331,4 +331,29 @@ func (c *tagCursor) Next() ([]core.Tuple, error) {
 	return rows, nil
 }
 
+// NextCol implements core.ColCursor: over a columnar input (a binary wire
+// stream behind a prefetch, or a local slice cursor) the plain column batch
+// is domain-mapped and tagged column-at-a-time, with the constant origin and
+// intermediate sets as two dictionary indexes instead of a Set pair per
+// cell. Row inputs are columnarized first.
+func (c *tagCursor) NextCol() (*core.ColBatch, error) {
+	var rb *rel.ColBatch
+	if cc, ok := c.in.(rel.ColCursor); ok {
+		b, err := cc.NextCol()
+		if err != nil {
+			return nil, err
+		}
+		rb = b
+	} else {
+		batch, err := c.in.Next()
+		if err != nil {
+			return nil, err
+		}
+		rb = rel.FromTuples(c.in.Schema(), batch)
+	}
+	return core.TagColumns(c.name, c.out.Reg, c.attrs, rb, c.fns, c.origin, c.inter), nil
+}
+
 func (c *tagCursor) Close() error { return c.in.Close() }
+
+var _ core.ColCursor = (*tagCursor)(nil)

@@ -76,7 +76,28 @@ func (c *sliceCursor) Next() ([]Tuple, error) {
 	return b, nil
 }
 
-func (c *sliceCursor) Close() error { return nil }
+// NextCol implements ColCursor: the next batch-sized run, columnarized. Next
+// keeps its zero-copy row batches; only columnar consumers (the wire
+// server's binary frames) pay for the conversion.
+func (c *sliceCursor) NextCol() (*ColBatch, error) {
+	if c.at >= len(c.tuples) {
+		return nil, io.EOF
+	}
+	end := c.at + c.batch
+	if end > len(c.tuples) {
+		end = len(c.tuples)
+	}
+	b := FromTuples(c.schema, c.tuples[c.at:end])
+	c.at = end
+	return b, nil
+}
+
+func (c *sliceCursor) Close() error {
+	c.at = len(c.tuples)
+	return nil
+}
+
+var _ ColCursor = (*sliceCursor)(nil)
 
 // filterCursor streams the tuples of an input cursor that satisfy a
 // predicate.
@@ -134,9 +155,11 @@ func Drain(c Cursor) (*Relation, error) {
 	return out, c.Close()
 }
 
-// prefetched is one hand-off from a prefetch producer to its consumer.
+// prefetched is one hand-off from a prefetch producer to its consumer: a
+// row batch, or a whole column batch when the inner cursor is columnar.
 type prefetched struct {
 	batch []Tuple
+	cb    *ColBatch
 	err   error
 }
 
@@ -145,6 +168,7 @@ type prefetched struct {
 type prefetchCursor struct {
 	schema *Schema
 	in     Cursor
+	icc    ColCursor // in's columnar capability, nil without one
 	ch     chan prefetched
 	stop   chan struct{}
 	done   chan struct{}
@@ -158,13 +182,20 @@ type prefetchCursor struct {
 // overlap with downstream operator work: the producer sleeps or waits on
 // the network while the consumer computes. Close stops the producer and
 // closes the inner cursor; it must be called even on early abandonment.
+//
+// The columnar capability passes through: over a ColCursor the producer
+// hands whole column batches across the channel, and row consumers get the
+// batch's cached row view — so a binary wire stream stays columnar from the
+// socket to the operator without re-boxing at the prefetch seam.
 func Prefetch(in Cursor, depth int) Cursor {
 	if depth < 1 {
 		depth = 1
 	}
+	icc, _ := in.(ColCursor)
 	p := &prefetchCursor{
 		schema: in.Schema(),
 		in:     in,
+		icc:    icc,
 		ch:     make(chan prefetched, depth),
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
@@ -187,10 +218,15 @@ func (p *prefetchCursor) run() {
 			return
 		default:
 		}
-		batch, err := p.in.Next()
+		var pf prefetched
+		if p.icc != nil {
+			pf.cb, pf.err = p.icc.NextCol()
+		} else {
+			pf.batch, pf.err = p.in.Next()
+		}
 		select {
-		case p.ch <- prefetched{batch: batch, err: err}:
-			if err != nil {
+		case p.ch <- pf:
+			if pf.err != nil {
 				return
 			}
 		case <-p.stop:
@@ -201,23 +237,50 @@ func (p *prefetchCursor) run() {
 
 func (p *prefetchCursor) Schema() *Schema { return p.schema }
 
-func (p *prefetchCursor) Next() ([]Tuple, error) {
+// next receives one hand-off; exactly one of the batch forms is non-empty.
+func (p *prefetchCursor) next() ([]Tuple, *ColBatch, error) {
 	if p.err != nil {
-		return nil, p.err
+		return nil, nil, p.err
 	}
 	pf, ok := <-p.ch
 	if !ok {
 		// Producer stopped without delivering an error (Close raced a
 		// concurrent producer exit); treat as exhaustion.
 		p.err = io.EOF
-		return nil, io.EOF
+		return nil, nil, io.EOF
 	}
 	if pf.err != nil {
 		p.err = pf.err
-		return nil, pf.err
+		return nil, nil, pf.err
 	}
-	return pf.batch, nil
+	return pf.batch, pf.cb, nil
 }
+
+func (p *prefetchCursor) Next() ([]Tuple, error) {
+	batch, cb, err := p.next()
+	if err != nil {
+		return nil, err
+	}
+	if cb != nil {
+		return cb.Rows(), nil
+	}
+	return batch, nil
+}
+
+// NextCol implements ColCursor regardless of the inner cursor: columnar
+// inners hand batches through unchanged, row inners are columnarized here.
+func (p *prefetchCursor) NextCol() (*ColBatch, error) {
+	batch, cb, err := p.next()
+	if err != nil {
+		return nil, err
+	}
+	if cb == nil {
+		cb = FromTuples(p.schema, batch)
+	}
+	return cb, nil
+}
+
+var _ ColCursor = (*prefetchCursor)(nil)
 
 func (p *prefetchCursor) Close() error {
 	if p.closed {

@@ -12,9 +12,13 @@ import (
 // by it, confirming candidates with Equal on collision. Value.Key stays as
 // the rendering and reference-semantics form; the hash is the hot-path form.
 //
-// The encoding fed to the hash mirrors Key's injectivity: a kind tag is
-// written before the payload (so Int(1) and String("1") differ) and strings
-// are length-prefixed (so tuples ("ab","c") and ("a","bc") differ).
+// Hashing is one-shot and combinable: every value hashes independently to a
+// 64-bit word (via maphash.String/maphash.Bytes — no incremental hash state,
+// no per-value allocation), and a tuple hash is the HashFold of its value
+// hashes in column order. The columnar kernels exploit this directly — a
+// column stripe is hashed value-by-value into a fold accumulator per row, and
+// the result is bit-identical to the row-major Tuple.Hash64, so row-built and
+// column-built hash indexes interoperate.
 
 // nanBits is the canonical bit pattern hashed for every NaN payload.
 const nanBits = 0x7FF8000000000001
@@ -25,67 +29,77 @@ const nanBits = 0x7FF8000000000001
 // bucket layouts unpredictable.
 var Seed = maphash.MakeSeed()
 
-// HashInto mixes the value into h using the kind-tagged encoding above.
-func (v Value) HashInto(h *maphash.Hash) {
-	switch v.kind {
-	case KindNull:
-		h.WriteByte(byte(KindNull))
-	case KindString:
-		var buf [8]byte
-		binary.LittleEndian.PutUint64(buf[:], uint64(len(v.str)))
-		h.WriteByte(byte(KindString))
-		h.Write(buf[:])
-		h.WriteString(v.str)
-	case KindInt:
-		var buf [8]byte
-		binary.LittleEndian.PutUint64(buf[:], uint64(v.num))
-		h.WriteByte(byte(KindInt))
-		h.Write(buf[:])
-	case KindFloat:
-		f := v.fnum
-		if f == 0 {
-			f = 0 // Identical treats +0 and -0 as one datum; hash them identically.
-		}
-		bits := math.Float64bits(f)
-		if f != f {
-			bits = nanBits // every NaN is one datum (see Value.Identical)
-		}
-		var buf [8]byte
-		binary.LittleEndian.PutUint64(buf[:], bits)
-		h.WriteByte(byte(KindFloat))
-		h.Write(buf[:])
-	case KindBool:
-		b := byte(0)
-		if v.b {
-			b = 1
-		}
-		h.WriteByte(byte(KindBool))
-		h.WriteByte(b)
-	default:
-		h.WriteByte(byte(v.kind))
+// HashFoldInit is the accumulator a tuple-hash fold starts from; fold one
+// value hash per column with HashFold.
+const HashFoldInit = 0xCBF29CE484222325
+
+// hashFoldPrime spreads each folded value hash across the word (odd, so the
+// multiply is a bijection); the high bits feed PartitionOf's range
+// reduction.
+const hashFoldPrime = 0x9E3779B97F4A7C15
+
+// stringKindMark separates the string hash family from the scalar families
+// (a kind tag, folded in after the content hash).
+const stringKindMark = 0xA24BAED4963EE407
+
+// HashFold folds the next column's value hash vh into the row accumulator h.
+// The fold is order-dependent — ("ab","c") and ("a","bc") fold differently —
+// which preserves tuple-framing injectivity without length prefixes.
+func HashFold(h, vh uint64) uint64 { return (h ^ vh) * hashFoldPrime }
+
+// scalarHash64 hashes a kind tag plus a fixed 8-byte payload in one shot.
+func scalarHash64(seed maphash.Seed, k Kind, payload uint64) uint64 {
+	var buf [9]byte
+	buf[0] = byte(k)
+	binary.LittleEndian.PutUint64(buf[1:], payload)
+	return maphash.Bytes(seed, buf[:])
+}
+
+// floatHashBits normalizes a float payload to its hashed bit pattern: +0
+// and -0 are one datum, and every NaN is one datum (see Value.Identical).
+func floatHashBits(f float64) uint64 {
+	if f != f {
+		return nanBits
 	}
+	if f == 0 {
+		return 0
+	}
+	return math.Float64bits(f)
 }
 
 // Hash64 returns a 64-bit hash of the value under seed. Identical values
 // hash identically; distinct values collide only with ordinary hash
 // probability, and callers must confirm bucket candidates with Identical.
 func (v Value) Hash64(seed maphash.Seed) uint64 {
-	var h maphash.Hash
-	h.SetSeed(seed)
-	v.HashInto(&h)
-	return h.Sum64()
+	switch v.kind {
+	case KindString:
+		return maphash.String(seed, v.str) ^ stringKindMark
+	case KindInt:
+		return scalarHash64(seed, KindInt, uint64(v.num))
+	case KindFloat:
+		return scalarHash64(seed, KindFloat, floatHashBits(v.fnum))
+	case KindBool:
+		b := uint64(0)
+		if v.b {
+			b = 1
+		}
+		return scalarHash64(seed, KindBool, b)
+	default:
+		return scalarHash64(seed, v.kind, 0)
+	}
 }
 
 // Hash64 returns a 64-bit hash of the tuple under seed, usable as the bucket
 // key for hashing-based duplicate elimination and joins. Tuples with
-// Identical values hash identically.
+// Identical values hash identically. The result is the HashFold of the
+// per-value hashes, so columnar kernels hashing one column stripe at a time
+// produce identical tuple hashes.
 func (t Tuple) Hash64(seed maphash.Seed) uint64 {
-	var h maphash.Hash
-	h.SetSeed(seed)
+	h := uint64(HashFoldInit)
 	for _, v := range t {
-		v.HashInto(&h)
+		h = HashFold(h, v.Hash64(seed))
 	}
-	return h.Sum64()
+	return h
 }
 
 // BucketIndex buckets positions (into some caller-owned slice) by 64-bit
@@ -94,33 +108,107 @@ func (t Tuple) Hash64(seed maphash.Seed) uint64 {
 // an extra comparison, never to a wrong answer. Both the polygen algebra
 // (package core, over tuple data portions) and the untagged baseline
 // (package relalg, over plain tuples) build on it.
+//
+// The implementation is a flat open-addressing table: an append-only entry
+// log (hash, pos) plus a power-of-two slot array of 1-based entry indexes,
+// probed linearly. Compared to the previous map[uint64][]int it allocates
+// O(1) slices total instead of one per distinct hash, which is what makes
+// large dedups allocation-cheap. Entries that share a full 64-bit hash are
+// visited in insertion order (a later insert always probes past the earlier
+// ones; rehashing re-places entries in log order).
+//
+// A BucketIndex is a handle: copies share the same table, so it can be
+// passed by value. There is no deletion.
 type BucketIndex struct {
-	buckets map[uint64][]int
+	s *bucketStore
+}
+
+type bucketStore struct {
+	slots  []int32 // 1-based entry index; 0 = empty; len is a power of two
+	mask   uint64
+	hashes []uint64
+	poss   []int32
 }
 
 // NewBucketIndex returns an index sized for about capacity entries.
 func NewBucketIndex(capacity int) BucketIndex {
-	return BucketIndex{buckets: make(map[uint64][]int, capacity)}
+	n := 16
+	for n-n/4 < capacity {
+		n <<= 1
+	}
+	s := &bucketStore{slots: make([]int32, n), mask: uint64(n - 1)}
+	if capacity > 0 {
+		s.hashes = make([]uint64, 0, capacity)
+		s.poss = make([]int32, 0, capacity)
+	}
+	return BucketIndex{s: s}
+}
+
+// Len returns the number of entries added.
+func (ix BucketIndex) Len() int { return len(ix.s.hashes) }
+
+func (s *bucketStore) place(h uint64, id int32) {
+	i := h & s.mask
+	for s.slots[i] != 0 {
+		i = (i + 1) & s.mask
+	}
+	s.slots[i] = id
+}
+
+func (s *bucketStore) grow() {
+	n := len(s.slots) << 1
+	s.slots = make([]int32, n)
+	s.mask = uint64(n - 1)
+	for e, h := range s.hashes {
+		s.place(h, int32(e+1))
+	}
+}
+
+// Add buckets pos under h.
+func (ix BucketIndex) Add(h uint64, pos int) {
+	s := ix.s
+	if len(s.hashes)+1 > len(s.slots)-len(s.slots)/4 {
+		s.grow()
+	}
+	s.hashes = append(s.hashes, h)
+	s.poss = append(s.poss, int32(pos))
+	s.place(h, int32(len(s.hashes)))
 }
 
 // Find returns the first bucketed position under h for which same reports a
 // true match.
 func (ix BucketIndex) Find(h uint64, same func(pos int) bool) (int, bool) {
-	for _, at := range ix.buckets[h] {
-		if same(at) {
-			return at, true
+	s := ix.s
+	for i := h & s.mask; s.slots[i] != 0; i = (i + 1) & s.mask {
+		e := s.slots[i] - 1
+		if s.hashes[e] == h && same(int(s.poss[e])) {
+			return int(s.poss[e]), true
 		}
 	}
 	return 0, false
 }
 
-// Bucket returns every position bucketed under h (collision candidates
-// included — the caller confirms each).
-func (ix BucketIndex) Bucket(h uint64) []int { return ix.buckets[h] }
+// ForEach visits every position bucketed under h in insertion order
+// (collision candidates included — the caller confirms each), stopping early
+// if fn returns false. This is the allocation-free form of Bucket for hot
+// probe loops.
+func (ix BucketIndex) ForEach(h uint64, fn func(pos int) bool) {
+	s := ix.s
+	for i := h & s.mask; s.slots[i] != 0; i = (i + 1) & s.mask {
+		e := s.slots[i] - 1
+		if s.hashes[e] == h && !fn(int(s.poss[e])) {
+			return
+		}
+	}
+}
 
-// Add buckets pos under h.
-func (ix BucketIndex) Add(h uint64, pos int) {
-	ix.buckets[h] = append(ix.buckets[h], pos)
+// Bucket returns every position bucketed under h in insertion order. It
+// allocates the result slice — tests and diagnostics use it; hot paths use
+// ForEach.
+func (ix BucketIndex) Bucket(h uint64) []int {
+	var out []int
+	ix.ForEach(h, func(pos int) bool { out = append(out, pos); return true })
+	return out
 }
 
 // PartitionOf maps a 64-bit hash to one of parts radix partitions using a
@@ -140,7 +228,7 @@ func PartitionOf(h uint64, parts int) int {
 // PartitionedBucketIndex is a BucketIndex sharded by PartitionOf: partition
 // w owns the w-th contiguous range of the hash space. A build where worker
 // w only Adds hashes with Partition(h) == w touches no shared state —
-// per-partition builds and probes need no locks — while Find/Bucket route
+// per-partition builds and probes need no locks — while Find/ForEach route
 // any hash to its owning shard, so a fully built index reads like one
 // BucketIndex.
 type PartitionedBucketIndex struct {
@@ -173,7 +261,13 @@ func (ix *PartitionedBucketIndex) Find(h uint64, same func(pos int) bool) (int, 
 	return ix.shards[ix.Partition(h)].Find(h, same)
 }
 
-// Bucket routes to the owning shard's Bucket.
+// ForEach routes to the owning shard's ForEach.
+func (ix *PartitionedBucketIndex) ForEach(h uint64, fn func(pos int) bool) {
+	ix.shards[ix.Partition(h)].ForEach(h, fn)
+}
+
+// Bucket routes to the owning shard's Bucket (allocates; see
+// BucketIndex.Bucket).
 func (ix *PartitionedBucketIndex) Bucket(h uint64) []int {
 	return ix.shards[ix.Partition(h)].Bucket(h)
 }

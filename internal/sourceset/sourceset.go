@@ -138,8 +138,31 @@ func (s Set) Union(t Set) Set {
 	if len(s.rest) == 0 && len(t.rest) == 0 {
 		return Set{bits: s.bits | t.bits}
 	}
-	out := Set{bits: s.bits | t.bits, rest: mergeSorted(s.rest, t.rest)}
-	return out
+	// Subset fast paths: Sets are immutable, so the superset itself is the
+	// union and can be returned as-is, overflow slice shared. The algebra's
+	// tag-accumulation loops (OriginUnion folds, MergeTags chains) hit these
+	// constantly — a cell's origin set is usually already contained in the
+	// running accumulator — and each hit saves a mergeSorted allocation.
+	if t.Subset(s) {
+		return s
+	}
+	if s.Subset(t) {
+		return t
+	}
+	return Set{bits: s.bits | t.bits, rest: mergeSorted(s.rest, t.rest)}
+}
+
+// Hash64 returns a 64-bit hash of the membership, for hash-bucketed
+// dictionary interning of tag sets (core.ColBatch). Equal sets hash
+// identically; unequal sets collide only with ordinary hash probability, so
+// callers confirm candidates with Equal.
+func (s Set) Hash64() uint64 {
+	const prime = 0x9E3779B97F4A7C15
+	h := (s.bits ^ 0xCBF29CE484222325) * prime
+	for _, id := range s.rest {
+		h = (h ^ uint64(id)) * prime
+	}
+	return h
 }
 
 func mergeSorted(a, b []ID) []ID {

@@ -326,12 +326,36 @@ func (s *Server) serveQueryStream(conn net.Conn, enc *gob.Encoder, req request) 
 		return s.send(conn, enc, response{Err: err.Error()})
 	}
 	defer ms.Cursor.Close()
-	header := flatPoly{Name: ms.Cursor.Name(), Attrs: ms.Cursor.Attrs()}
-	if err := s.send(conn, enc, response{Poly: header, HasPoly: true, PlanRows: ms.PlanRows, CacheHit: ms.CacheHit}); err != nil {
+	binary := s.useBinary(req)
+	header := response{Poly: flatPoly{Name: ms.Cursor.Name(), Attrs: ms.Cursor.Attrs()}, HasPoly: true, PlanRows: ms.PlanRows, CacheHit: ms.CacheHit}
+	if binary {
+		header.Codec = codecBinary
+	}
+	if err := s.send(conn, enc, header); err != nil {
 		return err
 	}
 	reg := ms.Cursor.Registry()
+	cc, _ := ms.Cursor.(core.ColCursor)
+	var buf []byte
 	for {
+		if binary {
+			cb, err := nextCoreColBatch(ms.Cursor, cc)
+			if err == io.EOF {
+				done := frame{Done: true}
+				if ms.Diag != nil {
+					done.Diag = ms.Diag()
+				}
+				return s.send(conn, enc, done)
+			}
+			if err != nil {
+				return s.send(conn, enc, frame{Err: err.Error()})
+			}
+			buf = appendCoreFrame(buf[:0], cb)
+			if err := s.send(conn, enc, frame{Bin: buf}); err != nil {
+				return err
+			}
+			continue
+		}
 		batch, err := ms.Cursor.Next()
 		if err == io.EOF {
 			done := frame{Done: true}
@@ -348,6 +372,24 @@ func (s *Server) serveQueryStream(conn net.Conn, enc *gob.Encoder, req request) 
 			return err
 		}
 	}
+}
+
+// nextCoreColBatch pulls the next tagged batch in columnar form: natively
+// from a columnar cursor, otherwise by columnarizing the row batch (which
+// also interns its tag sets into the frame's dictionary).
+func nextCoreColBatch(cur core.Cursor, cc core.ColCursor) (*core.ColBatch, error) {
+	if cc != nil {
+		return cc.NextCol()
+	}
+	batch, err := cur.Next()
+	if err != nil {
+		return nil, err
+	}
+	b := core.NewColBatch(cur.Name(), cur.Registry(), cur.Attrs())
+	for _, t := range batch {
+		b.AppendTuple(t)
+	}
+	return b, nil
 }
 
 // OpenSession opens a mediator session with default options and returns
@@ -424,7 +466,7 @@ type Diagnosed interface {
 // plan (Relation is nil — the rows are in the cursor). The caller owns the
 // cursor and must Close it; Client.Close aborts it with the rest.
 func (c *Client) OpenQuery(session, text string, algebraic bool) (core.Cursor, *QueryAnswer, error) {
-	conn, dec, resp, err := c.startStream(request{Kind: "queryopen", Session: session, Text: text, Algebraic: algebraic})
+	conn, dec, resp, err := c.startStream(request{Kind: "queryopen", Session: session, Text: text, Algebraic: algebraic, Codec: c.streamCodec()})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -445,7 +487,10 @@ func (c *Client) OpenQuery(session, text string, algebraic bool) (core.Cursor, *
 }
 
 // polyStreamCursor decodes the tagged frames of one "queryopen" stream into
-// core.Cursor batches.
+// core.Cursor batches. It is a core.ColCursor: on a binary-codec stream
+// each frame maps onto column vectors plus a per-frame tag-set dictionary
+// with O(columns + distinct sets) allocations; on a gob stream the flat
+// cells are decoded as before.
 type polyStreamCursor struct {
 	client  *Client
 	conn    net.Conn
@@ -469,9 +514,11 @@ func (pc *polyStreamCursor) Name() string                  { return pc.name }
 func (pc *polyStreamCursor) Attrs() []core.Attr            { return pc.attrs }
 func (pc *polyStreamCursor) Registry() *sourceset.Registry { return pc.client.Reg }
 
-func (pc *polyStreamCursor) Next() ([]core.Tuple, error) {
+// nextFrame decodes frames until a batch arrives, in whichever framing the
+// stream uses: exactly one of the returned batch forms is non-empty.
+func (pc *polyStreamCursor) nextFrame() ([]core.Tuple, *core.ColBatch, error) {
 	if pc.done || pc.closed {
-		return nil, io.EOF
+		return nil, nil, io.EOF
 	}
 	for {
 		pc.conn.SetReadDeadline(time.Now().Add(pc.timeout))
@@ -479,27 +526,64 @@ func (pc *polyStreamCursor) Next() ([]core.Tuple, error) {
 		if err := pc.dec.Decode(&f); err != nil {
 			pc.done = true
 			pc.Close()
-			return nil, fmt.Errorf("wire: receive frame from %s: %w", pc.client.addr, err)
+			return nil, nil, fmt.Errorf("wire: receive frame from %s: %w", pc.client.addr, err)
 		}
 		switch {
 		case f.Err != "":
 			pc.done = true
-			return nil, errors.New(f.Err)
+			return nil, nil, errors.New(f.Err)
 		case f.Done:
 			pc.done = true
 			pc.diag = f.Diag
 			pc.hasDiag = true
-			return nil, io.EOF
+			return nil, nil, io.EOF
+		case len(f.Bin) > 0:
+			cb, err := decodeCoreFrame(f.Bin, pc.name, pc.attrs, pc.client.Reg)
+			if err != nil {
+				pc.done = true
+				pc.Close()
+				return nil, nil, fmt.Errorf("wire: decode frame from %s: %w", pc.client.addr, err)
+			}
+			if cb.Len() == 0 {
+				continue
+			}
+			return nil, cb, nil
 		case len(f.Poly) > 0:
 			batch, err := unflattenBatch(f.Poly, f.Sources, pc.client.Reg, len(pc.attrs))
 			if err != nil {
 				pc.done = true
 				pc.Close()
-				return nil, err
+				return nil, nil, err
 			}
-			return batch, nil
+			return batch, nil, nil
 		}
 	}
+}
+
+func (pc *polyStreamCursor) Next() ([]core.Tuple, error) {
+	batch, cb, err := pc.nextFrame()
+	if err != nil {
+		return nil, err
+	}
+	if cb != nil {
+		return cb.Rows(), nil
+	}
+	return batch, nil
+}
+
+// NextCol implements core.ColCursor.
+func (pc *polyStreamCursor) NextCol() (*core.ColBatch, error) {
+	batch, cb, err := pc.nextFrame()
+	if err != nil {
+		return nil, err
+	}
+	if cb == nil {
+		cb = core.NewColBatch(pc.name, pc.client.Reg, pc.attrs)
+		for _, t := range batch {
+			cb.AppendTuple(t)
+		}
+	}
+	return cb, nil
 }
 
 func (pc *polyStreamCursor) Close() error {
@@ -511,5 +595,5 @@ func (pc *polyStreamCursor) Close() error {
 	return pc.conn.Close()
 }
 
-var _ core.Cursor = (*polyStreamCursor)(nil)
+var _ core.ColCursor = (*polyStreamCursor)(nil)
 var _ Diagnosed = (*polyStreamCursor)(nil)

@@ -89,6 +89,11 @@ type request struct {
 	// Policy is the degradation policy a "session" request asks for
 	// ("", "fail" or "partial"); the mediator's default applies when empty.
 	Policy string
+	// Codec asks for a frame codec on stream kinds ("bin" for the binary
+	// columnar codec of codec.go; empty for gob row frames). A server that
+	// does not understand the field — or refuses the codec — streams gob
+	// frames, and says so by omitting Codec from the stream header response.
+	Codec string
 }
 
 // response is one server→client message.
@@ -115,6 +120,10 @@ type response struct {
 	// used, and — under the partial degradation policy — the sources the
 	// answer is missing) for mediator "query" answers.
 	Diag federation.Report
+	// Codec, on a stream header, confirms the frame codec the server will
+	// use ("bin"); empty means gob row frames follow (the server is old or
+	// refused the requested codec).
+	Codec string
 }
 
 // frame is one row batch of a streamed result. A stream is a response
@@ -132,30 +141,33 @@ type frame struct {
 	// fault-handling record, complete only once the answer has fully
 	// streamed (mid-stream failovers count into it).
 	Diag federation.Report
+	// Bin carries one binary columnar frame (codec.go) when the stream
+	// negotiated the "bin" codec; Tuples and Poly stay empty then. The
+	// payload travels as one opaque byte slice inside the gob envelope
+	// because a gob decoder reads ahead and cannot share the connection
+	// with raw interleaved bytes.
+	Bin []byte
 }
 
 // flatRelation is the wire form of rel.Relation: schema flattened into the
 // exported Attr structs, values relying on rel.Value's gob encoding. In a
 // stream header Tuples is empty; the rows follow in frames.
 type flatRelation struct {
-	Name   string
-	Attrs  []rel.Attr
-	Tuples [][]rel.Value
+	Name  string
+	Attrs []rel.Attr
+	// Tuples encodes identically to the [][]rel.Value it once was —
+	// rel.Tuple is []rel.Value — but needs no element-copy loop on either
+	// side: flatten shares the relation's tuple slice as-is.
+	Tuples []rel.Tuple
 }
 
 func flatten(r *rel.Relation) flatRelation {
-	f := flatRelation{Name: r.Name, Attrs: r.Schema.Attrs(), Tuples: make([][]rel.Value, len(r.Tuples))}
-	for i, t := range r.Tuples {
-		f.Tuples[i] = t
-	}
-	return f
+	return flatRelation{Name: r.Name, Attrs: r.Schema.Attrs(), Tuples: r.Tuples}
 }
 
 func (f flatRelation) unflatten() *rel.Relation {
 	r := rel.NewRelation(f.Name, rel.NewSchema(f.Attrs...))
-	for _, t := range f.Tuples {
-		r.Tuples = append(r.Tuples, rel.Tuple(t))
-	}
+	r.Tuples = f.Tuples
 	return r
 }
 
@@ -182,6 +194,12 @@ type Server struct {
 	// served — the fault-injection harness uses it to cut, stall or delay
 	// the transport mid-exchange (faultinject.FlakyConn). Set before Listen.
 	ConnHook func(net.Conn) net.Conn
+
+	// LegacyFrames refuses the binary frame codec: every stream falls back
+	// to gob row frames regardless of what clients request. An escape hatch
+	// (the daemons' -legacy-frames flag) for debugging and for proving the
+	// two framings byte-for-answer identical.
+	LegacyFrames bool
 
 	// WriteTimeout bounds every response or frame write (defaults to
 	// DefaultTimeout); a client that stops reading gets its connection
@@ -326,7 +344,7 @@ func (s *Server) dispatch(conn net.Conn, enc *gob.Encoder, req request) error {
 			cur, err := s.local.Open(req.Op)
 			return cur, req.Op.Relation, err
 		}
-		return s.serveStream(conn, enc, open)
+		return s.serveStream(conn, enc, open, s.useBinary(req))
 	case "queryopen":
 		return s.serveQueryStream(conn, enc, req)
 	default:
@@ -344,22 +362,53 @@ func (s *Server) send(conn net.Conn, enc *gob.Encoder, msg any) error {
 	return enc.Encode(msg)
 }
 
+// useBinary decides a stream's frame codec: binary when the client asked
+// for it and the server allows it.
+func (s *Server) useBinary(req request) bool {
+	return req.Codec == codecBinary && !s.LegacyFrames
+}
+
 // serveStream answers one "open"/"openplan" request: a schema header
 // response, then row-batch frames, then a done frame. A local-operation
 // error before any row is reported in the header; one mid-stream is
 // reported in an error frame. The returned error is non-nil only for
 // transport failures.
-func (s *Server) serveStream(conn net.Conn, enc *gob.Encoder, open func() (rel.Cursor, string, error)) error {
+//
+// With the binary codec negotiated, each batch ships as one columnar
+// payload: cursors with the columnar capability (rel.ColCursor) hand their
+// batches over as-is, others are columnarized per batch; the encode buffer
+// is reused across frames (gob copies the bytes into the envelope).
+func (s *Server) serveStream(conn net.Conn, enc *gob.Encoder, open func() (rel.Cursor, string, error), binary bool) error {
 	cur, name, err := open()
 	if err != nil {
 		return s.send(conn, enc, response{Err: err.Error()})
 	}
 	defer cur.Close()
-	header := flatRelation{Name: name, Attrs: cur.Schema().Attrs()}
-	if err := s.send(conn, enc, response{Relation: header, HasRel: true}); err != nil {
+	header := response{Relation: flatRelation{Name: name, Attrs: cur.Schema().Attrs()}, HasRel: true}
+	if binary {
+		header.Codec = codecBinary
+	}
+	if err := s.send(conn, enc, header); err != nil {
 		return err
 	}
+	schema := cur.Schema()
+	cc, _ := cur.(rel.ColCursor)
+	var buf []byte
 	for {
+		if binary {
+			cb, err := nextRelColBatch(cur, cc, schema)
+			if err == io.EOF {
+				return s.send(conn, enc, frame{Done: true})
+			}
+			if err != nil {
+				return s.send(conn, enc, frame{Err: err.Error()})
+			}
+			buf = appendRelFrame(buf[:0], cb)
+			if err := s.send(conn, enc, frame{Bin: buf}); err != nil {
+				return err
+			}
+			continue
+		}
 		batch, err := cur.Next()
 		if err == io.EOF {
 			return s.send(conn, enc, frame{Done: true})
@@ -371,6 +420,19 @@ func (s *Server) serveStream(conn net.Conn, enc *gob.Encoder, open func() (rel.C
 			return err
 		}
 	}
+}
+
+// nextRelColBatch pulls the next batch in columnar form: natively from a
+// columnar cursor, otherwise by columnarizing the row batch.
+func nextRelColBatch(cur rel.Cursor, cc rel.ColCursor, schema *rel.Schema) (*rel.ColBatch, error) {
+	if cc != nil {
+		return cc.NextCol()
+	}
+	batch, err := cur.Next()
+	if err != nil {
+		return nil, err
+	}
+	return rel.FromTuples(schema, batch), nil
 }
 
 func (s *Server) handle(req request) response {
@@ -500,6 +562,11 @@ type Client struct {
 	// a fresh registry; replace it (before first use) to share one registry
 	// across clients.
 	Reg *sourceset.Registry
+	// LegacyFrames stops the client from requesting the binary frame codec:
+	// streams carry gob row frames, as pre-codec clients sent them. Set it
+	// before opening streams; the negotiation is per stream, so old servers
+	// fall back to gob automatically even when this is false.
+	LegacyFrames bool
 
 	addr     string
 	name     string
@@ -864,7 +931,16 @@ func (c *Client) unregisterStream(conn net.Conn) {
 	c.mu.Unlock()
 }
 
+// streamCodec is the frame codec a client requests for its streams.
+func (c *Client) streamCodec() string {
+	if c.LegacyFrames {
+		return ""
+	}
+	return codecBinary
+}
+
 func (c *Client) openStream(req request) (rel.Cursor, error) {
+	req.Codec = c.streamCodec()
 	conn, dec, resp, err := c.startStream(req)
 	if err != nil {
 		return nil, err
@@ -883,7 +959,11 @@ func (c *Client) openStream(req request) (rel.Cursor, error) {
 	}, nil
 }
 
-// streamCursor decodes the frames of one streamed result.
+// streamCursor decodes the frames of one streamed result. It is a
+// rel.ColCursor: on a binary-codec stream NextCol maps each frame onto
+// column vectors with O(columns) allocations and Next is the batch's cached
+// row view; on a gob stream Next returns the decoded rows as before and
+// NextCol columnarizes them.
 type streamCursor struct {
 	client  *Client
 	conn    net.Conn
@@ -896,9 +976,11 @@ type streamCursor struct {
 
 func (sc *streamCursor) Schema() *rel.Schema { return sc.schema }
 
-func (sc *streamCursor) Next() ([]rel.Tuple, error) {
+// nextFrame decodes frames until a batch arrives, in whichever framing the
+// stream uses: exactly one of the returned batch forms is non-empty.
+func (sc *streamCursor) nextFrame() ([]rel.Tuple, *rel.ColBatch, error) {
 	if sc.done || sc.closed {
-		return nil, io.EOF
+		return nil, nil, io.EOF
 	}
 	for {
 		sc.conn.SetReadDeadline(time.Now().Add(sc.timeout))
@@ -906,19 +988,53 @@ func (sc *streamCursor) Next() ([]rel.Tuple, error) {
 		if err := sc.dec.Decode(&f); err != nil {
 			sc.done = true
 			sc.Close()
-			return nil, fmt.Errorf("wire: receive frame from %s: %w", sc.client.addr, err)
+			return nil, nil, fmt.Errorf("wire: receive frame from %s: %w", sc.client.addr, err)
 		}
 		switch {
 		case f.Err != "":
 			sc.done = true
-			return nil, errors.New(f.Err)
+			return nil, nil, errors.New(f.Err)
 		case f.Done:
 			sc.done = true
-			return nil, io.EOF
+			return nil, nil, io.EOF
+		case len(f.Bin) > 0:
+			cb, err := decodeRelFrame(f.Bin, sc.schema)
+			if err != nil {
+				sc.done = true
+				sc.Close()
+				return nil, nil, fmt.Errorf("wire: decode frame from %s: %w", sc.client.addr, err)
+			}
+			if cb.Len() == 0 {
+				continue
+			}
+			return nil, cb, nil
 		case len(f.Tuples) > 0:
-			return f.Tuples, nil
+			return f.Tuples, nil, nil
 		}
 	}
+}
+
+func (sc *streamCursor) Next() ([]rel.Tuple, error) {
+	batch, cb, err := sc.nextFrame()
+	if err != nil {
+		return nil, err
+	}
+	if cb != nil {
+		return cb.Rows(), nil
+	}
+	return batch, nil
+}
+
+// NextCol implements rel.ColCursor.
+func (sc *streamCursor) NextCol() (*rel.ColBatch, error) {
+	batch, cb, err := sc.nextFrame()
+	if err != nil {
+		return nil, err
+	}
+	if cb == nil {
+		cb = rel.FromTuples(sc.schema, batch)
+	}
+	return cb, nil
 }
 
 func (sc *streamCursor) Close() error {
@@ -965,4 +1081,5 @@ var (
 	_ lqp.PlanRunner    = (*Client)(nil)
 	_ lqp.PlanStreamer  = (*Client)(nil)
 	_ lqp.StatsProvider = (*Client)(nil)
+	_ rel.ColCursor     = (*streamCursor)(nil)
 )

@@ -11,6 +11,11 @@
 #   fault  B-FAULT (replicated star under injected   -> BENCH_fault.json
 #          faults: scenario latency percentiles,
 #          hedge/retry fire rates, deadline bound)
+#   col    B-COL (columnar hash kernels vs the row    -> BENCH_col.json
+#          engine, binary vs gob stream framing);
+#          also guards the columnar alloc win: the
+#          col-engine Union at n=100000 must stay
+#          >=5x below BENCH_par's row-engine allocs
 #
 # Every suite must produce at least one JSON record; a suite whose pattern
 # matches nothing (a renamed benchmark, a build failure swallowed by tee)
@@ -30,7 +35,8 @@ suite_pattern() {
     serve) echo 'BenchmarkKeyRepresentation|BenchmarkStreaming|BenchmarkFederatedPushdown|BenchmarkFederatedJoinOrder|BenchmarkServe' ;;
     par) echo 'BenchmarkParallelHashOps|BenchmarkParallelStreamJoin|BenchmarkParallelMediatorLatency|BenchmarkParallelExecution' ;;
     fault) echo 'BenchmarkFaultScenarios|BenchmarkFaultDeadline' ;;
-    *) echo "ERROR: unknown suite '$1' (want: serve par fault)" >&2; return 1 ;;
+    col) echo 'BenchmarkColumnarHashOps|BenchmarkColumnarWireStream' ;;
+    *) echo "ERROR: unknown suite '$1' (want: serve par fault col)" >&2; return 1 ;;
     esac
 }
 
@@ -39,7 +45,34 @@ suite_out() {
     serve) echo BENCH_serve.json ;;
     par) echo BENCH_par.json ;;
     fault) echo BENCH_fault.json ;;
+    col) echo BENCH_col.json ;;
     esac
+}
+
+# The columnar suite carries a regression guard: the col-engine Union at
+# n=100000 must allocate at least 5x less often than the row engine's
+# recorded baseline in BENCH_par.json (workers=1). A refactor that quietly
+# reintroduces per-row allocation fails the run.
+check_col_guard() {
+    [ -f BENCH_par.json ] || { echo "== col guard: no BENCH_par.json baseline, skipping" >&2; return 0; }
+    python3 - <<'EOF'
+import json, sys
+
+def allocs(path, name):
+    with open(path) as f:
+        for rec in json.load(f):
+            if rec["benchmark"] == name:
+                return rec.get("allocs/op")
+    return None
+
+base = allocs("BENCH_par.json", "BenchmarkParallelHashOps/op=Union/n=100000/workers=1")
+col = allocs("BENCH_col.json", "BenchmarkColumnarHashOps/op=Union/n=100000/engine=col")
+if base is None or col is None:
+    sys.exit("col guard: missing Union@100k record (BENCH_par workers=1 or BENCH_col engine=col)")
+if col * 5 > base:
+    sys.exit(f"col guard: columnar Union@100k allocs/op regressed: {col} vs row baseline {base} (need >=5x fewer)")
+print(f"== col guard: columnar Union@100k allocs/op {col} vs row {base} ({base/col:.0f}x fewer) — ok", file=sys.stderr)
+EOF
 }
 
 # Benchmark output lines look like:
@@ -91,11 +124,14 @@ run_suite() {
         return 1
     fi
     echo "== suite $suite: wrote $count benchmark records to $out" >&2
+    if [ "$suite" = col ]; then
+        check_col_guard || return 1
+    fi
 }
 
 suites=("$@")
 if [ ${#suites[@]} -eq 0 ]; then
-    suites=(serve par fault)
+    suites=(serve par fault col)
 fi
 failed=0
 for s in "${suites[@]}"; do

@@ -24,3 +24,42 @@ echo "running ./cmd/paper-tables (regenerates and diffs the paper's tables)"
 go run ./cmd/paper-tables >/dev/null
 
 echo "quickstart docs check OK"
+
+# Observability smoke: a live polygend must serve the V$ virtual tables
+# over the wire (including a V$ x V$ join with tags intact) and a valid
+# Prometheus text exposition on -metrics-addr.
+echo "running observability smoke (V\$ tables + /metrics)"
+go build -o /tmp/check-polygend ./cmd/polygend
+go build -o /tmp/check-polygen ./cmd/polygen
+/tmp/check-polygend -addr 127.0.0.1:7391 -metrics-addr 127.0.0.1:7392 -slow-query 1h >/tmp/check-polygend.log 2>&1 &
+POLYGEND_PID=$!
+trap 'kill "$POLYGEND_PID" 2>/dev/null || true' EXIT
+for i in $(seq 1 50); do
+    if grep -q "serving federation" /tmp/check-polygend.log; then break; fi
+    sleep 0.1
+done
+
+out=$(/tmp/check-polygen -connect 127.0.0.1:7391 -sql 'SELECT SID, QUERIES, POLICY FROM V$SESSION')
+echo "$out" | grep -q 'V\$' || { echo "ERROR: V\$SESSION answer carries no V\$ tag: $out" >&2; exit 1; }
+/tmp/check-polygen -connect 127.0.0.1:7391 \
+    -alg '(V$STMT [SID = SID] V$SESSION) [STMT_ID, STMT_TEXT, POLICY]' >/dev/null
+/tmp/check-polygen -connect 127.0.0.1:7391 \
+    -alg '(V$POOL [POOL <> ONAME] PORGANIZATION) [POOL, WORKERS, ONAME]' | grep -q '{V\$}' \
+    || { echo "ERROR: V\$ x real join lost the V\$ origin tag" >&2; exit 1; }
+
+metrics=$(curl -sf http://127.0.0.1:7392/metrics)
+echo "$metrics" | grep -q '^polygen_up 1$' || { echo "ERROR: /metrics lacks polygen_up 1" >&2; exit 1; }
+echo "$metrics" | grep -q '^polygen_plan_cache_misses_total ' || { echo "ERROR: /metrics lacks plan-cache counters" >&2; exit 1; }
+# Every line must be a well-formed comment or sample (Prometheus text
+# format 0.0.4) — the same shape promtool would accept.
+echo "$metrics" | awk '
+    /^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* / { next }
+    /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.eE+-]+$/ { next }
+    { print "ERROR: malformed /metrics line: " $0 > "/dev/stderr"; bad = 1 }
+    END { exit bad }
+'
+
+kill "$POLYGEND_PID" 2>/dev/null || true
+wait "$POLYGEND_PID" 2>/dev/null || true
+trap - EXIT
+echo "observability smoke OK"

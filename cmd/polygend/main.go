@@ -28,6 +28,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"time"
 
 	"repro/internal/cmdutil"
@@ -37,7 +39,9 @@ import (
 	"repro/internal/mediator"
 	"repro/internal/paperdata"
 	"repro/internal/pqp"
+	"repro/internal/stats"
 	"repro/internal/translate"
+	"repro/internal/vtab"
 	"repro/internal/wire"
 	"repro/internal/workload"
 )
@@ -65,17 +69,25 @@ func main() {
 	idleTimeout := flag.Duration("idle-timeout", 0, "drop connections idle longer than this (0 = keep idle connections open)")
 	legacyFrames := flag.Bool("legacy-frames", false, "refuse the binary stream-frame codec and serve gob row frames only (interop escape hatch)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline for in-flight requests")
+	metricsAddr := flag.String("metrics-addr", "", "serve a Prometheus-text-format /metrics endpoint on this HTTP address (empty disables)")
+	slowQuery := flag.Duration("slow-query", 0, "log statements slower than this threshold as one JSON line each on stderr (0 disables)")
 	flag.Parse()
 
 	policy, err := federation.ParsePolicy(*degrade)
 	if err != nil {
 		fatal("%v", err)
 	}
+	// faults receives the fault-tolerance layer's error/retry/hedge
+	// observations for the life of the process; it feeds V$FAULT and the
+	// /metrics fault counters. It is deliberately not the optimizer's
+	// statistics catalog — CollectStats replaces that one wholesale.
+	faults := stats.NewCatalog()
 	fedCfg := federation.Config{
 		CallTimeout:   *callTimeout,
 		MaxRetries:    *retries,
 		HedgeDelay:    *hedgeDelay,
 		ProbeInterval: *healthInterval,
+		Stats:         faults,
 	}
 
 	// Every LQP map is served through the fault-tolerance layer: per-call
@@ -83,13 +95,26 @@ func main() {
 	// (internal/federation). With -replicas a logical source has several
 	// endpoints to fail over between; otherwise each source is a
 	// single-replica group and the layer contributes deadlines and retries.
+	// The registry is retained: V$SOURCE_STATS and /metrics snapshot its
+	// per-replica health and latency estimators.
+	var fedReg *federation.Registry
 	resilient := func(lqps map[string]lqp.LQP) map[string]lqp.LQP {
 		reg := federation.NewRegistry(fedCfg)
 		for name, l := range lqps {
 			reg.Add(name, l)
 		}
 		reg.Start()
+		fedReg = reg
 		return reg.LQPs()
+	}
+
+	// The V$ virtual tables are registered like any other source; their
+	// schemes join the polygen schema and their live sources bind after the
+	// mediator exists (vtab.Tables serves empty tables until then).
+	vt := vtab.New()
+	addVtab := func(lqps map[string]lqp.LQP) map[string]lqp.LQP {
+		lqps[vtab.SourceName] = vt
+		return lqps
 	}
 
 	var processor *pqp.PQP
@@ -101,6 +126,7 @@ func main() {
 		case *replicas != "":
 			reg, closeReg := cmdutil.DialReplicas(*replicas, fedCfg, "polygend")
 			defer closeReg()
+			fedReg = reg
 			lqps = reg.LQPs()
 		case *remote != "":
 			dialed, closeLQPs := cmdutil.DialLQPs(*remote, "polygend")
@@ -109,13 +135,23 @@ func main() {
 		default:
 			lqps = resilient(fed.LQPs())
 		}
-		processor = pqp.New(fed.Schema, fed.Registry, identity.CaseFold{}, lqps)
+		schema, err := vtab.AugmentSchema(fed.Schema)
+		if err != nil {
+			fatal("%v", err)
+		}
+		fed.Registry.Intern(vtab.SourceName)
+		processor = pqp.New(schema, fed.Registry, identity.CaseFold{}, addVtab(lqps))
 	case "star":
 		if *remote != "" || *replicas != "" {
 			fatal("-remote/-replicas are only supported with -workload paper")
 		}
 		star := workload.NewStar(workload.DefaultStarConfig())
-		processor = pqp.New(star.Schema, star.Registry, nil, resilient(star.LQPs()))
+		schema, err := vtab.AugmentSchema(star.Schema)
+		if err != nil {
+			fatal("%v", err)
+		}
+		star.Registry.Intern(vtab.SourceName)
+		processor = pqp.New(schema, star.Registry, nil, addVtab(resilient(star.LQPs())))
 	default:
 		fatal("unknown workload %q (want paper or star)", *wl)
 	}
@@ -143,6 +179,16 @@ func main() {
 		MaxSessions: *maxSessions,
 		SessionIdle: *sessionIdle,
 		Degrade:     policy,
+		SlowQuery:   *slowQuery,
+	})
+	// Everything the V$ tables observe now exists: bind the live sources.
+	vt.Bind(vtab.Sources{
+		Sessions: svc,
+		Plans:    processor.Plans,
+		Pool:     processor.Pool(),
+		Stats:    func() *stats.Catalog { return processor.Stats },
+		Faults:   faults,
+		Registry: fedReg,
 	})
 	srv := wire.NewMediatorServer(svc)
 	srv.WriteTimeout = *writeTimeout
@@ -154,6 +200,18 @@ func main() {
 	}
 	fmt.Printf("polygend: serving federation %q on %s (plan cache %d, optimizer %v, parallel workers %d, degrade %s)\n",
 		fedName, bound, *cacheSize, processor.Optimize, processor.ParallelWorkers(), policy)
+
+	if *metricsAddr != "" {
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fatal("metrics listener: %v", err)
+		}
+		defer mln.Close()
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", vt.MetricsHandler())
+		go func() { _ = http.Serve(mln, mux) }()
+		fmt.Printf("polygend: metrics on http://%s/metrics\n", mln.Addr())
+	}
 
 	cmdutil.ServeUntilSignal(srv, *drain, "polygend")
 	fmt.Println("polygend: bye")

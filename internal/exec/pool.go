@@ -29,6 +29,46 @@ type Pool struct {
 	// for one caller and never more than (callers + W - 1) goroutines in
 	// total across all concurrent callers.
 	extra chan struct{}
+
+	// Occupancy counters, maintained by tryAcquire/release and read by
+	// Snapshot (the V$POOL virtual table and the /metrics endpoint). busy is
+	// a gauge of helper slots currently held — never above workers-1 because
+	// the semaphore bounds acquisition; helpers and submits are monotonic.
+	busy    atomic.Int64
+	helpers atomic.Int64 // cumulative helper-slot acquisitions
+	submits atomic.Int64 // cumulative Submit calls (inline runs included)
+}
+
+// PoolStats is a point-in-time snapshot of a pool's occupancy.
+type PoolStats struct {
+	// Workers is the parallelism bound (caller + helper slots).
+	Workers int
+	// Busy is the number of helper slots held at snapshot time. It is
+	// always in [0, Workers-1]: helpers beyond the semaphore's capacity are
+	// never spawned, work runs inline instead.
+	Busy int64
+	// Helpers counts helper goroutines ever started (monotonic).
+	Helpers int64
+	// Submits counts Submit calls ever made, whether they ran on a helper
+	// or inline (monotonic).
+	Submits int64
+}
+
+// Snapshot returns the pool's occupancy counters. The gauge and the
+// monotonic counters are read individually (not under one lock), so a
+// snapshot taken during concurrent work is approximate but each field is
+// individually exact; Busy ≤ Workers-1 holds for every snapshot. A nil
+// pool snapshots as a single-worker pool that never spawned.
+func (p *Pool) Snapshot() PoolStats {
+	if p == nil {
+		return PoolStats{Workers: 1}
+	}
+	return PoolStats{
+		Workers: p.Workers(),
+		Busy:    p.busy.Load(),
+		Helpers: p.helpers.Load(),
+		Submits: p.submits.Load(),
+	}
 }
 
 // NewPool returns a pool allowing up to workers concurrent executors per
@@ -56,13 +96,21 @@ func (p *Pool) tryAcquire() bool {
 	}
 	select {
 	case p.extra <- struct{}{}:
+		// busy moves inside the slot's lifetime (incremented after the
+		// semaphore admits, decremented before it releases), so every
+		// snapshot observes busy ≤ slots held ≤ workers-1.
+		p.busy.Add(1)
+		p.helpers.Add(1)
 		return true
 	default:
 		return false
 	}
 }
 
-func (p *Pool) release() { <-p.extra }
+func (p *Pool) release() {
+	p.busy.Add(-1)
+	<-p.extra
+}
 
 // Do runs fn(0), …, fn(n-1), each exactly once, with up to Workers
 // concurrent executors. Tasks are pulled off a shared atomic counter
@@ -113,6 +161,9 @@ func (p *Pool) Do(n int, fn func(task int)) {
 // stages that overlap with their caller (ParallelCursor batch workers);
 // completion is the submitter's business to track.
 func (p *Pool) Submit(fn func()) {
+	if p != nil {
+		p.submits.Add(1)
+	}
 	if p.tryAcquire() {
 		go func() {
 			defer p.release()

@@ -1,0 +1,71 @@
+package exec
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSnapshotOccupancy pins the Snapshot contract the V$POOL virtual table
+// and /metrics rely on: Busy stays in [0, Workers-1] for every snapshot,
+// Helpers and Submits are monotonic, and the nil pool reads as the
+// single-worker pool.
+func TestSnapshotOccupancy(t *testing.T) {
+	var nilPool *Pool
+	if s := nilPool.Snapshot(); s != (PoolStats{Workers: 1}) {
+		t.Errorf("nil pool snapshot = %+v, want {Workers:1}", s)
+	}
+
+	p := NewPool(4)
+	done := make(chan struct{})
+	var workWG, watchWG sync.WaitGroup
+
+	for g := 0; g < 3; g++ {
+		workWG.Add(1)
+		go func() {
+			defer workWG.Done()
+			for i := 0; i < 50; i++ {
+				p.Do(8, func(int) { time.Sleep(50 * time.Microsecond) })
+			}
+		}()
+	}
+
+	watchWG.Add(1)
+	go func() {
+		defer watchWG.Done()
+		var prev PoolStats
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			s := p.Snapshot()
+			if s.Workers != 4 {
+				t.Errorf("Workers = %d, want 4", s.Workers)
+				return
+			}
+			if s.Busy < 0 || s.Busy > int64(s.Workers-1) {
+				t.Errorf("Busy = %d outside [0, %d]", s.Busy, s.Workers-1)
+				return
+			}
+			if s.Helpers < prev.Helpers || s.Submits < prev.Submits {
+				t.Errorf("monotonic counters shrank: %+v then %+v", prev, s)
+				return
+			}
+			prev = s
+		}
+	}()
+
+	workWG.Wait()
+	close(done)
+	watchWG.Wait()
+
+	s := p.Snapshot()
+	if s.Busy != 0 {
+		t.Errorf("idle pool Busy = %d, want 0", s.Busy)
+	}
+	if s.Helpers == 0 {
+		t.Error("no helpers ever started despite contended parallel work")
+	}
+}

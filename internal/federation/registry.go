@@ -193,6 +193,12 @@ type ReplicaHealth struct {
 	BreakerOpen bool
 	// LastError is the most recent failure ("" when none).
 	LastError string
+	// Calls, MeanLatency and P95 read the replica's latency estimator (the
+	// one that places hedges): observed successful calls, their EWMA mean,
+	// and the mean+3×deviation tail estimate. Zero before any call.
+	Calls       int64
+	MeanLatency time.Duration
+	P95         time.Duration
 }
 
 // Health snapshots every replica's state, sources in registration order.
@@ -219,6 +225,10 @@ func (g *Registry) Health() []ReplicaHealth {
 				h.LastError = r.lastErr.Error()
 			}
 			r.mu.Unlock()
+			// The estimator locks internally; read it outside r.mu.
+			h.Calls = r.est.Count()
+			h.MeanLatency = r.est.Mean()
+			h.P95 = r.est.P95()
 			out = append(out, h)
 		}
 	}

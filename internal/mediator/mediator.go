@@ -24,8 +24,13 @@ package mediator
 import (
 	"crypto/rand"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
+	"io"
+	"os"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/federation"
@@ -54,6 +59,16 @@ type Config struct {
 	// source exhausts its replicas; PolicyPartial lets exhausted scatter
 	// legs drop out, named in the answer's diagnostics.
 	Degrade federation.Policy
+	// SlowQuery, when positive, turns on structured slow-query logging:
+	// every statement whose wall time (for streams: time to open the
+	// cursor) reaches the threshold writes one JSON line to SlowLog —
+	// query text, duration, result size, plan-cache status and the
+	// federation diagnostics known at that point. Failed statements log
+	// too when they burned the threshold first.
+	SlowQuery time.Duration
+	// SlowLog receives the slow-query lines (default os.Stderr). Writes
+	// are serialized by the service, so any io.Writer works.
+	SlowLog io.Writer
 }
 
 const (
@@ -75,6 +90,9 @@ func (c Config) withDefaults() Config {
 	if c.SessionIdle == 0 {
 		c.SessionIdle = defaultSessionIdle
 	}
+	if c.SlowLog == nil {
+		c.SlowLog = os.Stderr
+	}
 	return c
 }
 
@@ -85,6 +103,38 @@ type Service struct {
 
 	mu       sync.Mutex
 	sessions map[string]*Session
+
+	// Cumulative service counters (monotonic; see Counters). They exist
+	// because session audit trails are bounded — totals must not shrink
+	// when old trail entries fall off.
+	queries     atomic.Uint64
+	queryErrors atomic.Uint64
+	slow        atomic.Uint64
+
+	// slowMu serializes slow-query log lines so concurrent sessions never
+	// interleave bytes within one line.
+	slowMu sync.Mutex
+}
+
+// Counters is a snapshot of the service's cumulative query counters, all
+// monotonic over the service's lifetime.
+type Counters struct {
+	// Queries counts every statement accepted by Query/OpenQuery, failed
+	// ones included.
+	Queries uint64
+	// QueryErrors counts the failed ones (parse and execution errors).
+	QueryErrors uint64
+	// Slow counts statements that crossed the Config.SlowQuery threshold.
+	Slow uint64
+}
+
+// Counters returns the cumulative query counters.
+func (s *Service) Counters() Counters {
+	return Counters{
+		Queries:     s.queries.Load(),
+		QueryErrors: s.queryErrors.Load(),
+		Slow:        s.slow.Load(),
+	}
 }
 
 // New builds a service over processor. The processor's configuration flags
@@ -152,6 +202,17 @@ func (se *Session) LastUsed() time.Time {
 	se.mu.Lock()
 	defer se.mu.Unlock()
 	return se.lastUsed
+}
+
+// Snapshot returns the session's last activity time and a copy of its audit
+// trail under one lock acquisition — a consistent point-in-time read (the
+// trail never contains a statement newer than the returned time). The V$
+// virtual tables build their rows from it; reading LastUsed and Trail
+// separately can interleave with a concurrent statement and disagree.
+func (se *Session) Snapshot() (lastUsed time.Time, trail []TrailEntry) {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	return se.lastUsed, append([]TrailEntry(nil), se.trail...)
 }
 
 func (se *Session) record(e TrailEntry) {
@@ -270,6 +331,27 @@ func (s *Service) SessionCount() int {
 	return len(s.sessions)
 }
 
+// Sessions returns the live sessions, oldest first (ID breaks ties), as a
+// copy of the session table taken under one lock acquisition. The returned
+// *Session values are the live sessions — their own accessors (Trail,
+// LastUsed) lock per session — but the slice itself is the caller's; the
+// V$SESSION and V$STMT virtual tables snapshot through it.
+func (s *Service) Sessions() []*Session {
+	s.mu.Lock()
+	out := make([]*Session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		out = append(out, sess)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Created.Equal(out[j].Created) {
+			return out[i].Created.Before(out[j].Created)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
 // lookup resolves a request's session: "" is the sessionless (un-audited)
 // caller, anything else must name a live session.
 func (s *Service) lookup(id string) (*Session, error) {
@@ -291,6 +373,53 @@ func (s *Service) parse(text string, algebraic bool) (translate.Expr, error) {
 	return translate.CompileSQL(text, s.q.Schema())
 }
 
+// audit books one finished (or failed) statement: the session trail entry,
+// the service's cumulative counters, and — past the threshold — the
+// slow-query log. session may be "" for sessionless callers, whose
+// statements count and log but are not trailed.
+func (s *Service) audit(sess *Session, session string, entry TrailEntry, rep federation.Report) {
+	sess.record(entry)
+	s.queries.Add(1)
+	if entry.Err != "" {
+		s.queryErrors.Add(1)
+	}
+	if s.cfg.SlowQuery <= 0 || entry.Duration < s.cfg.SlowQuery {
+		return
+	}
+	s.slow.Add(1)
+	line, err := json.Marshal(struct {
+		Time       string   `json:"time"`
+		Session    string   `json:"session,omitempty"`
+		Text       string   `json:"text"`
+		Algebraic  bool     `json:"algebraic"`
+		DurationMS float64  `json:"duration_ms"`
+		Rows       int      `json:"rows"`
+		CacheHit   bool     `json:"cache_hit"`
+		Missing    []string `json:"missing,omitempty"`
+		Retries    int      `json:"retries,omitempty"`
+		Hedges     int      `json:"hedges,omitempty"`
+		Err        string   `json:"err,omitempty"`
+	}{
+		Time:       entry.When.UTC().Format(time.RFC3339Nano),
+		Session:    session,
+		Text:       entry.Text,
+		Algebraic:  entry.Algebraic,
+		DurationMS: float64(entry.Duration) / float64(time.Millisecond),
+		Rows:       entry.Rows,
+		CacheHit:   entry.CacheHit,
+		Missing:    rep.Missing,
+		Retries:    rep.Retries,
+		Hedges:     rep.Hedges,
+		Err:        entry.Err,
+	})
+	if err != nil {
+		return
+	}
+	s.slowMu.Lock()
+	fmt.Fprintf(s.cfg.SlowLog, "%s\n", line)
+	s.slowMu.Unlock()
+}
+
 // Query implements wire.Mediator: one materialized polygen query on the
 // shared PQP, audited on the session's trail.
 func (s *Service) Query(session, text string, algebraic bool) (*wire.MediatedAnswer, error) {
@@ -303,7 +432,7 @@ func (s *Service) Query(session, text string, algebraic bool) (*wire.MediatedAns
 	fail := func(err error) (*wire.MediatedAnswer, error) {
 		entry.Duration = time.Since(start)
 		entry.Err = err.Error()
-		sess.record(entry)
+		s.audit(sess, session, entry, federation.Report{})
 		return nil, err
 	}
 	e, err := s.parse(text, algebraic)
@@ -319,7 +448,7 @@ func (s *Service) Query(session, text string, algebraic bool) (*wire.MediatedAns
 	entry.Rows = res.Relation.Cardinality()
 	entry.CacheHit = res.CacheHit
 	entry.Missing = rep.Missing
-	sess.record(entry)
+	s.audit(sess, session, entry, rep)
 	return &wire.MediatedAnswer{Relation: res.Relation, PlanRows: res.PlanLines(), CacheHit: res.CacheHit, Diag: rep}, nil
 }
 
@@ -336,7 +465,7 @@ func (s *Service) OpenQuery(session, text string, algebraic bool) (*wire.Mediate
 	fail := func(err error) (*wire.MediatedStream, error) {
 		entry.Duration = time.Since(start)
 		entry.Err = err.Error()
-		sess.record(entry)
+		s.audit(sess, session, entry, federation.Report{})
 		return nil, err
 	}
 	e, err := s.parse(text, algebraic)
@@ -349,7 +478,10 @@ func (s *Service) OpenQuery(session, text string, algebraic bool) (*wire.Mediate
 	}
 	entry.Duration = time.Since(start)
 	entry.CacheHit = res.CacheHit
-	sess.record(entry)
+	// The stream has only opened: the audited duration (and any slow-query
+	// line) covers planning and cursor construction; diagnostics reflect
+	// what failover activity the open itself incurred.
+	s.audit(sess, session, entry, res.Diag.Report())
 	// Result.Diag is the live collector; the server snapshots it (Report)
 	// only after the stream drains, so mid-stream failovers are counted.
 	return &wire.MediatedStream{Cursor: cur, PlanRows: res.PlanLines(), CacheHit: res.CacheHit, Diag: res.Diag.Report}, nil

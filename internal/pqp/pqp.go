@@ -181,6 +181,18 @@ func (q *PQP) ParallelWorkers() int {
 	return par.Pool.Workers()
 }
 
+// Pool returns the intra-operator worker pool shared by all of this PQP's
+// concurrent queries, or nil when the parallel path is disabled — the
+// observability layer (V$POOL, /metrics) snapshots its occupancy through
+// exec.Pool.Snapshot, which accepts the nil pool.
+func (q *PQP) Pool() *exec.Pool {
+	par := q.alg.ParallelConfig()
+	if par == nil {
+		return nil
+	}
+	return par.Pool
+}
+
 // nextPQPID hands out process-unique planner IDs.
 var nextPQPID atomic.Uint64
 

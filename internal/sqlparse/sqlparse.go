@@ -227,7 +227,9 @@ func lexSQL(input string) ([]sTok, error) {
 			j := i + 1
 			for j < len(input) {
 				r := rune(input[j])
-				if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '#' || r == '.' {
+				// '$' (not a start character) admits the V$ virtual-table
+				// names, mirroring the algebra lexer.
+				if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '#' || r == '.' || r == '$' {
 					j++
 					continue
 				}

@@ -122,3 +122,18 @@ func (c *Catalog) Faults(db string) FaultCounters {
 	}
 	return FaultCounters{}
 }
+
+// AllFaults returns a copy of every source's fault counters, keyed by local
+// database name, taken under one lock acquisition. Sources that have never
+// faulted are absent; callers wanting zero rows for them merge in the
+// federation's source list. The V$FAULT virtual table and the /metrics
+// endpoint read the catalog through this snapshot.
+func (c *Catalog) AllFaults() map[string]FaultCounters {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[string]FaultCounters, len(c.faults))
+	for db, fc := range c.faults {
+		out[db] = *fc
+	}
+	return out
+}

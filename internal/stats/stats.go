@@ -190,6 +190,19 @@ func (c *Catalog) Latency(db string) (time.Duration, bool) {
 	return d, ok
 }
 
+// Latencies returns a copy of every link latency estimate, keyed by local
+// database name, taken under one lock acquisition — a consistent snapshot
+// for the V$SOURCE_STATS virtual table and the /metrics endpoint.
+func (c *Catalog) Latencies() map[string]time.Duration {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[string]time.Duration, len(c.lat))
+	for db, d := range c.lat {
+		out[db] = d
+	}
+	return out
+}
+
 // TransferCost estimates the wide-area cost of shipping rows result rows
 // from db: batches × link latency, mirroring lqp.Counting's streaming
 // transfer model. Unknown links cost zero latency (in-process LQPs).

@@ -3,6 +3,7 @@ package translate
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 )
 
 // This file implements the plan cache of the mediator service layer: the
@@ -57,6 +58,14 @@ type CachedPlan struct {
 }
 
 // CacheStats is a point-in-time snapshot of a PlanCache's counters.
+//
+// Hits, Misses and Evictions are monotonic: they only ever grow over a
+// cache's lifetime (Reset is the single exception, and it is a wiring-time
+// operation, not something concurrent with serving). Introspection reads —
+// the V$PLAN_CACHE virtual table, the /metrics endpoint, a test polling
+// Stats in a loop — may therefore assume that for any two snapshots taken
+// t1 ≤ t2, each counter at t2 is ≥ its value at t1, and that Hits+Misses
+// equals the number of Get calls issued so far. Entries is a gauge.
 type CacheStats struct {
 	Hits, Misses uint64
 	// Entries is the number of plans currently cached.
@@ -79,7 +88,15 @@ type PlanCache struct {
 	cap     int
 	order   *list.List                // front = most recently used
 	entries map[PlanKey]*list.Element // value: *cacheEntry
-	stats   CacheStats
+
+	// The counters are atomics, not fields under mu, so introspection
+	// (Stats) never contends with the Get/Put fast path beyond the map
+	// lock it already takes for Entries — and so each counter is
+	// individually monotonic even when read mid-operation. A Stats
+	// snapshot is not a single linearization point across all three
+	// counters; the monotonicity and Hits+Misses == Gets guarantees
+	// documented on CacheStats are per-counter and hold regardless.
+	hits, misses, evictions atomic.Uint64
 }
 
 type cacheEntry struct {
@@ -102,10 +119,10 @@ func (c *PlanCache) Get(k PlanKey) (*CachedPlan, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.entries[k]
 	if !ok {
-		c.stats.Misses++
+		c.misses.Add(1)
 		return nil, false
 	}
-	c.stats.Hits++
+	c.hits.Add(1)
 	c.order.MoveToFront(el)
 	return el.Value.(*cacheEntry).plan, true
 }
@@ -129,24 +146,37 @@ func (c *PlanCache) Put(k PlanKey, p *CachedPlan) {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
 		delete(c.entries, oldest.Value.(*cacheEntry).key)
-		c.stats.Evictions++
+		c.evictions.Add(1)
 	}
 }
 
-// Stats returns a snapshot of the cache counters.
+// Cap returns the cache's capacity bound in plans.
+func (c *PlanCache) Cap() int { return c.cap }
+
+// Stats returns a snapshot of the cache counters. It is safe to call
+// concurrently with Get/Put from any number of goroutines; see CacheStats
+// for the monotonicity contract introspectors may rely on.
 func (c *PlanCache) Stats() CacheStats {
+	s := CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	s := c.stats
 	s.Entries = len(c.entries)
+	c.mu.Unlock()
 	return s
 }
 
-// Reset empties the cache and zeroes the counters.
+// Reset empties the cache and zeroes the counters. It is a wiring-time
+// operation: calling it while the cache serves queries breaks the
+// monotonicity contract introspection relies on.
 func (c *PlanCache) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.order.Init()
 	c.entries = make(map[PlanKey]*list.Element)
-	c.stats = CacheStats{}
+	c.hits.Store(0)
+	c.misses.Store(0)
+	c.evictions.Store(0)
 }

@@ -1,0 +1,90 @@
+package translate
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPlanCacheConcurrentIntrospection pins the CacheStats monotonicity
+// contract introspection relies on (the V$PLAN_CACHE virtual table, the
+// /metrics endpoint): while writers hammer Get/Put, concurrent Stats
+// readers must see each counter individually non-decreasing, Entries within
+// the capacity bound, and Hits+Misses never ahead of the Gets issued; once
+// the writers quiesce, Hits+Misses equals the Get count exactly.
+func TestPlanCacheConcurrentIntrospection(t *testing.T) {
+	const (
+		writers        = 4
+		getsPerWriter  = 4000
+		distinctPlans  = 32 // 4x the capacity: evictions happen continuously
+		readers        = 2
+		cacheCapacity  = 8
+		expectedTotals = writers * getsPerWriter
+	)
+	c := NewPlanCache(cacheCapacity)
+	var gets atomic.Uint64 // bumped before each Get: Hits+Misses <= gets always
+	done := make(chan struct{})
+	var writeWG, readWG sync.WaitGroup
+
+	for w := 0; w < writers; w++ {
+		writeWG.Add(1)
+		go func(w int) {
+			defer writeWG.Done()
+			for i := 0; i < getsPerWriter; i++ {
+				k := PlanKey{Query: fmt.Sprintf("q%d", (w+i)%distinctPlans), Planner: "p1"}
+				gets.Add(1)
+				if _, ok := c.Get(k); !ok {
+					c.Put(k, &CachedPlan{})
+				}
+			}
+		}(w)
+	}
+
+	for r := 0; r < readers; r++ {
+		readWG.Add(1)
+		go func() {
+			defer readWG.Done()
+			var prev CacheStats
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				s := c.Stats()
+				if s.Hits < prev.Hits || s.Misses < prev.Misses || s.Evictions < prev.Evictions {
+					t.Errorf("counters shrank between snapshots: %+v then %+v", prev, s)
+					return
+				}
+				if s.Entries > cacheCapacity {
+					t.Errorf("Entries = %d exceeds capacity %d", s.Entries, cacheCapacity)
+					return
+				}
+				if ceiling := gets.Load(); s.Hits+s.Misses > ceiling {
+					t.Errorf("Hits+Misses = %d ahead of the %d Gets issued", s.Hits+s.Misses, ceiling)
+					return
+				}
+				prev = s
+			}
+		}()
+	}
+
+	writeWG.Wait()
+	close(done)
+	readWG.Wait()
+
+	s := c.Stats()
+	if s.Hits+s.Misses != expectedTotals {
+		t.Errorf("at quiesce Hits+Misses = %d, want the %d Gets issued", s.Hits+s.Misses, expectedTotals)
+	}
+	if s.Evictions == 0 {
+		t.Error("no evictions despite 4x capacity key pressure — the eviction counter path went unexercised")
+	}
+	if s.Entries != cacheCapacity {
+		t.Errorf("Entries = %d, want a full cache of %d", s.Entries, cacheCapacity)
+	}
+	if c.Cap() != cacheCapacity {
+		t.Errorf("Cap() = %d, want %d", c.Cap(), cacheCapacity)
+	}
+}

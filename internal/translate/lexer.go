@@ -159,5 +159,7 @@ func isIdentStart(r rune) bool {
 }
 
 func isIdentPart(r rune) bool {
-	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '#' || r == '.'
+	// '$' admits the V$ virtual-table names (V$SESSION, ...) served by the
+	// vtab source; it is not an identifier start, so "$1" stays rejected.
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '#' || r == '.' || r == '$'
 }

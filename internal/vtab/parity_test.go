@@ -1,0 +1,171 @@
+package vtab
+
+// Satellite property suite: every V$ relation round-trips the full engine
+// matrix — serial materializing, streaming, morsel-parallel — and both wire
+// codecs (gob row frames and the binary columnar codec) cell- and
+// tag-identically. The observed sources are frozen before the matrix runs:
+// the parity queries execute on separate PQPs with their own plan caches,
+// pools and (absent) statistics catalogs, so every leg re-snapshots the
+// same immutable counters and must render the same lines.
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/mediator"
+	"repro/internal/pqp"
+	"repro/internal/translate"
+	"repro/internal/wire"
+)
+
+// parityQueries covers every V$ table plus the join shapes the issue calls
+// out: V$ x V$ and V$ x real federated relation.
+var parityQueries = []string{
+	`V$SESSION [SID, CREATED, LAST_USED, QUERIES, ERRORS, CACHE_HITS, POLICY]`,
+	`V$STMT [STMT_ID, SID, SEQ, STARTED, KIND, STMT_TEXT, DURATION_US, ROWS, CACHE_HIT, MISSING, ERROR]`,
+	`V$PLAN_CACHE [CACHE, CAPACITY, ENTRIES, HITS, MISSES, EVICTIONS]`,
+	`V$POOL [POOL, WORKERS, BUSY, HELPERS, SUBMITS]`,
+	`V$SOURCE_STATS [SOURCE, REPLICA, HEALTHY, BREAKER_OPEN, CALLS, MEAN_US, P95_US, LINK_EWMA_US, LAST_ERROR]`,
+	`V$FAULT [SOURCE, ERRORS, RETRIES, HEDGES]`,
+	`(V$STMT [SID = SID] V$SESSION) [STMT_ID, SEQ, KIND, POLICY]`,
+	`(V$FAULT [SOURCE = SOURCE] V$SOURCE_STATS) [SOURCE, ERRORS, REPLICA, HEALTHY]`,
+	`(V$POOL [POOL <> DCAT] (PDIM [DCAT = "dcat0"])) [POOL, WORKERS, DCAT]`,
+}
+
+func TestEngineMatrixParity(t *testing.T) {
+	h := newHarness(t, mediator.Config{Federation: "parity"})
+
+	// Populate the observed state, then freeze: sessions with audit trails
+	// (successes and one failure), plan-cache traffic, source estimators.
+	for s := 0; s < 2; s++ {
+		info, err := h.svc.OpenSession(wire.SessionOptions{})
+		if err != nil {
+			t.Fatalf("OpenSession: %v", err)
+		}
+		for _, q := range harnessQueries() {
+			if _, err := h.svc.Query(info.ID, q, true); err != nil {
+				t.Fatalf("populate %q: %v", q, err)
+			}
+		}
+		if _, err := h.svc.Query(info.ID, `PFACT [NO_SUCH_ATTR = "x"]`, true); err == nil {
+			t.Fatal("expected the bad populate query to fail")
+		}
+	}
+
+	// Separate querying engines over the same frozen sources: private plan
+	// caches, private pools, no statistics catalog — nothing they do moves
+	// the counters the V$ snapshots read.
+	newQueryPQP := func(workers, threshold int) *pqp.PQP {
+		lqps := h.star.LQPs()
+		lqps[SourceName] = h.vt
+		schema, err := AugmentSchema(h.star.Schema)
+		if err != nil {
+			t.Fatalf("AugmentSchema: %v", err)
+		}
+		q := pqp.New(schema, h.star.Registry, nil, lqps)
+		q.SetParallel(workers, threshold)
+		return q
+	}
+	serial := newQueryPQP(-1, 0)
+	parallel := newQueryPQP(4, 1) // threshold 1 forces the partitioned path
+
+	// Wire legs: a second mediator over its own PQP serves the same vt;
+	// one client negotiates the binary columnar codec, one refuses it.
+	wireSvc := mediator.New(newQueryPQP(4, 1), mediator.Config{Federation: "parity-wire"})
+	srv := wire.NewMediatorServer(wireSvc)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer srv.Close()
+	dial := func(legacy bool) (*wire.Client, string) {
+		c, err := wire.Dial(addr)
+		if err != nil {
+			t.Fatalf("Dial: %v", err)
+		}
+		t.Cleanup(func() { c.Close() })
+		c.LegacyFrames = legacy
+		info, err := c.OpenSession() // pre-interns sources in canonical order
+		if err != nil {
+			t.Fatalf("OpenSession over wire: %v", err)
+		}
+		return c, info.ID
+	}
+	binClient, binSess := dial(false)
+	gobClient, gobSess := dial(true)
+
+	for _, query := range parityQueries {
+		expr, err := translate.ParseExpr(query)
+		if err != nil {
+			t.Fatalf("parse %q: %v", query, err)
+		}
+
+		res, err := serial.Run(expr)
+		if err != nil {
+			t.Fatalf("serial run %q: %v", query, err)
+		}
+		want := taggedRows(res.Relation)
+
+		legs := map[string][]string{}
+		if cur, _, err := serial.Open(expr); err != nil {
+			t.Fatalf("serial open %q: %v", query, err)
+		} else {
+			legs["serial-stream"] = drainTagged(t, cur)
+		}
+		if res, err := parallel.Run(expr); err != nil {
+			t.Fatalf("parallel run %q: %v", query, err)
+		} else {
+			legs["parallel-materialized"] = taggedRows(res.Relation)
+		}
+		if cur, _, err := parallel.Open(expr); err != nil {
+			t.Fatalf("parallel open %q: %v", query, err)
+		} else {
+			legs["parallel-stream"] = drainTagged(t, cur)
+		}
+		if ans, err := gobClient.Query(gobSess, query, true); err != nil {
+			t.Fatalf("wire gob query %q: %v", query, err)
+		} else {
+			legs["wire-gob-materialized"] = taggedRows(ans.Relation)
+		}
+		if cur, _, err := gobClient.OpenQuery(gobSess, query, true); err != nil {
+			t.Fatalf("wire gob open %q: %v", query, err)
+		} else {
+			legs["wire-gob-stream"] = drainTagged(t, cur)
+		}
+		if cur, _, err := binClient.OpenQuery(binSess, query, true); err != nil {
+			t.Fatalf("wire binary open %q: %v", query, err)
+		} else {
+			legs["wire-binary-stream"] = drainTagged(t, cur)
+		}
+
+		for leg, got := range legs {
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s diverges on %q:\n  serial: %v\n  %s: %v", leg, query, want, leg, got)
+			}
+		}
+		if len(want) == 0 {
+			t.Errorf("%q returned no rows — parity vacuous", query)
+		}
+	}
+
+	// The V$ x real join must compose tags across source kinds: the V$
+	// origin and the dimension source in one tuple.
+	res, err := serial.QueryAlgebra(parityQueries[8])
+	if err != nil {
+		t.Fatalf("tag query: %v", err)
+	}
+	lines := taggedRows(res.Relation)
+	if len(lines) == 0 {
+		t.Fatal("V$ x PDIM join returned no rows")
+	}
+	joined := ""
+	for _, l := range lines {
+		joined += l + "\n"
+	}
+	for _, wantTag := range []string{"{V$}", "{DD}"} {
+		if !strings.Contains(joined, wantTag) {
+			t.Errorf("V$ x PDIM join output lacks %s tags:\n%s", wantTag, joined)
+		}
+	}
+}

@@ -1407,3 +1407,138 @@ func BenchmarkColumnarWireStream(b *testing.B) {
 		client.Close()
 	}
 }
+
+// ---------------------------------------------------------------------------
+// B-SHARD: the sharded scatter-gather federation. The star workload runs
+// against one logical federation dealt across N shard slices per source
+// (every shard behind a Counting meter, so the simulated bytes-on-wire per
+// endpoint are measured alongside latency), and against the single-endpoint
+// baseline the scatter must not regress from. The headline curve is
+// max-shard-cells/query shrinking toward total/N as N grows — each daemon
+// serves (and pays transfer for) only its slice — while qps holds.
+
+// shardBenchFederation wires the star behind the federation layer with
+// every source dealt across `shards` slices (shards < 1 = the unsharded
+// single-endpoint baseline), each endpoint wrapped in a Counting transfer
+// meter. Statistics are collected so placement keys are primed and the
+// cost-based passes see per-shard cardinalities.
+func shardBenchFederation(b *testing.B, shards int) (*pqp.PQP, []*lqp.Counting) {
+	b.Helper()
+	star := workload.NewStar(workload.DefaultStarConfig())
+	reg := federation.NewRegistry(federation.Config{CallTimeout: 10 * time.Second, HedgeDelay: -1})
+	var meters []*lqp.Counting
+	if shards < 1 {
+		for _, db := range star.Databases() {
+			c := lqp.NewCounting(lqp.NewLocal(db))
+			meters = append(meters, c)
+			reg.Add(db.Name(), c)
+		}
+	} else {
+		for _, db := range star.Databases() {
+			groups := make([][]lqp.LQP, shards)
+			for i := 0; i < shards; i++ {
+				slice, err := federation.Slice(db, i, shards)
+				if err != nil {
+					b.Fatal(err)
+				}
+				c := lqp.NewCounting(lqp.NewLocal(slice))
+				meters = append(meters, c)
+				groups[i] = []lqp.LQP{c}
+			}
+			src := reg.AddSharded(db.Name(), groups...)
+			src.SetShardKeys(federation.NewShardMap(db, shards).Keys)
+		}
+	}
+	q := pqp.New(star.Schema, star.Registry, nil, reg.LQPs())
+	if err := q.CollectStats(); err != nil {
+		b.Fatal(err)
+	}
+	return q, meters
+}
+
+// reportShardTransfer reads the per-endpoint meters and reports the
+// bytes-per-shard story: total simulated cells per query and the hottest
+// endpoint's share (the per-daemon cost a deployment actually provisions).
+func reportShardTransfer(b *testing.B, meters []*lqp.Counting, ops int64) {
+	var total, maxCells int64
+	for _, m := range meters {
+		c := m.CellsTransferred()
+		total += c
+		if c > maxCells {
+			maxCells = c
+		}
+	}
+	b.ReportMetric(float64(total)/float64(ops), "cells/query")
+	b.ReportMetric(float64(maxCells)/float64(ops), "max-shard-cells/query")
+}
+
+// BenchmarkShardScatterGather (B-SHARD) drives the closed-loop star query
+// mix against the single-endpoint federation and against 1/2/4/8-way
+// sharded ones. Scatter-gather must hold qps at N=1 (degenerate sharding is
+// nearly free) and shrink max-shard-cells/query toward 1/N as N grows.
+func BenchmarkShardScatterGather(b *testing.B) {
+	queries := workload.StarQueries()
+	modes := []struct {
+		name   string
+		shards int
+	}{
+		{"endpoint=single", 0},
+		{"shards=1", 1},
+		{"shards=2", 2},
+		{"shards=4", 4},
+		{"shards=8", 8},
+	}
+	for _, mode := range modes {
+		b.Run(mode.name, func(b *testing.B) {
+			q, meters := shardBenchFederation(b, mode.shards)
+			for _, qt := range queries {
+				if _, err := q.QueryAlgebra(qt); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for _, m := range meters {
+				m.Reset()
+			}
+			b.ResetTimer()
+			res := workload.Drive(4, b.N, func(w, i int) error {
+				_, err := q.QueryAlgebra(queries[(w+i)%len(queries)])
+				return err
+			})
+			b.StopTimer()
+			if res.Errors > 0 {
+				b.Fatalf("%d queries failed against a healthy sharded federation", res.Errors)
+			}
+			b.ReportMetric(res.QPS, "qps")
+			b.ReportMetric(float64(res.P50.Microseconds()), "p50-µs")
+			b.ReportMetric(float64(res.P95.Microseconds()), "p95-µs")
+			reportShardTransfer(b, meters, int64(res.Ops))
+		})
+	}
+}
+
+// BenchmarkShardPrunedRetrieve (B-SHARD) isolates placement-key pruning: a
+// key-equality select is answered by exactly one shard no matter N, so
+// cells/query stays flat while the untouched shards serve nothing — the
+// scatter does not tax point lookups with a fan-out.
+func BenchmarkShardPrunedRetrieve(b *testing.B) {
+	const query = `(PFACT [FK = "F0001234"]) [FK, CAT, VAL]`
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			q, meters := shardBenchFederation(b, shards)
+			if _, err := q.QueryAlgebra(query); err != nil {
+				b.Fatal(err)
+			}
+			for _, m := range meters {
+				m.Reset()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := q.QueryAlgebra(query); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			reportShardTransfer(b, meters, int64(b.N))
+		})
+	}
+}

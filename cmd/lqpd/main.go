@@ -18,6 +18,14 @@
 // With -save the chosen database is also written to a snapshot file on
 // startup (handy for turning the embedded paper databases into files).
 //
+// With -shard i/N the daemon serves only horizontal slice i of the chosen
+// database (row placement by canonical-ID hash). N such daemons together
+// hold the database exactly once, and a polygend started with -shards
+// scatters every retrieval across them and gathers one logical answer:
+//
+//	lqpd -db AD -addr :7001 -shard 0/2
+//	lqpd -db AD -addr :7002 -shard 1/2
+//
 // The -chaos-* flags turn the daemon into a deliberately unreliable replica
 // for fault-tolerance testing: deterministic (seeded) injected errors,
 // latency spikes, hangs, mid-stream cursor cuts and transport cuts, so the
@@ -40,6 +48,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/cmdutil"
 	"repro/internal/faultinject"
+	"repro/internal/federation"
 	"repro/internal/lqp"
 	"repro/internal/paperdata"
 	"repro/internal/wire"
@@ -52,6 +61,7 @@ func main() {
 	snapshot := flag.String("snapshot", "", "serve a database from a gob snapshot file")
 	save := flag.String("save", "", "write the served database to a snapshot file before serving")
 	addr := flag.String("addr", "127.0.0.1:0", "listen address")
+	shardSpec := flag.String("shard", "", `serve one horizontal shard of the chosen database: "i/N" keeps only slice i of N (placement by canonical-ID hash, matching polygend -shards; every row lands on exactly one of the N daemons)`)
 	writeTimeout := flag.Duration("write-timeout", wire.DefaultTimeout, "per-message write deadline (a client that stops reading is dropped)")
 	idleTimeout := flag.Duration("idle-timeout", 0, "drop connections idle longer than this (0 = keep idle connections open)")
 	legacyFrames := flag.Bool("legacy-frames", false, "refuse the binary stream-frame codec and serve gob row frames only (interop escape hatch)")
@@ -121,6 +131,22 @@ func main() {
 		fmt.Printf("lqpd: wrote snapshot of %s to %s\n", db.Name(), *save)
 	}
 
+	// Sharding slices after -save: the snapshot stays the whole database,
+	// the served catalog is the slice.
+	shardNote := ""
+	if *shardSpec != "" {
+		var idx, n int
+		if c, err := fmt.Sscanf(*shardSpec, "%d/%d", &idx, &n); err != nil || c != 2 {
+			fatal("bad -shard %q (want i/N, e.g. 0/4)", *shardSpec)
+		}
+		slice, err := federation.Slice(db, idx, n)
+		if err != nil {
+			fatal("%v", err)
+		}
+		db = slice
+		shardNote = fmt.Sprintf(" shard %d/%d", idx, n)
+	}
+
 	var served wire.LocalLQP = lqp.NewLocal(db)
 	profile := faultinject.Profile{
 		Seed:         *chaosSeed,
@@ -158,7 +184,7 @@ func main() {
 	if chaotic {
 		chaosNote = fmt.Sprintf(" [CHAOS seed=%d]", *chaosSeed)
 	}
-	fmt.Printf("lqpd: serving %s (%s) on %s%s\n", db.Name(), strings.Join(db.Relations(), ", "), bound, chaosNote)
+	fmt.Printf("lqpd: serving %s (%s)%s on %s%s\n", db.Name(), strings.Join(db.Relations(), ", "), shardNote, bound, chaosNote)
 
 	cmdutil.ServeUntilSignal(srv, *drain, "lqpd")
 }

@@ -13,12 +13,16 @@
 //	polygend -addr :7100 -remote 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003
 //	polygend -addr :7100 -replicas 'AD=:7001|:7004,PD=:7002|:7005,CD=:7003' \
 //	         -degrade partial -health-interval 2s
+//	polygend -addr :7100 -shards 'AD=:7001,:7002,:7003'  # AD split across 3x lqpd -shard i/3
 //
 // Every query runs through the fault-tolerance layer (internal/federation):
 // per-replica call deadlines, bounded retries with failover, hedged streaming
 // opens and circuit breakers. -replicas gives each logical source several
 // lqpd endpoints to fail over between; -degrade picks what happens when a
-// source exhausts them all.
+// source exhausts them all. -shards instead partitions a logical source
+// horizontally across several lqpd daemons (each started with -shard i/N)
+// and scatter-gathers every retrieval across them — the two compose, since
+// each shard address may itself list |-separated replicas.
 //
 // SIGINT/SIGTERM begin a graceful shutdown: the daemon stops accepting,
 // drains in-flight requests up to -drain, then exits. A second signal
@@ -51,6 +55,7 @@ func main() {
 	wl := flag.String("workload", "paper", `federation to serve: "paper" (the paper's AD/PD/CD) or "star" (synthetic star schema)`)
 	remote := flag.String("remote", "", "comma-separated lqpd addresses to use as the federation's LQPs (paper workload only)")
 	replicas := flag.String("replicas", "", `replicated federation spec (paper workload only): comma-separated NAME=addr|addr|... groups of lqpd replicas per logical source, e.g. "AD=:7001|:7004,PD=:7002,CD=:7003"; overrides -remote`)
+	shards := flag.String("shards", "", `sharded federation spec (paper workload only): semicolon-separated NAME=addr,addr,... groups, the i-th address serving the slice "lqpd -shard i/N" of that source; an address may carry |-separated replicas of its shard, e.g. "AD=:7001|:7004,:7002,:7003;PD=:7005,:7006". Sources not named keep their in-process LQPs. Conflicts with -remote/-replicas`)
 	degrade := flag.String("degrade", "fail", `default degradation policy when a source exhausts its replicas: "fail" (the query fails, naming the source) or "partial" (the leg drops out, named in the answer's diagnostics); sessions may override per-session`)
 	healthInterval := flag.Duration("health-interval", 0, "active replica health-probe period (0 disables active probing; passive failure marking always applies)")
 	callTimeout := flag.Duration("call-timeout", 10*time.Second, "per-replica call deadline before a call fails over")
@@ -123,6 +128,22 @@ func main() {
 		fed := paperdata.New()
 		var lqps map[string]lqp.LQP
 		switch {
+		case *shards != "":
+			if *replicas != "" || *remote != "" {
+				fatal("-shards conflicts with -remote/-replicas")
+			}
+			reg, closeReg := cmdutil.DialShards(*shards, fedCfg, "polygend")
+			defer closeReg()
+			// Sources the spec does not shard stay in-process behind the
+			// same registry, so the federation still answers every scheme.
+			served := reg.LQPs()
+			for name, l := range fed.LQPs() {
+				if _, ok := served[name]; !ok {
+					reg.Add(name, l)
+				}
+			}
+			fedReg = reg
+			lqps = reg.LQPs()
 		case *replicas != "":
 			reg, closeReg := cmdutil.DialReplicas(*replicas, fedCfg, "polygend")
 			defer closeReg()
@@ -142,8 +163,8 @@ func main() {
 		fed.Registry.Intern(vtab.SourceName)
 		processor = pqp.New(schema, fed.Registry, identity.CaseFold{}, addVtab(lqps))
 	case "star":
-		if *remote != "" || *replicas != "" {
-			fatal("-remote/-replicas are only supported with -workload paper")
+		if *remote != "" || *replicas != "" || *shards != "" {
+			fatal("-remote/-replicas/-shards are only supported with -workload paper")
 		}
 		star := workload.NewStar(workload.DefaultStarConfig())
 		schema, err := vtab.AugmentSchema(star.Schema)

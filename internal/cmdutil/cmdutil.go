@@ -94,6 +94,68 @@ func DialReplicas(spec string, cfg federation.Config, logPrefix string) (*federa
 	}
 }
 
+// DialShards dials a sharded federation spec — semicolon-separated
+// NAME=addr,addr,... groups, each address list naming one logical source's
+// shard endpoints in shard order (endpoint i must serve the slice
+// `lqpd -shard i/N` of the same database), an address optionally listing
+// |-separated replicas of that shard — and returns a started
+// federation.Registry with one scatter-gather source per name, plus a
+// closer that stops the probe loop and hangs up the clients. Every endpoint
+// must report the logical name it was declared under; a dial failure or
+// name mismatch is fatal. Placement keys prime from the shards' statistics
+// on the first Stats call (polygend's startup collection), so key-equality
+// pruning is live from the first query.
+func DialShards(spec string, cfg federation.Config, logPrefix string) (*federation.Registry, func()) {
+	reg := federation.NewRegistry(cfg)
+	var clients []*wire.Client
+	for _, group := range strings.Split(spec, ";") {
+		group = strings.TrimSpace(group)
+		if group == "" {
+			continue
+		}
+		eq := strings.IndexByte(group, '=')
+		if eq <= 0 {
+			Fatal("%s: bad shard group %q (want NAME=addr,addr,...)", logPrefix, group)
+		}
+		name := group[:eq]
+		var shards [][]lqp.LQP
+		for _, shardAddrs := range strings.Split(group[eq+1:], ",") {
+			var reps []lqp.LQP
+			for _, a := range strings.Split(shardAddrs, "|") {
+				a = strings.TrimSpace(a)
+				if a == "" {
+					continue
+				}
+				client, err := wire.Dial(a)
+				if err != nil {
+					Fatal("%s: dialing %s shard %d at %s: %v", logPrefix, name, len(shards), a, err)
+				}
+				clients = append(clients, client)
+				if got := client.Name(); got != name {
+					Fatal("%s: endpoint %s serves database %q, declared as %q", logPrefix, a, got, name)
+				}
+				reps = append(reps, client)
+				fmt.Fprintf(os.Stderr, "%s: connected to %s shard %d at %s\n", logPrefix, name, len(shards), a)
+			}
+			if len(reps) == 0 {
+				Fatal("%s: shard group %q lists an empty shard", logPrefix, group)
+			}
+			shards = append(shards, reps)
+		}
+		if len(shards) == 0 {
+			Fatal("%s: shard group %q lists no shards", logPrefix, group)
+		}
+		reg.AddSharded(name, shards...)
+	}
+	reg.Start()
+	return reg, func() {
+		reg.Stop()
+		for _, c := range clients {
+			c.Close()
+		}
+	}
+}
+
 // ServeUntilSignal blocks until SIGINT/SIGTERM, then drains srv gracefully:
 // stop accepting, let in-flight requests finish up to the drain deadline,
 // then tear down. A second signal forces immediate teardown. A blown drain

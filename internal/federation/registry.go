@@ -28,9 +28,11 @@ type Addresser interface {
 type Registry struct {
 	cfg Config
 
-	mu      sync.Mutex
-	order   []string
-	sources map[string]*Source
+	mu         sync.Mutex
+	order      []string
+	sources    map[string]*Source
+	shardOrder []string
+	sharded    map[string]*ShardedSource
 
 	stop    chan struct{}
 	stopped sync.WaitGroup
@@ -42,6 +44,7 @@ func NewRegistry(cfg Config) *Registry {
 	return &Registry{
 		cfg:     cfg.withDefaults(),
 		sources: make(map[string]*Source),
+		sharded: make(map[string]*ShardedSource),
 	}
 }
 
@@ -70,6 +73,38 @@ func (g *Registry) Add(name string, replicas ...lqp.LQP) *Source {
 	return s
 }
 
+// AddSharded registers a logical source horizontally partitioned across
+// len(shards) shard slices, each backed by its own replica set (so every
+// shard is itself fault-tolerant: replicated, health-checked, retried).
+// Shard i must serve the slice federation.Slice(db, i, len(shards)) of the
+// logical catalog; the returned ShardedSource scatters operations across
+// the shards and gathers one logical answer. Adding a name twice replaces
+// it. The shard Sources are registered for probing and health reporting
+// (under the logical name) but only the logical source appears in LQPs().
+func (g *Registry) AddSharded(name string, shards ...[]lqp.LQP) *ShardedSource {
+	members := make([]*Source, len(shards))
+	for i, replicas := range shards {
+		label := fmt.Sprintf("%s[%d/%d]", name, i, len(shards))
+		reps := make([]*replica, len(replicas))
+		for j, l := range replicas {
+			rlabel := fmt.Sprintf("%s#%d", label, j)
+			if a, ok := l.(Addresser); ok {
+				rlabel = a.Addr()
+			}
+			reps[j] = &replica{label: rlabel, l: l, healthy: true}
+		}
+		members[i] = newSource(label, g.cfg, reps)
+	}
+	s := newShardedSource(name, members)
+	g.mu.Lock()
+	if _, exists := g.sharded[name]; !exists {
+		g.shardOrder = append(g.shardOrder, name)
+	}
+	g.sharded[name] = s
+	g.mu.Unlock()
+	return s
+}
+
 // Source returns the named source.
 func (g *Registry) Source(name string) (*Source, bool) {
 	g.mu.Lock()
@@ -78,15 +113,54 @@ func (g *Registry) Source(name string) (*Source, bool) {
 	return s, ok
 }
 
+// Sharded returns the named sharded source.
+func (g *Registry) Sharded(name string) (*ShardedSource, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s, ok := g.sharded[name]
+	return s, ok
+}
+
 // LQPs returns the logical-name → resilient-LQP map the PQP consumes.
+// Sharded sources appear under their logical name only — the shard members
+// are an implementation detail of the scatter-gather.
 func (g *Registry) LQPs() map[string]lqp.LQP {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	m := make(map[string]lqp.LQP, len(g.sources))
+	m := make(map[string]lqp.LQP, len(g.sources)+len(g.sharded))
 	for name, s := range g.sources {
 		m[name] = s
 	}
+	for name, s := range g.sharded {
+		m[name] = s
+	}
 	return m
+}
+
+// namedSource pairs one probe/health unit with the logical source name it
+// reports under (a shard member's own name carries the shard suffix; its
+// health rows belong to the logical source).
+type namedSource struct {
+	logical string
+	s       *Source
+}
+
+// snapshotSources lists every Source under the registry — plain ones in
+// registration order, then every sharded source's members in shard order —
+// with the logical name each reports under.
+func (g *Registry) snapshotSources() []namedSource {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]namedSource, 0, len(g.sources)+len(g.sharded))
+	for _, name := range g.order {
+		out = append(out, namedSource{logical: name, s: g.sources[name]})
+	}
+	for _, name := range g.shardOrder {
+		for _, m := range g.sharded[name].shards {
+			out = append(out, namedSource{logical: name, s: m})
+		}
+	}
+	return out
 }
 
 // Start launches the active health-check loop (a no-op when
@@ -137,15 +211,9 @@ func (g *Registry) probeLoop() {
 // each tick; tests and operators can call it directly for an on-demand
 // sweep.
 func (g *Registry) ProbeAll() {
-	g.mu.Lock()
-	sources := make([]*Source, 0, len(g.sources))
-	for _, name := range g.order {
-		sources = append(sources, g.sources[name])
-	}
-	g.mu.Unlock()
-
 	var wg sync.WaitGroup
-	for _, s := range sources {
+	for _, ns := range g.snapshotSources() {
+		s := ns.s
 		for _, r := range s.reps {
 			p, ok := r.l.(Pinger)
 			if !ok {
@@ -201,22 +269,18 @@ type ReplicaHealth struct {
 	P95         time.Duration
 }
 
-// Health snapshots every replica's state, sources in registration order.
+// Health snapshots every replica's state, sources in registration order
+// (plain sources first, then sharded ones shard by shard). Shard members'
+// rows report under the logical source name; their replica labels carry the
+// shard suffix.
 func (g *Registry) Health() []ReplicaHealth {
-	g.mu.Lock()
-	sources := make([]*Source, 0, len(g.sources))
-	for _, name := range g.order {
-		sources = append(sources, g.sources[name])
-	}
-	g.mu.Unlock()
-
 	now := time.Now()
 	var out []ReplicaHealth
-	for _, s := range sources {
-		for _, r := range s.reps {
+	for _, ns := range g.snapshotSources() {
+		for _, r := range ns.s.reps {
 			r.mu.Lock()
 			h := ReplicaHealth{
-				Source:      s.name,
+				Source:      ns.logical,
 				Replica:     r.label,
 				Healthy:     r.healthy,
 				BreakerOpen: !r.openUntil.IsZero() && now.Before(r.openUntil),
@@ -230,6 +294,59 @@ func (g *Registry) Health() []ReplicaHealth {
 			h.MeanLatency = r.est.Mean()
 			h.P95 = r.est.P95()
 			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// ShardInfo is one (shard, replica) pair of a sharded source in a registry
+// snapshot: where the shard lives, whether it is up, and how many rows it
+// has served into gathered answers.
+type ShardInfo struct {
+	// Source is the logical name; Shard indexes it among Shards slices.
+	Source string
+	Shard  int
+	Shards int
+	// Replica is the endpoint label of one of the shard's replicas.
+	Replica string
+	// Healthy is the replica's last-known liveness.
+	Healthy bool
+	// Rows counts the rows this shard has delivered into gathered answers
+	// (shared across the shard's replicas — the scatter meters the shard
+	// leg, not the endpoint that happened to serve it).
+	Rows int64
+}
+
+// Shards snapshots the shard map of every sharded source, in registration
+// order, one row per (shard, replica). Registries without sharded sources
+// return nothing — V$SHARD is empty in an unsharded federation.
+func (g *Registry) Shards() []ShardInfo {
+	g.mu.Lock()
+	names := append([]string(nil), g.shardOrder...)
+	srcs := make([]*ShardedSource, len(names))
+	for i, name := range names {
+		srcs[i] = g.sharded[name]
+	}
+	g.mu.Unlock()
+
+	var out []ShardInfo
+	for i, name := range names {
+		s := srcs[i]
+		for shard, m := range s.shards {
+			rows := s.RowsServed(shard)
+			for _, r := range m.reps {
+				r.mu.Lock()
+				healthy := r.healthy
+				r.mu.Unlock()
+				out = append(out, ShardInfo{
+					Source:  name,
+					Shard:   shard,
+					Shards:  len(s.shards),
+					Replica: r.label,
+					Healthy: healthy,
+					Rows:    rows,
+				})
+			}
 		}
 	}
 	return out

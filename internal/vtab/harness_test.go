@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/federation"
+	"repro/internal/lqp"
 	"repro/internal/mediator"
 	"repro/internal/pqp"
 	"repro/internal/stats"
@@ -58,9 +59,25 @@ func newHarness(t *testing.T, medCfg mediator.Config) *harness {
 		HedgeDelay:  -1,
 		Stats:       faults,
 	})
+	// DD is sharded two ways (via the same Slice/AddSharded path polygend
+	// -shards uses) so V$SHARD has rows to observe; FD and MD stay plain.
+	// The parity engines compare against star.LQPs() directly, so the
+	// scatter-gather must stay answer-invisible.
 	for name, l := range star.LQPs() {
-		reg.Add(name, l)
+		if name != star.DD.Name() {
+			reg.Add(name, l)
+		}
 	}
+	ddShards := make([][]lqp.LQP, 2)
+	for i := range ddShards {
+		slice, err := federation.Slice(star.DD, i, len(ddShards))
+		if err != nil {
+			t.Fatalf("Slice(DD, %d): %v", i, err)
+		}
+		ddShards[i] = []lqp.LQP{lqp.NewLocal(slice)}
+	}
+	dd := reg.AddSharded(star.DD.Name(), ddShards...)
+	dd.SetShardKeys(federation.NewShardMap(star.DD, len(ddShards)).Keys)
 	lqps := reg.LQPs()
 	vt := New()
 	lqps[SourceName] = vt

@@ -128,6 +128,23 @@ func (v *Tables) writeMetrics(b *strings.Builder) {
 		family(b, "polygen_replica_calls_total", "counter", "Successful calls observed by the replica's latency estimator.", calls)
 		family(b, "polygen_replica_latency_mean_seconds", "gauge", "Replica call latency EWMA mean.", mean)
 		family(b, "polygen_replica_latency_p95_seconds", "gauge", "Replica call latency tail estimate (mean+3*deviation).", p95)
+
+		var shardHealthy, shardRows []sample
+		seenShard := make(map[string]bool)
+		for _, si := range s.Registry.Shards() {
+			l := labels("source", si.Source, "shard", fmt.Sprintf("%d", si.Shard), "replica", si.Replica)
+			shardHealthy = append(shardHealthy, sample{labels: l, value: boolVal(si.Healthy)})
+			// Rows are metered per shard leg, not per replica: emit one
+			// sample per (source, shard) so sums across the family equal
+			// rows gathered.
+			sl := labels("source", si.Source, "shard", fmt.Sprintf("%d", si.Shard))
+			if !seenShard[sl] {
+				seenShard[sl] = true
+				shardRows = append(shardRows, sample{labels: sl, value: fmt.Sprintf("%d", si.Rows)})
+			}
+		}
+		family(b, "polygen_shard_replica_healthy", "gauge", "Shard replica last-known liveness (1 healthy).", shardHealthy)
+		family(b, "polygen_shard_rows_total", "counter", "Rows each shard has served into gathered answers.", shardRows)
 	}
 
 	if s.Stats != nil {

@@ -31,6 +31,7 @@ var parityQueries = []string{
 	`(V$STMT [SID = SID] V$SESSION) [STMT_ID, SEQ, KIND, POLICY]`,
 	`(V$FAULT [SOURCE = SOURCE] V$SOURCE_STATS) [SOURCE, ERRORS, REPLICA, HEALTHY]`,
 	`(V$POOL [POOL <> DCAT] (PDIM [DCAT = "dcat0"])) [POOL, WORKERS, DCAT]`,
+	`V$SHARD [SOURCE, SHARD, SHARDS, REPLICA, HEALTHY, ROWS]`,
 }
 
 func TestEngineMatrixParity(t *testing.T) {

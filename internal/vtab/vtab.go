@@ -8,9 +8,9 @@
 // engine dogfoods its own machinery on a new kind of source — small, hot,
 // constantly mutating tables.
 //
-// The six tables are V$SESSION, V$STMT, V$PLAN_CACHE, V$POOL,
-// V$SOURCE_STATS and V$FAULT; see the specs below (and the schema reference
-// table in docs/ARCHITECTURE.md) for their columns.
+// The seven tables are V$SESSION, V$STMT, V$PLAN_CACHE, V$POOL,
+// V$SOURCE_STATS, V$FAULT and V$SHARD; see the specs below (and the schema
+// reference table in docs/ARCHITECTURE.md) for their columns.
 //
 // # Snapshot consistency contract
 //
@@ -156,6 +156,14 @@ var specs = []tableSpec{
 		name:    "V$FAULT",
 		columns: []string{"SOURCE", "ERRORS", "RETRIES", "HEDGES"},
 		build:   buildFaults,
+	},
+	{
+		name: "V$SHARD",
+		// One row per (shard, replica) of every sharded source: where each
+		// horizontal partition lives and how many rows it has served into
+		// gathered answers (ROWS is per shard, repeated across its replicas).
+		columns: []string{"SOURCE", "SHARD", "SHARDS", "REPLICA", "HEALTHY", "ROWS"},
+		build:   buildShards,
 	},
 }
 
@@ -331,6 +339,26 @@ func buildFaults(s Sources) []rel.Tuple {
 			rel.Int(fc.Errors),
 			rel.Int(fc.Retries),
 			rel.Int(fc.Hedges),
+		})
+	}
+	sortTuples(out)
+	return out
+}
+
+func buildShards(s Sources) []rel.Tuple {
+	if s.Registry == nil {
+		return nil
+	}
+	infos := s.Registry.Shards()
+	out := make([]rel.Tuple, 0, len(infos))
+	for _, si := range infos {
+		out = append(out, rel.Tuple{
+			rel.String(si.Source),
+			rel.Int(int64(si.Shard)),
+			rel.Int(int64(si.Shards)),
+			rel.String(si.Replica),
+			rel.Bool(si.Healthy),
+			rel.Int(si.Rows),
 		})
 	}
 	sortTuples(out)

@@ -16,10 +16,15 @@
 #          also guards the columnar alloc win: the
 #          col-engine Union at n=100000 must stay
 #          >=5x below BENCH_par's row-engine allocs
+#   shard  B-SHARD (scatter-gather federation at      -> BENCH_shard.json
+#          1/2/4/8 shards vs single-endpoint:
+#          latency, cells-per-shard, key pruning)
 #
 # Every suite must produce at least one JSON record; a suite whose pattern
 # matches nothing (a renamed benchmark, a build failure swallowed by tee)
-# fails the run loudly instead of silently dropping the trajectory.
+# fails the run loudly instead of silently dropping the trajectory. Each
+# file leads with a {"host": ...} record (go version, OS/arch, NumCPU,
+# GOMAXPROCS) so trajectories compare like with like across machines.
 #
 # Usage:
 #   scripts/bench.sh [suite ...]        # default: all suites
@@ -36,7 +41,8 @@ suite_pattern() {
     par) echo 'BenchmarkParallelHashOps|BenchmarkParallelStreamJoin|BenchmarkParallelMediatorLatency|BenchmarkParallelExecution' ;;
     fault) echo 'BenchmarkFaultScenarios|BenchmarkFaultDeadline' ;;
     col) echo 'BenchmarkColumnarHashOps|BenchmarkColumnarWireStream' ;;
-    *) echo "ERROR: unknown suite '$1' (want: serve par fault col)" >&2; return 1 ;;
+    shard) echo 'BenchmarkShardScatterGather|BenchmarkShardPrunedRetrieve' ;;
+    *) echo "ERROR: unknown suite '$1' (want: serve par fault col shard)" >&2; return 1 ;;
     esac
 }
 
@@ -46,7 +52,21 @@ suite_out() {
     par) echo BENCH_par.json ;;
     fault) echo BENCH_fault.json ;;
     col) echo BENCH_col.json ;;
+    shard) echo BENCH_shard.json ;;
     esac
+}
+
+# host_record renders the machine context every BENCH file leads with, so a
+# perf trajectory is never compared across unlike hosts unnoticed.
+host_record() {
+    local gover goos goarch ncpu maxprocs
+    gover=$(go env GOVERSION)
+    goos=$(go env GOOS)
+    goarch=$(go env GOARCH)
+    ncpu=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)
+    maxprocs=${GOMAXPROCS:-$ncpu}
+    printf '{"host": {"go": "%s", "os": "%s", "arch": "%s", "numcpu": %s, "gomaxprocs": %s}}' \
+        "$gover" "$goos" "$goarch" "$ncpu" "$maxprocs"
 }
 
 # The columnar suite carries a regression guard: the col-engine Union at
@@ -61,7 +81,7 @@ import json, sys
 def allocs(path, name):
     with open(path) as f:
         for rec in json.load(f):
-            if rec["benchmark"] == name:
+            if rec.get("benchmark") == name:
                 return rec.get("allocs/op")
     return None
 
@@ -79,8 +99,8 @@ EOF
 #   BenchmarkName/sub=1-8   300   4039387 ns/op   2010 p50-µs   247.6 qps
 # i.e. name, iterations, then value/unit pairs. Emit one JSON object each.
 to_json() {
-    awk '
-    BEGIN { print "["; first = 1 }
+    awk -v host="$(host_record)" '
+    BEGIN { print "["; printf("  %s", host); first = 0 }
     /^Benchmark/ {
         name = $1; sub(/-[0-9]+$/, "", name)
         if (!first) printf(",\n"); first = 0
@@ -131,7 +151,7 @@ run_suite() {
 
 suites=("$@")
 if [ ${#suites[@]} -eq 0 ]; then
-    suites=(serve par fault col)
+    suites=(serve par fault col shard)
 fi
 failed=0
 for s in "${suites[@]}"; do

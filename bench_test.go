@@ -29,6 +29,7 @@ import (
 	"repro/internal/relalg"
 	"repro/internal/sourceset"
 	"repro/internal/stats"
+	"repro/internal/store"
 	"repro/internal/tables"
 	"repro/internal/translate"
 	"repro/internal/wire"
@@ -1539,6 +1540,168 @@ func BenchmarkShardPrunedRetrieve(b *testing.B) {
 			}
 			b.StopTimer()
 			reportShardTransfer(b, meters, int64(b.N))
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// B-STORE (durability): the write-ahead segment log and the memory-budgeted
+// spill path. Replay throughput bounds restart time, the append sweep is
+// what logging (and each fsync policy) costs per acknowledged write against
+// the bare in-memory catalog, and the spill join is what grace-spilling a
+// hash build to checksummed temp segments costs against the all-in-memory
+// build it must match cell-for-cell.
+
+func storeBenchRow(i int) rel.Tuple {
+	return rel.Tuple{
+		rel.String(fmt.Sprintf("K%07d", i)),
+		rel.Int(int64(i * 13)),
+		rel.String(fmt.Sprintf("payload row %d with some width to it", i)),
+	}
+}
+
+func storeBenchSeed(b *testing.B) *catalog.Database {
+	b.Helper()
+	db := catalog.NewDatabase("BENCH")
+	// No key: keyed relations pay a uniqueness scan per Insert call, which
+	// would swamp the log append being measured.
+	if _, err := db.Create("R", rel.SchemaOf("K", "V", "NOTE")); err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+// BenchmarkStoreReplay (B-STORE): recovering a store whose state lives
+// entirely in the log tail — decode, checksum and apply n records. SetBytes
+// reports it as replay MB/s.
+func BenchmarkStoreReplay(b *testing.B) {
+	sizes := []int{1000, 20000}
+	if testing.Short() {
+		sizes = []int{1000}
+	}
+	for _, n := range sizes {
+		b.Run(fmt.Sprintf("records=%d", n), func(b *testing.B) {
+			dir := b.TempDir()
+			opts := store.Options{Fsync: store.FsyncInterval, CompactBytes: -1}
+			st, err := store.Open(dir, "BENCH", storeBenchSeed(b), opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				if err := st.Insert("R", storeBenchRow(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := st.Close(); err != nil {
+				b.Fatal(err)
+			}
+			warm, err := store.Open(dir, "BENCH", nil, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			replay := warm.Stats()
+			if err := warm.Close(); err != nil {
+				b.Fatal(err)
+			}
+			if replay.ReplayRecords != int64(n) {
+				b.Fatalf("replayed %d records, want %d", replay.ReplayRecords, n)
+			}
+			b.SetBytes(replay.ReplayBytes)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st, err := store.Open(dir, "BENCH", nil, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := st.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStoreAppend (B-STORE): one acknowledged single-row insert, per
+// durability mode. mode=memory is the bare catalog (the pre-durability
+// baseline); wal-interval adds encoding, checksumming and the buffered log
+// write; wal-always adds the fsync each acknowledgment waits on — the real
+// price of "an acked write survives any crash".
+func BenchmarkStoreAppend(b *testing.B) {
+	b.Run("mode=memory", func(b *testing.B) {
+		db := storeBenchSeed(b)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := db.Insert("R", storeBenchRow(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, mode := range []store.FsyncMode{store.FsyncInterval, store.FsyncAlways} {
+		b.Run(fmt.Sprintf("mode=wal-%s", mode), func(b *testing.B) {
+			st, err := store.Open(b.TempDir(), "BENCH", storeBenchSeed(b),
+				store.Options{Fsync: mode, CompactBytes: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := st.Insert("R", storeBenchRow(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSpillJoin (B-STORE): the B-PAR join fixture under a memory
+// budget. engine=mem is the unbudgeted in-memory build; engine=hybrid
+// spills the overflow partitions and probes the resident ones in memory;
+// engine=spill forces essentially every build partition through a temp
+// segment and back. The answers are cell- and tag-identical across all
+// three — this sweep prices the disk round-trip.
+func BenchmarkSpillJoin(b *testing.B) {
+	n := 100000
+	if testing.Short() {
+		n = 20000
+	}
+	p1, p2 := keyAblationInput(100, n)
+	modes := []struct {
+		name   string
+		budget int64
+	}{
+		{"mem", 0},
+		// The build side runs ~200B/tuple through the byte estimator, so
+		// half that keeps roughly half the partitions resident.
+		{"hybrid", int64(n) * 100},
+		{"spill", 64 << 10},
+	}
+	for _, m := range modes {
+		alg := core.NewAlgebra(nil)
+		var mem *core.Memory
+		if m.budget > 0 {
+			mem = &core.Memory{Budget: m.budget, TempDir: b.TempDir()}
+			alg.SetMemory(mem)
+		}
+		b.Run(fmt.Sprintf("engine=%s/n=%d", m.name, n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cur, err := alg.StreamJoin(core.CursorOf(p1), "KEY", rel.ThetaEQ, core.CursorOf(p2), "KEY")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := core.Drain(cur); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if mem != nil && mem.Spills.Load() == 0 {
+				b.Fatalf("engine=%s never spilled: the budget is mislabeling an in-memory run", m.name)
+			}
+			if mem != nil {
+				b.ReportMetric(float64(mem.SpilledRows.Load())/float64(b.N), "spilled-rows/op")
+			}
 		})
 	}
 }

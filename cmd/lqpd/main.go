@@ -51,6 +51,7 @@ import (
 	"repro/internal/federation"
 	"repro/internal/lqp"
 	"repro/internal/paperdata"
+	"repro/internal/store"
 	"repro/internal/wire"
 )
 
@@ -62,6 +63,10 @@ func main() {
 	save := flag.String("save", "", "write the served database to a snapshot file before serving")
 	addr := flag.String("addr", "127.0.0.1:0", "listen address")
 	shardSpec := flag.String("shard", "", `serve one horizontal shard of the chosen database: "i/N" keeps only slice i of N (placement by canonical-ID hash, matching polygend -shards; every row lands on exactly one of the N daemons)`)
+	dataDir := flag.String("data-dir", "", "durable mode: persist the database as snapshot + write-ahead segment log in this directory; an empty dir is seeded from -db/-csv/-snapshot (post -shard slicing), a non-empty one is recovered from disk — snapshot plus log tail, truncated at the first torn record — and the seed flags are ignored")
+	fsyncMode := flag.String("fsync", "always", `write-ahead log fsync policy: "always" (fsync before every acknowledgment) or "interval" (group fsync on -fsync-interval; a crash may lose the last interval's acknowledged writes)`)
+	fsyncInterval := flag.Duration("fsync-interval", 50*time.Millisecond, "group-commit period for -fsync=interval")
+	compactBytes := flag.Int64("compact-bytes", 0, "rotate snapshot + log once the log passes this size (0 = engine default 64MiB, negative disables auto-compaction)")
 	writeTimeout := flag.Duration("write-timeout", wire.DefaultTimeout, "per-message write deadline (a client that stops reading is dropped)")
 	idleTimeout := flag.Duration("idle-timeout", 0, "drop connections idle longer than this (0 = keep idle connections open)")
 	legacyFrames := flag.Bool("legacy-frames", false, "refuse the binary stream-frame codec and serve gob row frames only (interop escape hatch)")
@@ -148,6 +153,29 @@ func main() {
 	}
 
 	var served wire.LocalLQP = lqp.NewLocal(db)
+	var st *store.Store
+	durableNote := ""
+	if *dataDir != "" {
+		mode, err := store.ParseFsyncMode(*fsyncMode)
+		if err != nil {
+			fatal("%v", err)
+		}
+		st, err = store.Open(*dataDir, db.Name(), db, store.Options{
+			Fsync:         mode,
+			FsyncInterval: *fsyncInterval,
+			CompactBytes:  *compactBytes,
+		})
+		if err != nil {
+			fatal("opening data dir: %v", err)
+		}
+		db = st.DB() // recovery may supersede the seed flags
+		dur := store.NewLQP(st)
+		store.Register(db.Name(), st)
+		served = dur
+		rst := st.Stats()
+		durableNote = fmt.Sprintf(" durable[%s gen=%d replayed=%d truncated=%dB fsync=%s]",
+			*dataDir, rst.Generation, rst.ReplayRecords, rst.TruncatedBytes, mode)
+	}
 	profile := faultinject.Profile{
 		Seed:         *chaosSeed,
 		ErrEvery:     *chaosErrEvery,
@@ -184,9 +212,14 @@ func main() {
 	if chaotic {
 		chaosNote = fmt.Sprintf(" [CHAOS seed=%d]", *chaosSeed)
 	}
-	fmt.Printf("lqpd: serving %s (%s)%s on %s%s\n", db.Name(), strings.Join(db.Relations(), ", "), shardNote, bound, chaosNote)
+	fmt.Printf("lqpd: serving %s (%s)%s%s on %s%s\n", db.Name(), strings.Join(db.Relations(), ", "), shardNote, durableNote, bound, chaosNote)
 
 	cmdutil.ServeUntilSignal(srv, *drain, "lqpd")
+	if st != nil {
+		if err := st.Close(); err != nil {
+			fatal("closing store: %v", err)
+		}
+	}
 }
 
 func fatal(format string, args ...any) { cmdutil.Fatal(format, args...) }

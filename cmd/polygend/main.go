@@ -34,6 +34,8 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/cmdutil"
@@ -44,6 +46,7 @@ import (
 	"repro/internal/paperdata"
 	"repro/internal/pqp"
 	"repro/internal/stats"
+	"repro/internal/store"
 	"repro/internal/translate"
 	"repro/internal/vtab"
 	"repro/internal/wire"
@@ -68,6 +71,8 @@ func main() {
 	collect := flag.Bool("collect-stats", true, "probe LQP statistics at startup to seed the optimizer")
 	parWorkers := flag.Int("parallel-workers", 0, "intra-operator worker pool size shared by all sessions (0 = GOMAXPROCS, -1 disables the parallel path)")
 	parThreshold := flag.Int("parallel-threshold", 0, "minimum input tuples before a hash operator runs partitioned (0 = engine default)")
+	memBudget := flag.String("mem-budget", "", `per-query memory budget for blocking hash operators, e.g. "64M" or "1G" (K/M/G suffixes; empty disables): partitions past the budget grace-spill to checksummed temp segments and are processed from disk; mutually exclusive with the parallel path — a budgeted engine builds serially`)
+	spillDir := flag.String("spill-dir", "", "directory for -mem-budget spill segments (empty = the OS temp dir)")
 	maxSessions := flag.Int("max-sessions", 0, "session table bound (0 = default)")
 	sessionIdle := flag.Duration("session-idle", 0, "idle session expiry (0 = default 1h)")
 	writeTimeout := flag.Duration("write-timeout", wire.DefaultTimeout, "per-message write deadline (a client that stops reading is dropped)")
@@ -180,6 +185,13 @@ func main() {
 	processor.Optimize = !*noOptimize
 	processor.RelaxedJoinReorder = *relaxed
 	processor.SetParallel(*parWorkers, *parThreshold)
+	if *memBudget != "" {
+		budget, err := parseBytes(*memBudget)
+		if err != nil {
+			fatal("bad -mem-budget: %v", err)
+		}
+		processor.SetMemoryBudget(budget, *spillDir)
+	}
 	if *cacheSize > 0 {
 		processor.Plans = translate.NewPlanCache(*cacheSize)
 	} else {
@@ -210,6 +222,8 @@ func main() {
 		Stats:    func() *stats.Catalog { return processor.Stats },
 		Faults:   faults,
 		Registry: fedReg,
+		Stores:   store.Each,
+		Memory:   processor.MemoryConfig(),
 	})
 	srv := wire.NewMediatorServer(svc)
 	srv.WriteTimeout = *writeTimeout
@@ -219,8 +233,12 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
-	fmt.Printf("polygend: serving federation %q on %s (plan cache %d, optimizer %v, parallel workers %d, degrade %s)\n",
-		fedName, bound, *cacheSize, processor.Optimize, processor.ParallelWorkers(), policy)
+	memNote := ""
+	if m := processor.MemoryConfig(); m != nil {
+		memNote = fmt.Sprintf(", mem budget %dB", m.Budget)
+	}
+	fmt.Printf("polygend: serving federation %q on %s (plan cache %d, optimizer %v, parallel workers %d, degrade %s%s)\n",
+		fedName, bound, *cacheSize, processor.Optimize, processor.ParallelWorkers(), policy, memNote)
 
 	if *metricsAddr != "" {
 		mln, err := net.Listen("tcp", *metricsAddr)
@@ -236,6 +254,28 @@ func main() {
 
 	cmdutil.ServeUntilSignal(srv, *drain, "polygend")
 	fmt.Println("polygend: bye")
+}
+
+// parseBytes parses a byte count with an optional K/M/G binary suffix
+// ("64M" = 64 MiB). Plain digits are bytes.
+func parseBytes(s string) (int64, error) {
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "K"), strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"), strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, s[:len(s)-1]
+	case strings.HasSuffix(s, "G"), strings.HasSuffix(s, "g"):
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%q is not a byte count (want digits with optional K/M/G suffix)", s)
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("byte count must be positive, got %q", s)
+	}
+	return n * mult, nil
 }
 
 func fatal(format string, args ...any) { cmdutil.Fatal(format, args...) }

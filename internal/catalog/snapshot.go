@@ -1,17 +1,33 @@
 package catalog
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
 	"io"
 	"os"
 
 	"repro/internal/rel"
+	"repro/internal/segment"
 )
 
 // The gob snapshot format gives a local database durable storage: lqpd can
 // serve a database from a snapshot file, and tools can persist a federation
 // between runs. Values rely on rel.Value's gob encoding.
+//
+// Snapshots carry an integrity header so a torn or rotted file fails with a
+// typed error naming the offset instead of a gob panic deep in decode:
+//
+//	+--------------+---------+------------------+------------------+---------+
+//	| "PGSNAP" (6) | ver (1) | payload len u64  | payload crc u32  | gob ... |
+//	+--------------+---------+------------------+------------------+---------+
+//
+// length and CRC32-C little-endian, covering the gob payload. ReadSnapshot
+// still accepts headerless legacy files (anything not starting with the
+// magic) for forward compatibility with snapshots written before the header
+// existed.
 
 type dbSnapshot struct {
 	Name      string
@@ -25,10 +41,18 @@ type relSnapshot struct {
 	Tuples [][]rel.Value
 }
 
-// WriteSnapshot serializes the whole database — schemas, keys and tuples —
-// to w.
-func (d *Database) WriteSnapshot(w io.Writer) error {
+var snapshotMagic = [6]byte{'P', 'G', 'S', 'N', 'A', 'P'}
+
+const (
+	snapshotVersion    = 1
+	snapshotHeaderSize = 6 + 1 + 8 + 4
+)
+
+// snapshot gathers the database — schemas, keys and tuples — under the read
+// lock.
+func (d *Database) snapshot() dbSnapshot {
 	d.mu.RLock()
+	defer d.mu.RUnlock()
 	snap := dbSnapshot{Name: d.name}
 	for _, name := range d.relationNamesLocked() {
 		t := d.rels[name]
@@ -42,9 +66,34 @@ func (d *Database) WriteSnapshot(w io.Writer) error {
 		}
 		snap.Relations = append(snap.Relations, rs)
 	}
-	d.mu.RUnlock()
-	if err := gob.NewEncoder(w).Encode(snap); err != nil {
-		return fmt.Errorf("catalog: encoding snapshot of %q: %w", snap.Name, err)
+	return snap
+}
+
+// EncodeSnapshot serializes the whole database to one headered snapshot
+// byte slice — the unit SaveFile persists atomically and internal/store
+// rotates into its data directory.
+func (d *Database) EncodeSnapshot() ([]byte, error) {
+	snap := d.snapshot()
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(snap); err != nil {
+		return nil, fmt.Errorf("catalog: encoding snapshot of %q: %w", snap.Name, err)
+	}
+	out := make([]byte, snapshotHeaderSize, snapshotHeaderSize+payload.Len())
+	copy(out[0:6], snapshotMagic[:])
+	out[6] = snapshotVersion
+	binary.LittleEndian.PutUint64(out[7:15], uint64(payload.Len()))
+	binary.LittleEndian.PutUint32(out[15:19], segment.Checksum(payload.Bytes()))
+	return append(out, payload.Bytes()...), nil
+}
+
+// WriteSnapshot writes the headered snapshot to w.
+func (d *Database) WriteSnapshot(w io.Writer) error {
+	data, err := d.EncodeSnapshot()
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		return fmt.Errorf("catalog: writing snapshot of %q: %w", d.name, err)
 	}
 	return nil
 }
@@ -67,8 +116,53 @@ func sortStrings(s []string) {
 	}
 }
 
-// ReadSnapshot reconstructs a database from a snapshot.
+// ReadSnapshot reconstructs a database from a snapshot. Headered snapshots
+// are verified before decoding: a truncated or bit-rotted file fails with a
+// *segment.CorruptError naming the offset of the damage. Headerless legacy
+// files (written before the header existed) are decoded as bare gob.
 func ReadSnapshot(r io.Reader) (*Database, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(snapshotMagic))
+	if err == nil && bytes.Equal(head, snapshotMagic[:]) {
+		return readHeadered(br)
+	}
+	// Legacy path: not a headered snapshot (or shorter than the magic);
+	// the peeked bytes are still in the buffer for gob.
+	return decodeSnapshot(br)
+}
+
+func readHeadered(br *bufio.Reader) (*Database, error) {
+	var hdr [snapshotHeaderSize]byte
+	if n, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, &segment.CorruptError{Path: "snapshot", Offset: int64(n), Reason: "torn header"}
+	}
+	if hdr[6] != snapshotVersion {
+		return nil, fmt.Errorf("catalog: snapshot version %d not supported (want %d)", hdr[6], snapshotVersion)
+	}
+	length := binary.LittleEndian.Uint64(hdr[7:15])
+	want := binary.LittleEndian.Uint32(hdr[15:19])
+	if length > segment.MaxRecord {
+		return nil, &segment.CorruptError{Path: "snapshot", Offset: 7, Reason: fmt.Sprintf("payload length %d implausible", length)}
+	}
+	payload := make([]byte, length)
+	if n, err := io.ReadFull(br, payload); err != nil {
+		return nil, &segment.CorruptError{
+			Path:   "snapshot",
+			Offset: int64(snapshotHeaderSize + n),
+			Reason: fmt.Sprintf("torn payload (%d of %d bytes)", n, length),
+		}
+	}
+	if got := segment.Checksum(payload); got != want {
+		return nil, &segment.CorruptError{
+			Path:   "snapshot",
+			Offset: snapshotHeaderSize,
+			Reason: fmt.Sprintf("payload checksum mismatch (%#x != %#x)", got, want),
+		}
+	}
+	return decodeSnapshot(bytes.NewReader(payload))
+}
+
+func decodeSnapshot(r io.Reader) (*Database, error) {
 	var snap dbSnapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("catalog: decoding snapshot: %w", err)
@@ -87,31 +181,16 @@ func ReadSnapshot(r io.Reader) (*Database, error) {
 	return db, nil
 }
 
-// SaveFile writes a snapshot to path (atomically via a temporary file in
-// the same directory).
+// SaveFile writes a snapshot to path atomically and durably: temp file in
+// the same directory, fsync, rename, directory fsync — a crash at any point
+// leaves either the previous file or the complete new one, never a
+// zero-length or torn snapshot behind the rename.
 func (d *Database) SaveFile(path string) error {
-	tmp, err := os.CreateTemp(dirOf(path), ".snapshot-*")
+	data, err := d.EncodeSnapshot()
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmp.Name())
-	if err := d.WriteSnapshot(tmp); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
-}
-
-func dirOf(path string) string {
-	for i := len(path) - 1; i >= 0; i-- {
-		if path[i] == '/' {
-			return path[:i]
-		}
-	}
-	return "."
+	return segment.WriteFileSync(path, data)
 }
 
 // OpenFile reads a snapshot from path.
@@ -121,5 +200,31 @@ func OpenFile(path string) (*Database, error) {
 		return nil, err
 	}
 	defer f.Close()
-	return ReadSnapshot(f)
+	db, err := ReadSnapshot(f)
+	if err != nil {
+		var ce *segment.CorruptError
+		if asCorrupt(err, &ce) {
+			ce.Path = path
+		}
+		return nil, err
+	}
+	return db, nil
+}
+
+// asCorrupt is errors.As for *segment.CorruptError without importing errors
+// twice; split out for clarity.
+func asCorrupt(err error, target **segment.CorruptError) bool {
+	for err != nil {
+		if ce, ok := err.(*segment.CorruptError); ok {
+			*target = ce
+			return true
+		}
+		type unwrapper interface{ Unwrap() error }
+		u, ok := err.(unwrapper)
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
 }

@@ -2,11 +2,15 @@ package catalog
 
 import (
 	"bytes"
+	"encoding/gob"
+	"errors"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/rel"
+	"repro/internal/segment"
 )
 
 func snapshotDB() *Database {
@@ -83,5 +87,92 @@ func TestSnapshotErrors(t *testing.T) {
 	}
 	if _, err := OpenFile(filepath.Join(t.TempDir(), "missing")); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+// legacySnapshot encodes db as a headerless bare-gob snapshot, the on-disk
+// format from before the integrity header existed.
+func legacySnapshot(t *testing.T, db *Database) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(db.snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestSnapshotLegacyHeaderless(t *testing.T) {
+	raw := legacySnapshot(t, snapshotDB())
+	back, err := ReadSnapshot(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("legacy headerless snapshot rejected: %v", err)
+	}
+	if back.Name() != "CD" || len(back.Relations()) != 2 {
+		t.Error("legacy round trip lost data")
+	}
+}
+
+func TestSnapshotTruncated(t *testing.T) {
+	db := snapshotDB()
+	data, err := db.EncodeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Torn header and torn payload both name the damage offset.
+	for _, cut := range []int{snapshotHeaderSize - 1, snapshotHeaderSize + 5, len(data) - 1} {
+		_, err := ReadSnapshot(bytes.NewReader(data[:cut]))
+		var ce *segment.CorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("truncate at %d: want CorruptError, got %v", cut, err)
+		}
+		if ce.Offset < 0 || ce.Offset > int64(cut) {
+			t.Fatalf("truncate at %d: offset %d out of range", cut, ce.Offset)
+		}
+	}
+	// A cut shorter than the magic falls through to the legacy gob path and
+	// still fails, just without the typed error.
+	if _, err := ReadSnapshot(bytes.NewReader(data[:4])); err == nil {
+		t.Fatal("4-byte prefix accepted")
+	}
+}
+
+func TestSnapshotBitRot(t *testing.T) {
+	db := snapshotDB()
+	data, err := db.EncodeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rotted := append([]byte(nil), data...)
+	rotted[snapshotHeaderSize+7] ^= 0x10
+	_, rerr := ReadSnapshot(bytes.NewReader(rotted))
+	var ce *segment.CorruptError
+	if !errors.As(rerr, &ce) || !strings.Contains(ce.Reason, "checksum") {
+		t.Fatalf("want checksum CorruptError, got %v", rerr)
+	}
+}
+
+func TestSnapshotWrongVersion(t *testing.T) {
+	db := snapshotDB()
+	data, _ := db.EncodeSnapshot()
+	data[6] = 99
+	if _, err := ReadSnapshot(bytes.NewReader(data)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("want version error, got %v", err)
+	}
+}
+
+func TestOpenFileNamesPath(t *testing.T) {
+	db := snapshotDB()
+	data, _ := db.EncodeSnapshot()
+	path := filepath.Join(t.TempDir(), "cd.snapshot")
+	if err := os.WriteFile(path, data[:len(data)-2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := OpenFile(path)
+	var ce *segment.CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want CorruptError, got %v", err)
+	}
+	if ce.Path != path {
+		t.Fatalf("corrupt error names %q, want %q", ce.Path, path)
 	}
 }

@@ -21,6 +21,11 @@ type Algebra struct {
 	// by hash and fan out across the shared worker pool (parallel.go). Set
 	// while wiring, before the Algebra is shared; nil means serial.
 	par *Parallel
+	// mem, when non-nil with a positive budget, bounds the blocking state
+	// of the streaming hash operators: partitions past the budget
+	// grace-spill to checksummed temp segments and are processed from disk
+	// (spill.go). A budgeted algebra builds serially.
+	mem *Memory
 }
 
 // NewAlgebra returns an Algebra using r to canonicalize values in

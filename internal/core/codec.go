@@ -1,0 +1,188 @@
+package core
+
+// This file implements the tagged half of the binary columnar codec: a plain
+// rel frame (see rel/codec.go) extended with the source-tag machinery a
+// core.ColBatch carries. The wire protocol sends these as "queryopen" stream
+// frames; the spill layer (core/spill.go) writes them into checksummed temp
+// segments so a partition re-probed from disk keeps its provenance tags.
+//
+//	+-------+--------+--------+---------+--------+---------------- ... ----+
+//	| 0xC2  | ncols  | nrows  | sources | sets   | tagged col 0 | ...      |
+//	+-------+--------+--------+---------+--------+---------------- ... ----+
+//
+// A tagged column is a plain column followed by two tag-index vectors, one
+// uvarint per row each (origin then intermediate), indexing the frame's set
+// directory. The directories come once per frame:
+//
+//	sources   uvarint count, then per name: uvarint len + bytes
+//	sets      uvarint count (>= 1; set 0 is the empty set), then per set:
+//	          uvarint member count + one uvarint source index per member
+//
+// The frame carries its own source-name directory, so a receiver re-interns
+// names into its registry instead of trusting registry IDs across processes.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/rel"
+	"repro/internal/sourceset"
+)
+
+// FrameMagicTagged opens a source-tagged columnar frame (a core.ColBatch).
+const FrameMagicTagged = 0xC2
+
+// AppendFrame appends one tagged columnar frame to buf and returns it.
+func AppendFrame(buf []byte, b *ColBatch) []byte {
+	d := b.Degree()
+	buf = append(buf, FrameMagicTagged)
+	buf = binary.AppendUvarint(buf, uint64(d))
+	buf = binary.AppendUvarint(buf, uint64(b.Len()))
+
+	// Source-name directory: every ID referenced by the set dictionary, in
+	// first-reference order.
+	index := make(map[sourceset.ID]uint64)
+	var names []string
+	for _, s := range b.Sets {
+		for _, id := range s.IDs() {
+			if _, ok := index[id]; !ok {
+				index[id] = uint64(len(names))
+				names = append(names, b.Reg.Name(id))
+			}
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(names)))
+	for _, name := range names {
+		buf = binary.AppendUvarint(buf, uint64(len(name)))
+		buf = append(buf, name...)
+	}
+
+	// Set directory: the batch's tag dictionary, each set as source indexes.
+	buf = binary.AppendUvarint(buf, uint64(len(b.Sets)))
+	for _, s := range b.Sets {
+		ids := s.IDs()
+		buf = binary.AppendUvarint(buf, uint64(len(ids)))
+		for _, id := range ids {
+			buf = binary.AppendUvarint(buf, index[id])
+		}
+	}
+
+	for ci := 0; ci < d; ci++ {
+		buf = rel.AppendColumnData(buf, &b.Data[ci])
+		for _, ix := range b.OTag[ci] {
+			buf = binary.AppendUvarint(buf, uint64(ix))
+		}
+		for _, ix := range b.ITag[ci] {
+			buf = binary.AppendUvarint(buf, uint64(ix))
+		}
+	}
+	return buf
+}
+
+// decodeTagVector decodes one per-row tag-index vector, validating every
+// index against the set directory.
+func decodeTagVector(r *rel.FrameReader, n, nsets int) ([]uint32, error) {
+	out := make([]uint32, n)
+	for i := range out {
+		v, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if v >= uint64(nsets) {
+			return nil, fmt.Errorf("core: frame tag index %d outside set directory of %d", v, nsets)
+		}
+		out[i] = uint32(v)
+	}
+	return out, nil
+}
+
+// DecodeFrame decodes one tagged columnar frame into the receiver's
+// attribute space, re-interning the frame's source names into reg.
+func DecodeFrame(payload []byte, name string, attrs []Attr, reg *sourceset.Registry) (*ColBatch, error) {
+	r := rel.NewFrameReader(payload)
+	magic, err := r.U8()
+	if err != nil {
+		return nil, err
+	}
+	if magic != FrameMagicTagged {
+		return nil, fmt.Errorf("core: frame magic %#x, want %#x", magic, FrameMagicTagged)
+	}
+	// As in rel.DecodeFrame, ncols is bounded by the attribute list, not by
+	// the payload size.
+	ncols, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if ncols != uint64(len(attrs)) {
+		return nil, fmt.Errorf("core: frame has %d columns for %d attributes", ncols, len(attrs))
+	}
+	nrows, err := r.Length(r.Remaining())
+	if err != nil {
+		return nil, err
+	}
+
+	// Source directory: each name costs at least its length prefix.
+	nsources, err := r.Length(r.Remaining())
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]sourceset.ID, nsources)
+	for i := range ids {
+		l, err := r.Length(r.Remaining())
+		if err != nil {
+			return nil, err
+		}
+		nb, err := r.Take(l)
+		if err != nil {
+			return nil, err
+		}
+		ids[i] = reg.Intern(string(nb))
+	}
+
+	// Set directory: each set costs at least its member-count varint.
+	nsets, err := r.Length(r.Remaining())
+	if err != nil {
+		return nil, err
+	}
+	if nsets < 1 {
+		return nil, fmt.Errorf("core: frame has an empty set directory")
+	}
+	sets := make([]sourceset.Set, nsets)
+	for i := range sets {
+		members, err := r.Length(r.Remaining())
+		if err != nil {
+			return nil, err
+		}
+		var s sourceset.Set
+		for m := 0; m < members; m++ {
+			si, err := r.Uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if si >= uint64(len(ids)) {
+				return nil, fmt.Errorf("core: frame source index %d outside directory of %d", si, len(ids))
+			}
+			s = s.With(ids[si])
+		}
+		sets[i] = s
+	}
+
+	data := make([]rel.Column, ncols)
+	otag := make([][]uint32, ncols)
+	itag := make([][]uint32, ncols)
+	for ci := range data {
+		if data[ci], err = r.DecodeColumn(nrows); err != nil {
+			return nil, fmt.Errorf("core: column %d: %w", ci, err)
+		}
+		if otag[ci], err = decodeTagVector(r, nrows, nsets); err != nil {
+			return nil, fmt.Errorf("core: column %d origin tags: %w", ci, err)
+		}
+		if itag[ci], err = decodeTagVector(r, nrows, nsets); err != nil {
+			return nil, fmt.Errorf("core: column %d intermediate tags: %w", ci, err)
+		}
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("core: frame has %d trailing bytes", r.Remaining())
+	}
+	return BuildColBatch(name, reg, attrs, data, otag, itag, sets, nrows)
+}

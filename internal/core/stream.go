@@ -199,6 +199,21 @@ func (a *Algebra) StreamProject(in Cursor, attrs []string) (Cursor, error) {
 	}
 	reg := in.Registry()
 	build := func() (*Relation, error) {
+		if mem := a.memActive(); mem != nil {
+			d := newDedupSpill(mem, outAttrs, reg)
+			defer d.release()
+			scratch := make(Tuple, len(idx))
+			err := consumeErr(in, func(t Tuple) error {
+				for i, ci := range idx {
+					scratch[i] = t[ci]
+				}
+				return d.add(scratch)
+			})
+			if err != nil {
+				return nil, err
+			}
+			return d.result()
+		}
 		out := NewRelation("", reg, outAttrs...)
 		ix := newDataIndex(rel.DefaultBatchSize)
 		scratch := make(Tuple, len(idx))
@@ -231,6 +246,18 @@ func (a *Algebra) StreamUnion(l, r Cursor) (Cursor, error) {
 	attrs := l.Attrs()
 	reg := l.Registry()
 	build := func() (*Relation, error) {
+		if mem := a.memActive(); mem != nil {
+			d := newDedupSpill(mem, attrs, reg)
+			defer d.release()
+			if err := consumeErr(l, d.add); err != nil {
+				r.Close()
+				return nil, err
+			}
+			if err := consumeErr(r, d.add); err != nil {
+				return nil, err
+			}
+			return d.result()
+		}
 		out := NewRelation("", reg, attrs...)
 		ix := newDataIndex(rel.DefaultBatchSize)
 		if err := consume(l, func(t Tuple) { dedupInsert(out, ix, t) }); err != nil {
@@ -321,6 +348,13 @@ type differenceStream struct {
 	drop func(t Tuple, h uint64) bool
 	p2o  sourceset.Set
 	seen dataIndex
+	// spill, when non-nil, is the budgeted build: the drop side partitioned
+	// by data hash with overflow partitions on disk (spill.go). Probe rows
+	// hashing to a spilled partition are deferred to probes and anti-joined
+	// partition-locally once the probe side is exhausted.
+	spill     *spillParts
+	probes    []*spillFile
+	spillDone bool
 }
 
 // StreamDifference is the streaming Difference primitive. On a
@@ -350,6 +384,12 @@ func (c *differenceStream) Next() ([]Tuple, error) {
 	}
 	if !c.built {
 		c.built = true
+		if mem := c.a.memActive(); mem != nil {
+			if err := c.buildSpilled(mem); err != nil {
+				return c.fail(err)
+			}
+			return c.probe()
+		}
 		p2, err := Drain(c.r)
 		if err != nil {
 			return c.fail(err)
@@ -374,14 +414,36 @@ func (c *differenceStream) Next() ([]Tuple, error) {
 			c.p2o = p2.OriginUnion()
 		}
 	}
+	return c.probe()
+}
+
+// probe streams the left operand through the drop index, deferring rows
+// that hash to spilled partitions, and finishes with the disk phase.
+func (c *differenceStream) probe() ([]Tuple, error) {
 	for {
 		batch, err := c.l.Next()
 		if err != nil {
+			if err == io.EOF && c.spill != nil && !c.spillDone {
+				rows, derr := c.drainSpilled()
+				if derr != nil {
+					return c.fail(derr)
+				}
+				if len(rows) > 0 {
+					c.err = io.EOF
+					return rows, nil
+				}
+			}
 			return c.fail(err)
 		}
 		start := len(c.out.Tuples)
 		for _, t := range batch {
 			h := t.DataHash64()
+			if c.spill != nil && c.spill.spilled(rel.PartitionOf(h, c.spill.parts())) {
+				if err := c.deferProbe(t, h); err != nil {
+					return c.fail(err)
+				}
+				continue
+			}
 			if c.drop(t, h) {
 				continue
 			}
@@ -399,6 +461,107 @@ func (c *differenceStream) Next() ([]Tuple, error) {
 			return c.out.Tuples[start:len(c.out.Tuples):len(c.out.Tuples)], nil
 		}
 	}
+}
+
+// buildSpilled drains the drop side into a budget-bounded partition set,
+// accumulating the p2(o) intermediate union as it goes (exact regardless of
+// which partitions stay resident), then indexes the resident rows.
+func (c *differenceStream) buildSpilled(mem *Memory) error {
+	sp := newSpillParts(mem, c.r.Name(), c.r.Attrs(), c.r.Registry())
+	err := consumeErr(c.r, func(t Tuple) error {
+		c.p2o = c.p2o.Union(t.OriginUnion())
+		return sp.add(rel.PartitionOf(t.DataHash64(), sp.parts()), t)
+	})
+	if err != nil {
+		sp.release()
+		return err
+	}
+	memT := sp.memTuples()
+	ix := newDataIndex(len(memT))
+	for i, t := range memT {
+		ix.add(t.DataHash64(), i)
+	}
+	c.drop = func(t Tuple, h uint64) bool {
+		_, gone := ix.find(memT, t, h)
+		return gone
+	}
+	if sp.anySpilled() {
+		c.spill = sp
+		c.probes = make([]*spillFile, sp.parts())
+	} else {
+		sp.release()
+	}
+	return nil
+}
+
+// deferProbe routes a probe row whose data hash lands in a spilled drop
+// partition to that partition's probe file. Its duplicates co-partition, so
+// skipping the global seen dedup here cannot double-emit.
+func (c *differenceStream) deferProbe(t Tuple, h uint64) error {
+	p := rel.PartitionOf(h, c.spill.parts())
+	if c.probes[p] == nil {
+		f, err := newSpillFile(c.spill.mem, "", c.attrs, c.reg)
+		if err != nil {
+			return err
+		}
+		c.probes[p] = f
+	}
+	return c.probes[p].add(t)
+}
+
+// drainSpilled runs the disk phase: each spilled drop partition is reloaded
+// and its deferred probe rows anti-joined against it, survivors emitted
+// with the (already complete) p2(o) union in their intermediate sets.
+func (c *differenceStream) drainSpilled() ([]Tuple, error) {
+	c.spillDone = true
+	start := len(c.out.Tuples)
+	for p := 0; p < c.spill.parts(); p++ {
+		pf := c.probes[p]
+		if pf == nil {
+			continue // no probe rows hashed here: nothing can survive
+		}
+		drops, err := c.spill.files[p].load()
+		if err != nil {
+			return nil, err
+		}
+		ix := newDataIndex(len(drops))
+		for i, t := range drops {
+			ix.add(t.DataHash64(), i)
+		}
+		probe, err := pf.load()
+		if err != nil {
+			return nil, err
+		}
+		pf.discard()
+		c.probes[p] = nil
+		for _, t := range probe {
+			h := t.DataHash64()
+			if _, gone := ix.find(drops, t, h); gone {
+				continue
+			}
+			if _, dup := c.seen.find(c.out.Tuples, t, h); dup {
+				continue
+			}
+			row := c.out.NewRow(len(t))
+			for i, cell := range t {
+				row[i] = cell.WithIntermediate(c.p2o)
+			}
+			c.seen.add(h, len(c.out.Tuples))
+			c.out.Tuples = append(c.out.Tuples, row)
+		}
+	}
+	c.spill.release()
+	return c.out.Tuples[start:len(c.out.Tuples):len(c.out.Tuples)], nil
+}
+
+// Close releases any spill segments still on disk.
+func (c *differenceStream) Close() error {
+	c.spill.release()
+	for _, f := range c.probes {
+		f.discard()
+	}
+	c.probes = nil
+	return c.probeStream.Close()
 }
 
 // joinStream is the streaming hash Join for θ = "=": the right operand is
@@ -422,6 +585,16 @@ type joinStream struct {
 	li       int     // current left tuple within cur
 	matches  []int32 // pending build-side matches of cur[li]
 	mi       int     // next match to emit
+	// bspill, when non-nil, is the hybrid-hash state (spill.go): the build
+	// side partitioned by canonical key ID with overflow partitions on
+	// disk. Resident partitions are indexed in index/p2 and probed in
+	// stream; probe rows keyed into spilled partitions are deferred to
+	// probes and joined partition-at-a-time once the left is exhausted
+	// (leftDone), p2/index swapping to each reloaded partition in turn.
+	bspill   *spillParts
+	probes   []*spillFile
+	leftDone bool
+	nextPart int
 }
 
 // StreamJoin is the streaming derived Join operator p1[x θ y]p2. For θ = "="
@@ -482,20 +655,26 @@ func (c *joinStream) Next() ([]Tuple, error) {
 	}
 	if !c.built {
 		c.built = true
-		p2, err := Drain(c.r)
-		if err != nil {
-			return c.fail(err)
-		}
-		c.p2 = p2
-		if parts := c.a.parParts(len(p2.Tuples)); parts > 1 {
-			// Parallel partitioned build, then fan the probe out: each left
-			// batch joins against the (now read-only) index on a pool
-			// worker; re-sequencing keeps the serial engine's row order.
-			pool := c.a.parPool()
-			c.index = buildParIDIndex(pool, parts, c.a.Resolver(), p2.Tuples, c.yi)
-			c.delegate = ParallelCursor(c.l, pool, 2*pool.Workers(), c.probeBatch)
+		if mem := c.a.memActive(); mem != nil {
+			if err := c.buildSpilled(mem); err != nil {
+				return c.fail(err)
+			}
 		} else {
-			c.index = newIDIndex(c.a.Resolver(), p2.Tuples, c.yi)
+			p2, err := Drain(c.r)
+			if err != nil {
+				return c.fail(err)
+			}
+			c.p2 = p2
+			if parts := c.a.parParts(len(p2.Tuples)); parts > 1 {
+				// Parallel partitioned build, then fan the probe out: each left
+				// batch joins against the (now read-only) index on a pool
+				// worker; re-sequencing keeps the serial engine's row order.
+				pool := c.a.parPool()
+				c.index = buildParIDIndex(pool, parts, c.a.Resolver(), p2.Tuples, c.yi)
+				c.delegate = ParallelCursor(c.l, pool, 2*pool.Workers(), c.probeBatch)
+			} else {
+				c.index = newIDIndex(c.a.Resolver(), p2.Tuples, c.yi)
+			}
 		}
 	}
 	if c.delegate != nil {
@@ -521,7 +700,7 @@ func (c *joinStream) Next() ([]Tuple, error) {
 		// (tolerating empty batches, though cursors do not produce them).
 		c.li++
 		for c.li >= len(c.cur) {
-			batch, err := c.l.Next()
+			batch, err := c.nextProbe()
 			if err != nil {
 				if err == io.EOF && len(rows) > 0 {
 					c.err = io.EOF
@@ -534,9 +713,105 @@ func (c *joinStream) Next() ([]Tuple, error) {
 		t1 := c.cur[c.li]
 		c.matches, c.mi = nil, 0
 		if !t1[c.xi].D.IsNull() {
-			c.matches = c.index.lookup(res.CanonicalID(t1[c.xi].D))
+			id := res.CanonicalID(t1[c.xi].D)
+			if c.bspill != nil && !c.leftDone {
+				if p := idPartOf(id, c.bspill.parts()); c.bspill.spilled(p) {
+					if err := c.deferProbe(p, t1); err != nil {
+						return c.fail(err)
+					}
+					continue
+				}
+			}
+			c.matches = c.index.lookup(id)
 		}
 	}
+}
+
+// buildSpilled drains the build side into a budget-bounded partition set
+// keyed by canonical join-key ID (null keys, which can never match, ride in
+// partition 0), then indexes the resident rows. If nothing overflowed, the
+// result is the plain serial hash join over exactly the drained rows.
+func (c *joinStream) buildSpilled(mem *Memory) error {
+	res := c.a.Resolver()
+	name, attrs, reg := c.r.Name(), c.r.Attrs(), c.r.Registry()
+	sp := newSpillParts(mem, name, attrs, reg)
+	err := consumeErr(c.r, func(t Tuple) error {
+		p := 0
+		if !t[c.yi].D.IsNull() {
+			p = idPartOf(res.CanonicalID(t[c.yi].D), sp.parts())
+		}
+		return sp.add(p, t)
+	})
+	if err != nil {
+		sp.release()
+		return err
+	}
+	memT := sp.memTuples()
+	c.p2 = NewRelation(name, reg, attrs...)
+	c.p2.Tuples = memT
+	c.index = newIDIndex(res, memT, c.yi)
+	if sp.anySpilled() {
+		c.bspill = sp
+		c.probes = make([]*spillFile, sp.parts())
+	} else {
+		sp.release()
+	}
+	return nil
+}
+
+// deferProbe routes a probe row whose key lands in a spilled build
+// partition to that partition's probe file.
+func (c *joinStream) deferProbe(p int, t Tuple) error {
+	if c.probes[p] == nil {
+		f, err := newSpillFile(c.bspill.mem, c.l.Name(), c.l.Attrs(), c.reg)
+		if err != nil {
+			return err
+		}
+		c.probes[p] = f
+	}
+	return c.probes[p].add(t)
+}
+
+// nextProbe returns the next probe batch: left batches while the left
+// lasts, then — in hybrid mode — each spilled partition's deferred probe
+// rows, with p2 and the index swapped to that partition's reloaded build
+// rows first (safe at a batch boundary: all prior matches are emitted).
+func (c *joinStream) nextProbe() ([]Tuple, error) {
+	if !c.leftDone {
+		batch, err := c.l.Next()
+		if err != io.EOF || c.bspill == nil {
+			return batch, err
+		}
+		c.leftDone = true
+	}
+	res := c.a.Resolver()
+	for c.nextPart < c.bspill.parts() {
+		p := c.nextPart
+		c.nextPart++
+		pf := c.probes[p]
+		if pf == nil {
+			continue // no probe rows keyed into this partition
+		}
+		build, err := c.bspill.files[p].load()
+		if err != nil {
+			return nil, err
+		}
+		c.bspill.files[p].discard()
+		c.bspill.files[p] = nil
+		probe, err := pf.load()
+		if err != nil {
+			return nil, err
+		}
+		pf.discard()
+		c.probes[p] = nil
+		if len(probe) == 0 {
+			continue
+		}
+		c.p2.Tuples = build
+		c.index = newIDIndex(res, build, c.yi)
+		return probe, nil
+	}
+	return nil, io.EOF
 }
 
 // probeBatch is the ParallelCursor fn of the parallel probe path: join one
@@ -572,6 +847,11 @@ func (c *joinStream) probeBatch(batch []Tuple, emit func([]Tuple) bool) error {
 // the ParallelCursor owns the left cursor (its dispatcher may be inside
 // l.Next) and must be the one to close it.
 func (c *joinStream) Close() error {
+	c.bspill.release()
+	for _, f := range c.probes {
+		f.discard()
+	}
+	c.probes = nil
 	if c.delegate != nil {
 		c.err = io.EOF
 		err := c.delegate.Close()

@@ -1,0 +1,129 @@
+package faultinject
+
+// The disk fault layer: deterministic, seeded wrappers for the persistence
+// seams of internal/store — the write path (FlakyFile implements
+// segment.File over the real log handle) and the recovery read path
+// (FlipReader rots bytes as they are read). The kill-matrix tests in
+// internal/store are proven against these: whatever faults fire, recovery
+// must still yield exactly a prefix of acknowledged writes.
+//
+// As with the network layer above, every fault draws from an atomic counter
+// phase-rotated by the profile's Seed — same profile, same seed, same
+// faults, every run.
+
+import (
+	"io"
+	"sync/atomic"
+)
+
+// DiskProfile fixes a FlakyFile's fault schedule. Cadences follow the
+// package convention: every Nth call, phase-rotated by Seed, 0 disables.
+type DiskProfile struct {
+	// Seed rotates the phase of every cadence counter.
+	Seed int64
+
+	// ShortWriteEvery: every Nth Write persists only half the buffer and
+	// fails — a torn record. The store must latch read-only and recovery
+	// must truncate the tail.
+	ShortWriteEvery int
+	// WriteErrEvery: every Nth Write fails without persisting anything.
+	WriteErrEvery int
+	// SyncErrEvery: every Nth Sync fails after the data reached the OS —
+	// the fsync-returned-EIO case a durable store must treat as fatal for
+	// the acknowledgment, not as retryable. (Torn final records — the crash
+	// case — are produced by the kill-matrix tests truncating the log at
+	// every byte, not by a cadence.)
+	SyncErrEvery int
+}
+
+// FlakyFile wraps a segment.File with the profile's write-path faults. It is
+// the value store.Options.WrapFile returns.
+type FlakyFile struct {
+	inner interface {
+		io.Writer
+		io.Closer
+		Sync() error
+	}
+	p      DiskProfile
+	writes atomic.Int64
+	syncs  atomic.Int64
+
+	injectedWrites atomic.Int64
+	injectedSyncs  atomic.Int64
+}
+
+// WrapFile wraps f with profile p.
+func WrapFile(f interface {
+	io.Writer
+	io.Closer
+	Sync() error
+}, p DiskProfile) *FlakyFile {
+	return &FlakyFile{inner: f, p: p}
+}
+
+// Injected reports how many write and sync faults have fired.
+func (f *FlakyFile) Injected() (writes, syncs int64) {
+	return f.injectedWrites.Load(), f.injectedSyncs.Load()
+}
+
+func (f *FlakyFile) Write(b []byte) (int, error) {
+	n := f.writes.Add(1)
+	switch {
+	case hit(n, f.p.ShortWriteEvery, f.p.Seed):
+		f.injectedWrites.Add(1)
+		written, _ := f.inner.Write(b[:len(b)/2])
+		return written, &Error{Kind: "shortwrite", Target: "disk", N: n}
+	case hit(n, f.p.WriteErrEvery, f.p.Seed):
+		f.injectedWrites.Add(1)
+		return 0, &Error{Kind: "writeerr", Target: "disk", N: n}
+	}
+	return f.inner.Write(b)
+}
+
+func (f *FlakyFile) Sync() error {
+	n := f.syncs.Add(1)
+	if hit(n, f.p.SyncErrEvery, f.p.Seed) {
+		f.injectedSyncs.Add(1)
+		// The data may or may not be durable — exactly the ambiguity of a
+		// real EIO from fsync. The store must not re-acknowledge.
+		f.inner.Sync()
+		return &Error{Kind: "syncerr", Target: "disk", N: n}
+	}
+	return f.inner.Sync()
+}
+
+func (f *FlakyFile) Close() error { return f.inner.Close() }
+
+// FlipReader wraps a reader and flips one bit in every FlipEvery-th byte
+// delivered — read-time bit rot. The CRC32C framing must turn every flip
+// into a detected corruption, never a silently wrong payload.
+type FlipReader struct {
+	inner io.Reader
+	// FlipEvery: every Nth byte delivered has one bit flipped (0 disables).
+	FlipEvery int
+	// Seed rotates which byte of each window is flipped and which bit.
+	Seed    int64
+	n       int64
+	Flipped int64
+}
+
+// NewFlipReader wraps r, flipping a bit in every flipEvery-th byte.
+func NewFlipReader(r io.Reader, flipEvery int, seed int64) *FlipReader {
+	return &FlipReader{inner: r, FlipEvery: flipEvery, Seed: seed}
+}
+
+func (r *FlipReader) Read(b []byte) (int, error) {
+	n, err := r.inner.Read(b)
+	if r.FlipEvery > 0 {
+		for i := 0; i < n; i++ {
+			r.n++
+			if hit(r.n, r.FlipEvery, r.Seed) {
+				b[i] ^= 1 << uint((r.Seed+r.n)%8)
+				r.Flipped++
+			}
+		}
+	} else {
+		r.n += int64(n)
+	}
+	return n, err
+}

@@ -127,6 +127,17 @@ type LQP interface {
 	Execute(op Op) (*rel.Relation, error)
 }
 
+// Inserter is the optional mutation capability: an LQP that accepts writes.
+// A nil return acknowledges the write — for a durable node (store.LQP) that
+// promise extends across crashes per its fsync policy, for an in-memory one
+// only across the process lifetime. The wire protocol exposes it as the
+// "insert" request kind, which is deliberately excluded from the client's
+// idle-retry: a write whose response was lost has an unknown outcome, and
+// replaying it could double-apply.
+type Inserter interface {
+	Insert(relation string, tuples []rel.Tuple) error
+}
+
 // Local is an in-process LQP over a catalog.Database.
 type Local struct {
 	db *catalog.Database
@@ -140,6 +151,12 @@ func (l *Local) Name() string { return l.db.Name() }
 
 // Relations implements LQP.
 func (l *Local) Relations() ([]string, error) { return l.db.Relations(), nil }
+
+// Insert implements Inserter (in-memory only: a restart loses the rows;
+// store.LQP overrides this with the write-ahead-logged path).
+func (l *Local) Insert(relation string, tuples []rel.Tuple) error {
+	return l.db.Insert(relation, tuples...)
+}
 
 // Execute implements LQP.
 func (l *Local) Execute(op Op) (*rel.Relation, error) {

@@ -170,6 +170,27 @@ func (q *PQP) SetParallel(workers, threshold int) {
 	q.alg.SetParallel(&core.Parallel{Pool: exec.NewPool(workers), Threshold: threshold})
 }
 
+// SetMemoryBudget bounds the blocking tuple state of every hash operator
+// run by this PQP: past budget bytes, overflow partitions grace-spill to
+// checksummed temp segments under tempDir ("" = the OS temp dir) and are
+// processed from disk, so a query's working set no longer has to fit in
+// memory (core/spill.go). budget <= 0 removes the bound. A budgeted PQP's
+// operators build serially — the budget and the intra-operator parallel
+// path (SetParallel) are mutually exclusive, and the budget wins. Like
+// SetParallel this is wiring-time configuration: call it before the PQP is
+// shared across goroutines.
+func (q *PQP) SetMemoryBudget(budget int64, tempDir string) {
+	if budget <= 0 {
+		q.alg.SetMemory(nil)
+		return
+	}
+	q.alg.SetMemory(&core.Memory{Budget: budget, TempDir: tempDir})
+}
+
+// MemoryConfig returns the PQP's spill budget, nil if none — the
+// observability layer reads its counters into V$MEM and /metrics.
+func (q *PQP) MemoryConfig() *core.Memory { return q.alg.Memory() }
+
 // ParallelWorkers reports the size of the PQP's intra-operator worker pool
 // (1 when the parallel path is disabled or single-worker) — benchmark
 // labels include it so results are comparable across machines.

@@ -1,0 +1,73 @@
+package store
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/lqp"
+	"repro/internal/rel"
+)
+
+// LQP is a durable local query processor: lqp.Local for the read side
+// (retrieval, plans, streaming — all promoted from the embedded processor),
+// with mutations routed through the write-ahead log. It is what
+// `lqpd -data-dir` serves.
+type LQP struct {
+	*lqp.Local
+	st *Store
+}
+
+// NewLQP wraps a store as a durable LQP node.
+func NewLQP(st *Store) *LQP {
+	return &LQP{Local: lqp.NewLocal(st.DB()), st: st}
+}
+
+// Store returns the underlying store (for stats and compaction).
+func (l *LQP) Store() *Store { return l.st }
+
+// Insert implements lqp.Inserter: the write is logged and fsynced per the
+// store's policy before a nil return acknowledges it.
+func (l *LQP) Insert(relation string, tuples []rel.Tuple) error {
+	return l.st.Insert(relation, tuples...)
+}
+
+// The process-wide registry backing the V$STORE virtual table and the
+// polygen_store_* metrics: every open store a process serves, by database
+// name.
+var (
+	regMu    sync.Mutex
+	registry = map[string]*Store{}
+)
+
+// Register adds a store to the process registry under name, replacing any
+// previous entry.
+func Register(name string, s *Store) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[name] = s
+}
+
+// Unregister removes a registry entry.
+func Unregister(name string) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	delete(registry, name)
+}
+
+// Each calls fn for every registered store in name order.
+func Each(fn func(name string, stats Stats)) {
+	regMu.Lock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	stores := make([]*Store, len(names))
+	sort.Strings(names)
+	for i, n := range names {
+		stores[i] = registry[n]
+	}
+	regMu.Unlock()
+	for i, n := range names {
+		fn(n, stores[i].Stats())
+	}
+}

@@ -11,6 +11,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"repro/internal/store"
 )
 
 // metricsContentType is the Prometheus text exposition format version.
@@ -169,5 +171,36 @@ func (v *Tables) writeMetrics(b *strings.Builder) {
 		family(b, "polygen_source_errors_total", "counter", "Failed replica calls per source.", errs)
 		family(b, "polygen_source_retries_total", "counter", "Retried (or failed-over) calls per source.", retries)
 		family(b, "polygen_source_hedges_total", "counter", "Hedged requests launched per source.", hedges)
+	}
+
+	if s.Stores != nil {
+		var gen, appends, appended, syncs, compactions, logBytes, truncated, broken []sample
+		s.Stores(func(name string, st store.Stats) {
+			l := labels("store", name)
+			gen = append(gen, sample{labels: l, value: fmt.Sprintf("%d", st.Generation)})
+			appends = append(appends, sample{labels: l, value: fmt.Sprintf("%d", st.Appends)})
+			appended = append(appended, sample{labels: l, value: fmt.Sprintf("%d", st.AppendedBytes)})
+			syncs = append(syncs, sample{labels: l, value: fmt.Sprintf("%d", st.Syncs)})
+			compactions = append(compactions, sample{labels: l, value: fmt.Sprintf("%d", st.Compactions)})
+			logBytes = append(logBytes, sample{labels: l, value: fmt.Sprintf("%d", st.LogBytes)})
+			truncated = append(truncated, sample{labels: l, value: fmt.Sprintf("%d", st.TruncatedBytes)})
+			broken = append(broken, sample{labels: l, value: boolVal(st.Broken)})
+		})
+		family(b, "polygen_store_generation", "gauge", "Current snapshot/log generation of the durable store.", gen)
+		family(b, "polygen_store_appends_total", "counter", "Records appended to the write-ahead log this process.", appends)
+		family(b, "polygen_store_appended_bytes_total", "counter", "Bytes appended to the write-ahead log this process.", appended)
+		family(b, "polygen_store_syncs_total", "counter", "fsync calls issued against the write-ahead log.", syncs)
+		family(b, "polygen_store_compactions_total", "counter", "Snapshot rotations (log compactions) performed.", compactions)
+		family(b, "polygen_store_log_bytes", "gauge", "Current clean size of the write-ahead log.", logBytes)
+		family(b, "polygen_store_truncated_bytes", "gauge", "Torn or corrupt log bytes discarded at recovery.", truncated)
+		family(b, "polygen_store_broken", "gauge", "Whether a log failure has latched the store read-only.", broken)
+	}
+
+	if m := s.Memory; m != nil && m.Budget > 0 {
+		gauge(b, "polygen_spill_budget_bytes", "Memory budget above which hash operators spill partitions to disk.", num(m.Budget))
+		counter(b, "polygen_spill_partitions_total", "Operator partitions grace-spilled to temp segments.", num(m.Spills.Load()))
+		counter(b, "polygen_spill_rows_total", "Tuples written to spill segments.", num(m.SpilledRows.Load()))
+		counter(b, "polygen_spill_bytes_total", "Framed bytes written to spill segments.", num(m.SpilledBytes.Load()))
+		counter(b, "polygen_spill_reloads_total", "Spilled partition files read back for processing.", num(m.Reloads.Load()))
 	}
 }

@@ -1,0 +1,82 @@
+package vtab
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/lqp"
+	"repro/internal/rel"
+	"repro/internal/store"
+)
+
+// TestStoreAndMemTables binds a live durable store and a spill budget and
+// proves V$STORE / V$MEM and the matching /metrics families observe them.
+func TestStoreAndMemTables(t *testing.T) {
+	seed := catalog.NewDatabase("DUR")
+	seed.MustCreate("R", rel.SchemaOf("K", "V"), "K")
+	st, err := store.Open(t.TempDir(), "", seed, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Insert("R", rel.Tuple{rel.String("a"), rel.String("1")}); err != nil {
+		t.Fatal(err)
+	}
+	mem := &core.Memory{Budget: 1 << 20, Partitions: 8}
+	mem.Spills.Add(3)
+	mem.SpilledRows.Add(42)
+
+	store.Register("DUR", st)
+	defer store.Unregister("DUR")
+	vt := New()
+	vt.Bind(Sources{Stores: store.Each, Memory: mem})
+
+	r, err := vt.Execute(lqp.Retrieve("V$STORE"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Tuples) != 1 {
+		t.Fatalf("V$STORE has %d rows, want 1", len(r.Tuples))
+	}
+	row := r.Tuples[0]
+	if row[0].Str() != "DUR" {
+		t.Fatalf("STORE = %q", row[0].Str())
+	}
+	if appends := row[3].IntVal(); appends != 1 {
+		t.Fatalf("APPENDS = %d, want 1", appends)
+	}
+	if broken := row[11].BoolVal(); broken {
+		t.Fatal("BROKEN = true for a healthy store")
+	}
+
+	m, err := vt.Execute(lqp.Retrieve("V$MEM"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Tuples) != 1 {
+		t.Fatalf("V$MEM has %d rows, want 1", len(m.Tuples))
+	}
+	if budget := m.Tuples[0][0].IntVal(); budget != 1<<20 {
+		t.Fatalf("BUDGET_BYTES = %d", budget)
+	}
+	if spills := m.Tuples[0][2].IntVal(); spills != 3 {
+		t.Fatalf("SPILLS = %d, want 3", spills)
+	}
+
+	rec := httptest.NewRecorder()
+	vt.MetricsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		`polygen_store_appends_total{store="DUR"} 1`,
+		`polygen_store_broken{store="DUR"} 0`,
+		"polygen_spill_budget_bytes 1048576",
+		"polygen_spill_rows_total 42",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

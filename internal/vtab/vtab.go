@@ -8,9 +8,10 @@
 // engine dogfoods its own machinery on a new kind of source — small, hot,
 // constantly mutating tables.
 //
-// The seven tables are V$SESSION, V$STMT, V$PLAN_CACHE, V$POOL,
-// V$SOURCE_STATS, V$FAULT and V$SHARD; see the specs below (and the schema
-// reference table in docs/ARCHITECTURE.md) for their columns.
+// The nine tables are V$SESSION, V$STMT, V$PLAN_CACHE, V$POOL,
+// V$SOURCE_STATS, V$FAULT, V$SHARD, V$STORE and V$MEM; see the specs below
+// (and the schema reference table in docs/ARCHITECTURE.md) for their
+// columns.
 //
 // # Snapshot consistency contract
 //
@@ -49,6 +50,7 @@ import (
 	"repro/internal/mediator"
 	"repro/internal/rel"
 	"repro/internal/stats"
+	"repro/internal/store"
 	"repro/internal/translate"
 )
 
@@ -80,6 +82,13 @@ type Sources struct {
 	// Registry feeds the per-replica health and latency-estimator columns
 	// of V$SOURCE_STATS and enumerates sources for V$FAULT.
 	Registry *federation.Registry
+	// Stores enumerates the process's durable stores in name order
+	// (store.Each fits directly); it feeds V$STORE. nil when the process
+	// hosts no write-ahead-logged database.
+	Stores func(fn func(name string, st store.Stats))
+	// Memory is the engine's spill budget (core.Memory); it feeds V$MEM.
+	// nil means unbudgeted execution, contributing no rows.
+	Memory *core.Memory
 }
 
 // Tables is the synthetic LQP serving the V$ virtual tables. It implements
@@ -164,6 +173,23 @@ var specs = []tableSpec{
 		// gathered answers (ROWS is per shard, repeated across its replicas).
 		columns: []string{"SOURCE", "SHARD", "SHARDS", "REPLICA", "HEALTHY", "ROWS"},
 		build:   buildShards,
+	},
+	{
+		name: "V$STORE",
+		// One row per durable store hosted by this process: write-ahead-log
+		// generation and size, append/sync/compaction counters, what
+		// recovery replayed and truncated at boot, and whether a log
+		// failure has latched the store read-only.
+		columns: []string{"STORE", "DIR", "GENERATION", "APPENDS", "APPENDED_BYTES", "SYNCS", "COMPACTIONS", "REPLAY_RECORDS", "REPLAY_BYTES", "TRUNCATED_BYTES", "LOG_BYTES", "BROKEN"},
+		build:   buildStores,
+	},
+	{
+		name: "V$MEM",
+		// One row when a spill budget is configured: the budget and
+		// fan-out, and the cumulative spill traffic (partitions, rows and
+		// framed bytes written; partition files read back).
+		columns: []string{"BUDGET_BYTES", "PARTITIONS", "SPILLS", "SPILLED_ROWS", "SPILLED_BYTES", "RELOADS"},
+		build:   buildMem,
 	},
 }
 
@@ -363,6 +389,49 @@ func buildShards(s Sources) []rel.Tuple {
 	}
 	sortTuples(out)
 	return out
+}
+
+func buildStores(s Sources) []rel.Tuple {
+	if s.Stores == nil {
+		return nil
+	}
+	var out []rel.Tuple
+	s.Stores(func(name string, st store.Stats) {
+		out = append(out, rel.Tuple{
+			rel.String(name),
+			rel.String(st.Dir),
+			rel.Int(st.Generation),
+			rel.Int(st.Appends),
+			rel.Int(st.AppendedBytes),
+			rel.Int(st.Syncs),
+			rel.Int(st.Compactions),
+			rel.Int(st.ReplayRecords),
+			rel.Int(st.ReplayBytes),
+			rel.Int(st.TruncatedBytes),
+			rel.Int(st.LogBytes),
+			rel.Bool(st.Broken),
+		})
+	})
+	return out
+}
+
+func buildMem(s Sources) []rel.Tuple {
+	m := s.Memory
+	if m == nil || m.Budget <= 0 {
+		return nil
+	}
+	parts := int64(m.Partitions)
+	if parts <= 0 {
+		parts = core.DefaultSpillPartitions
+	}
+	return []rel.Tuple{{
+		rel.Int(m.Budget),
+		rel.Int(parts),
+		rel.Int(m.Spills.Load()),
+		rel.Int(m.SpilledRows.Load()),
+		rel.Int(m.SpilledBytes.Load()),
+		rel.Int(m.Reloads.Load()),
+	}}
 }
 
 // sortTuples orders snapshot rows by their rendered cells, so tables whose

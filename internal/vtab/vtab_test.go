@@ -14,7 +14,7 @@ import (
 
 func TestTableNames(t *testing.T) {
 	names := TableNames()
-	want := []string{"V$SESSION", "V$STMT", "V$PLAN_CACHE", "V$POOL", "V$SOURCE_STATS", "V$FAULT", "V$SHARD"}
+	want := []string{"V$SESSION", "V$STMT", "V$PLAN_CACHE", "V$POOL", "V$SOURCE_STATS", "V$FAULT", "V$SHARD", "V$STORE", "V$MEM"}
 	if !reflect.DeepEqual(names, want) {
 		t.Fatalf("TableNames() = %v, want %v", names, want)
 	}

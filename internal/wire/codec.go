@@ -1,55 +1,20 @@
 package wire
 
-// This file implements the binary frame codec: the zero-copy columnar wire
-// format that replaces gob for the row frames of streamed results. Control
-// messages (requests, responses, the frame envelope itself) stay gob — the
-// codec's payload rides inside the envelope as one opaque byte slice
-// (frame.Bin), because a gob decoder buffers ahead and cannot share a
-// connection with raw interleaved bytes.
+// The binary frame codec: the zero-copy columnar wire format that replaces
+// gob for the row frames of streamed results. Control messages (requests,
+// responses, the frame envelope itself) stay gob — the codec's payload rides
+// inside the envelope as one opaque byte slice (frame.Bin), because a gob
+// decoder buffers ahead and cannot share a connection with raw interleaved
+// bytes.
 //
-// A payload is one column-major batch:
-//
-//	plain frame ("open"/"openplan" streams)
-//	+-------+--------+--------+----------------- ... -----+
-//	| 0xC1  | ncols  | nrows  | column 0 | column 1 | ... |
-//	+-------+--------+--------+----------------- ... -----+
-//
-//	tagged frame ("queryopen" streams)
-//	+-------+--------+--------+---------+--------+---------------- ... ----+
-//	| 0xC2  | ncols  | nrows  | sources | sets   | tagged col 0 | ...      |
-//	+-------+--------+--------+---------+--------+---------------- ... ----+
-//
-// where every integer is an unsigned varint and every column is
-//
-//	+------------------+-------------------+---------------+-----------+
-//	| kinds (nrows B)  | packed payloads   | string lens   | blob      |
-//	+------------------+-------------------+---------------+-----------+
-//
-//	kinds     one rel.Kind byte per row
-//	payloads  row order: Int/Float 8 B little-endian, Bool 1 B, else none
-//	lens      one uvarint per string row (byte length)
-//	blob      the string bytes, concatenated in row order
-//
-// A tagged column is a plain column followed by two tag-index vectors, one
-// uvarint per row each (origin then intermediate), indexing the frame's set
-// directory. The directories come once per frame:
-//
-//	sources   uvarint count, then per name: uvarint len + bytes
-//	sets      uvarint count (>= 1; set 0 is the empty set), then per set:
-//	          uvarint member count + one uvarint source index per member
-//
-// Decoding is O(columns + directory entries) allocations, not O(rows x
-// columns): each column materializes as a few packed vectors, each string
-// column as one blob copy sliced into zero-copy substrings, and each
-// distinct tag set once — cells hold uint32 indexes. Every length prefix is
-// validated against the bytes actually remaining before anything is
-// allocated, so a corrupt or hostile payload fails with an error instead of
-// an over-allocation or a panic.
+// The byte layout itself lives beside the batch types it serializes —
+// rel/codec.go for plain frames (0xC1), core/codec.go for source-tagged
+// frames (0xC2) — because the write-ahead segment log (internal/store) and
+// the spill files of the budgeted hash operators persist the very same
+// frames. This file only binds the codec into the protocol: the negotiation
+// token and the per-stream append/decode helpers.
 
 import (
-	"encoding/binary"
-	"fmt"
-
 	"repro/internal/core"
 	"repro/internal/rel"
 	"repro/internal/sourceset"
@@ -62,392 +27,24 @@ const (
 	// unknown gob field silently, so either side falls back to gob frames.
 	codecBinary = "bin"
 
-	magicPlain  = 0xC1 // untagged columnar frame (rel.ColBatch)
-	magicTagged = 0xC2 // source-tagged columnar frame (core.ColBatch)
+	magicPlain  = rel.FrameMagicPlain   // untagged columnar frame (rel.ColBatch)
+	magicTagged = core.FrameMagicTagged // source-tagged columnar frame (core.ColBatch)
 )
 
-// appendColumn appends one plain column in wire order: kinds, packed
-// payloads, string lengths, string blob.
-func appendColumn(buf []byte, c *rel.Column) []byte {
-	for _, k := range c.Kinds {
-		buf = append(buf, byte(k))
-	}
-	for i, k := range c.Kinds {
-		switch k {
-		case rel.KindInt, rel.KindFloat:
-			var w uint64
-			if c.Nums != nil {
-				w = c.Nums[i]
-			}
-			buf = binary.LittleEndian.AppendUint64(buf, w)
-		case rel.KindBool:
-			var b byte
-			if c.Nums != nil && c.Nums[i] != 0 {
-				b = 1
-			}
-			buf = append(buf, b)
-		}
-	}
-	for i, k := range c.Kinds {
-		if k == rel.KindString {
-			var s string
-			if c.Strs != nil {
-				s = c.Strs[i]
-			}
-			buf = binary.AppendUvarint(buf, uint64(len(s)))
-		}
-	}
-	for i, k := range c.Kinds {
-		if k == rel.KindString && c.Strs != nil {
-			buf = append(buf, c.Strs[i]...)
-		}
-	}
-	return buf
-}
-
 // appendRelFrame appends one plain columnar frame to buf and returns it.
-func appendRelFrame(buf []byte, b *rel.ColBatch) []byte {
-	d := b.Schema().Len()
-	buf = append(buf, magicPlain)
-	buf = binary.AppendUvarint(buf, uint64(d))
-	buf = binary.AppendUvarint(buf, uint64(b.Len()))
-	for ci := 0; ci < d; ci++ {
-		buf = appendColumn(buf, b.Col(ci))
-	}
-	return buf
-}
+func appendRelFrame(buf []byte, b *rel.ColBatch) []byte { return rel.AppendFrame(buf, b) }
 
 // appendCoreFrame appends one tagged columnar frame to buf and returns it.
-// The frame carries its own source-name directory (resolved through the
-// batch's registry), so the receiver re-interns names instead of trusting
-// registry IDs across the wire.
-func appendCoreFrame(buf []byte, b *core.ColBatch) []byte {
-	d := b.Degree()
-	buf = append(buf, magicTagged)
-	buf = binary.AppendUvarint(buf, uint64(d))
-	buf = binary.AppendUvarint(buf, uint64(b.Len()))
-
-	// Source-name directory: every ID referenced by the set dictionary, in
-	// first-reference order.
-	index := make(map[sourceset.ID]uint64)
-	var names []string
-	for _, s := range b.Sets {
-		for _, id := range s.IDs() {
-			if _, ok := index[id]; !ok {
-				index[id] = uint64(len(names))
-				names = append(names, b.Reg.Name(id))
-			}
-		}
-	}
-	buf = binary.AppendUvarint(buf, uint64(len(names)))
-	for _, name := range names {
-		buf = binary.AppendUvarint(buf, uint64(len(name)))
-		buf = append(buf, name...)
-	}
-
-	// Set directory: the batch's tag dictionary, each set as source indexes.
-	buf = binary.AppendUvarint(buf, uint64(len(b.Sets)))
-	for _, s := range b.Sets {
-		ids := s.IDs()
-		buf = binary.AppendUvarint(buf, uint64(len(ids)))
-		for _, id := range ids {
-			buf = binary.AppendUvarint(buf, index[id])
-		}
-	}
-
-	for ci := 0; ci < d; ci++ {
-		buf = appendColumn(buf, &b.Data[ci])
-		for _, ix := range b.OTag[ci] {
-			buf = binary.AppendUvarint(buf, uint64(ix))
-		}
-		for _, ix := range b.ITag[ci] {
-			buf = binary.AppendUvarint(buf, uint64(ix))
-		}
-	}
-	return buf
-}
-
-// byteReader walks a payload with explicit bounds checks; every read that
-// would pass the end fails with an error instead of panicking.
-type byteReader struct {
-	b  []byte
-	at int
-}
-
-func (r *byteReader) remaining() int { return len(r.b) - r.at }
-
-func (r *byteReader) u8() (byte, error) {
-	if r.at >= len(r.b) {
-		return 0, fmt.Errorf("wire: frame truncated at byte %d", r.at)
-	}
-	v := r.b[r.at]
-	r.at++
-	return v, nil
-}
-
-func (r *byteReader) take(n int) ([]byte, error) {
-	if n < 0 || n > r.remaining() {
-		return nil, fmt.Errorf("wire: frame claims %d bytes with %d remaining", n, r.remaining())
-	}
-	b := r.b[r.at : r.at+n : r.at+n]
-	r.at += n
-	return b, nil
-}
-
-func (r *byteReader) uvarint() (uint64, error) {
-	v, n := binary.Uvarint(r.b[r.at:])
-	if n <= 0 {
-		return 0, fmt.Errorf("wire: frame has invalid varint at byte %d", r.at)
-	}
-	r.at += n
-	return v, nil
-}
-
-// length reads a uvarint that sizes a later read or allocation, rejecting
-// values beyond limit — the cap that keeps a hostile length prefix from
-// driving a huge allocation before the (absent) bytes are ever read.
-func (r *byteReader) length(limit int) (int, error) {
-	v, err := r.uvarint()
-	if err != nil {
-		return 0, err
-	}
-	if v > uint64(limit) {
-		return 0, fmt.Errorf("wire: frame length %d exceeds %d available bytes", v, limit)
-	}
-	return int(v), nil
-}
-
-// decodeColumn decodes one plain column of n rows.
-func decodeColumn(r *byteReader, n int) (rel.Column, error) {
-	var col rel.Column
-	kb, err := r.take(n)
-	if err != nil {
-		return col, err
-	}
-	kinds := make([]rel.Kind, n)
-	payload, strs := 0, 0
-	for i, b := range kb {
-		k := rel.Kind(b)
-		kinds[i] = k
-		switch k {
-		case rel.KindNull:
-		case rel.KindInt, rel.KindFloat:
-			payload += 8
-		case rel.KindBool:
-			payload++
-		case rel.KindString:
-			strs++
-		default:
-			return col, fmt.Errorf("wire: frame has invalid kind tag %d", b)
-		}
-	}
-	col.Kinds = kinds
-	for i, k := range kinds {
-		if k == rel.KindNull {
-			col.SetNull(i)
-		}
-	}
-	if payload > 0 {
-		pb, err := r.take(payload)
-		if err != nil {
-			return col, err
-		}
-		col.Nums = make([]uint64, n)
-		at := 0
-		for i, k := range kinds {
-			switch k {
-			case rel.KindInt, rel.KindFloat:
-				col.Nums[i] = binary.LittleEndian.Uint64(pb[at:])
-				at += 8
-			case rel.KindBool:
-				if pb[at] > 1 {
-					return col, fmt.Errorf("wire: frame has invalid bool payload %d", pb[at])
-				}
-				col.Nums[i] = uint64(pb[at])
-				at++
-			}
-		}
-	}
-	if strs > 0 {
-		// Lengths precede the blob, so the running total is always bounded by
-		// the bytes still unread; one string(...) conversion per column, rows
-		// sliced out of it zero-copy.
-		lens := make([]int, 0, strs)
-		total := 0
-		for _, k := range kinds {
-			if k != rel.KindString {
-				continue
-			}
-			l, err := r.length(r.remaining())
-			if err != nil {
-				return col, err
-			}
-			total += l
-			if total > r.remaining() {
-				return col, fmt.Errorf("wire: frame string blob of %d bytes exceeds %d remaining", total, r.remaining())
-			}
-			lens = append(lens, l)
-		}
-		blob, err := r.take(total)
-		if err != nil {
-			return col, err
-		}
-		bs := string(blob)
-		col.Strs = make([]string, n)
-		at, li := 0, 0
-		for i, k := range kinds {
-			if k == rel.KindString {
-				col.Strs[i] = bs[at : at+lens[li]]
-				at += lens[li]
-				li++
-			}
-		}
-	}
-	return col, nil
-}
+func appendCoreFrame(buf []byte, b *core.ColBatch) []byte { return core.AppendFrame(buf, b) }
 
 // decodeRelFrame decodes one plain columnar frame against the stream's
 // schema.
 func decodeRelFrame(payload []byte, schema *rel.Schema) (*rel.ColBatch, error) {
-	r := &byteReader{b: payload}
-	magic, err := r.u8()
-	if err != nil {
-		return nil, err
-	}
-	if magic != magicPlain {
-		return nil, fmt.Errorf("wire: frame magic %#x, want %#x", magic, magicPlain)
-	}
-	// ncols needs no byte-bound cap (a zero-row frame is smaller than its
-	// column count): it must equal the schema width, which bounds it.
-	ncols, err := r.uvarint()
-	if err != nil {
-		return nil, err
-	}
-	if ncols != uint64(schema.Len()) {
-		return nil, fmt.Errorf("wire: frame has %d columns for schema %s", ncols, schema)
-	}
-	// Every row costs at least one kind byte per column, and zero-width
-	// frames carry no rows; either way nrows is bounded by the payload size.
-	nrows, err := r.length(r.remaining())
-	if err != nil {
-		return nil, err
-	}
-	cols := make([]rel.Column, ncols)
-	for ci := range cols {
-		if cols[ci], err = decodeColumn(r, nrows); err != nil {
-			return nil, fmt.Errorf("wire: column %d: %w", ci, err)
-		}
-	}
-	if r.remaining() != 0 {
-		return nil, fmt.Errorf("wire: frame has %d trailing bytes", r.remaining())
-	}
-	return rel.BuildColBatch(schema, cols, nrows)
-}
-
-// decodeTagVector decodes one per-row tag-index vector, validating every
-// index against the set directory.
-func decodeTagVector(r *byteReader, n, nsets int) ([]uint32, error) {
-	out := make([]uint32, n)
-	for i := range out {
-		v, err := r.uvarint()
-		if err != nil {
-			return nil, err
-		}
-		if v >= uint64(nsets) {
-			return nil, fmt.Errorf("wire: frame tag index %d outside set directory of %d", v, nsets)
-		}
-		out[i] = uint32(v)
-	}
-	return out, nil
+	return rel.DecodeFrame(payload, schema)
 }
 
 // decodeCoreFrame decodes one tagged columnar frame into the receiver's
 // attribute space, re-interning the frame's source names into reg.
 func decodeCoreFrame(payload []byte, name string, attrs []core.Attr, reg *sourceset.Registry) (*core.ColBatch, error) {
-	r := &byteReader{b: payload}
-	magic, err := r.u8()
-	if err != nil {
-		return nil, err
-	}
-	if magic != magicTagged {
-		return nil, fmt.Errorf("wire: frame magic %#x, want %#x", magic, magicTagged)
-	}
-	// As in decodeRelFrame, ncols is bounded by the attribute list, not by
-	// the payload size.
-	ncols, err := r.uvarint()
-	if err != nil {
-		return nil, err
-	}
-	if ncols != uint64(len(attrs)) {
-		return nil, fmt.Errorf("wire: frame has %d columns for %d attributes", ncols, len(attrs))
-	}
-	nrows, err := r.length(r.remaining())
-	if err != nil {
-		return nil, err
-	}
-
-	// Source directory: each name costs at least its length prefix.
-	nsources, err := r.length(r.remaining())
-	if err != nil {
-		return nil, err
-	}
-	ids := make([]sourceset.ID, nsources)
-	for i := range ids {
-		l, err := r.length(r.remaining())
-		if err != nil {
-			return nil, err
-		}
-		nb, err := r.take(l)
-		if err != nil {
-			return nil, err
-		}
-		ids[i] = reg.Intern(string(nb))
-	}
-
-	// Set directory: each set costs at least its member-count varint.
-	nsets, err := r.length(r.remaining())
-	if err != nil {
-		return nil, err
-	}
-	if nsets < 1 {
-		return nil, fmt.Errorf("wire: frame has an empty set directory")
-	}
-	sets := make([]sourceset.Set, nsets)
-	for i := range sets {
-		members, err := r.length(r.remaining())
-		if err != nil {
-			return nil, err
-		}
-		var s sourceset.Set
-		for m := 0; m < members; m++ {
-			si, err := r.uvarint()
-			if err != nil {
-				return nil, err
-			}
-			if si >= uint64(len(ids)) {
-				return nil, fmt.Errorf("wire: frame source index %d outside directory of %d", si, len(ids))
-			}
-			s = s.With(ids[si])
-		}
-		sets[i] = s
-	}
-
-	data := make([]rel.Column, ncols)
-	otag := make([][]uint32, ncols)
-	itag := make([][]uint32, ncols)
-	for ci := range data {
-		if data[ci], err = decodeColumn(r, nrows); err != nil {
-			return nil, fmt.Errorf("wire: column %d: %w", ci, err)
-		}
-		if otag[ci], err = decodeTagVector(r, nrows, nsets); err != nil {
-			return nil, fmt.Errorf("wire: column %d origin tags: %w", ci, err)
-		}
-		if itag[ci], err = decodeTagVector(r, nrows, nsets); err != nil {
-			return nil, fmt.Errorf("wire: column %d intermediate tags: %w", ci, err)
-		}
-	}
-	if r.remaining() != 0 {
-		return nil, fmt.Errorf("wire: frame has %d trailing bytes", r.remaining())
-	}
-	return core.BuildColBatch(name, reg, attrs, data, otag, itag, sets, nrows)
+	return core.DecodeFrame(payload, name, attrs, reg)
 }

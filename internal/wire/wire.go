@@ -66,13 +66,17 @@ const DefaultMaxConns = 4
 // request is one client→server message.
 type request struct {
 	// Kind selects the operation: "name", "relations", "stats", "execute",
-	// "open", "execplan", "openplan" against an LQP server; "session",
-	// "endsession", "query", "queryopen" against a mediator server; "ping"
-	// against either (the health-check probe: the cheapest possible round
-	// trip, answered without touching the database or the mediator).
+	// "open", "execplan", "openplan", "insert" against an LQP server;
+	// "session", "endsession", "query", "queryopen" against a mediator
+	// server; "ping" against either (the health-check probe: the cheapest
+	// possible round trip, answered without touching the database or the
+	// mediator).
 	Kind string
-	// Op is the local operation for Kind == "execute" / "open".
+	// Op is the local operation for Kind == "execute" / "open"; for
+	// "insert" only Op.Relation is meaningful (the target relation).
 	Op lqp.Op
+	// Tuples carries the rows for Kind == "insert".
+	Tuples []rel.Tuple
 	// Plan is the pushed-down subplan for Kind == "execplan" / "openplan":
 	// the whole pipeline evaluates server-side and only the filtered,
 	// narrowed rows cross the wire — the transfer saving the cost-based
@@ -473,6 +477,15 @@ func (s *Server) handle(req request) response {
 			return response{Err: err.Error()}
 		}
 		return response{Stats: st}
+	case "insert":
+		ins, ok := s.local.(lqp.Inserter)
+		if !ok {
+			return response{Err: fmt.Sprintf("wire: server %q does not accept writes", s.serverName())}
+		}
+		if err := ins.Insert(req.Op.Relation, req.Tuples); err != nil {
+			return response{Err: err.Error()}
+		}
+		return response{Name: s.serverName()}
 	default:
 		return response{Err: fmt.Sprintf("wire: unknown request kind %q", req.Kind)}
 	}
@@ -707,14 +720,17 @@ func (c *Client) release(cc *clientConn, broken bool) {
 
 func (c *Client) roundTrip(req request) (response, error) {
 	resp, reused, err := c.roundTripOnce(req)
-	if err != nil && reused && req.Kind != "endsession" {
+	if err != nil && reused && req.Kind != "endsession" && req.Kind != "insert" {
 		// The failure happened on a connection that sat idle in the pool —
 		// the server may have dropped it (idle timeout, restart) before the
 		// request ever ran. The sibling idle connections are almost surely
 		// stale from the same event, so flush them all and retry once; the
 		// retry then dials fresh instead of drawing the next stale conn.
 		// Every request kind is safe to replay except "endsession" (a
-		// replayed close would mis-report an already-closed session);
+		// replayed close would mis-report an already-closed session) and
+		// "insert" (the server may have applied the write before the
+		// response was lost; a replay could double-apply, so the caller
+		// gets the ambiguous transport error instead);
 		// "session" is replay-tolerant in the weak sense that a lost
 		// response orphans one server-side session until its idle expiry.
 		c.flushIdle()
@@ -853,6 +869,16 @@ func (c *Client) ExecutePlan(p lqp.Plan) (*rel.Relation, error) {
 		return nil, fmt.Errorf("wire: execplan response carried no relation")
 	}
 	return resp.Relation.unflatten(), nil
+}
+
+// Insert implements lqp.Inserter over the wire: a nil return means the
+// server acknowledged the write (durably, if it serves a -data-dir store
+// with fsync=always). A transport error leaves the outcome unknown — the
+// request is never replayed on a retried connection, because the server may
+// have applied it before the response was lost.
+func (c *Client) Insert(relation string, tuples []rel.Tuple) error {
+	_, err := c.roundTrip(request{Kind: "insert", Op: lqp.Op{Relation: relation}, Tuples: tuples})
+	return err
 }
 
 // Stats implements lqp.StatsProvider over the wire.

@@ -19,6 +19,9 @@
 #   shard  B-SHARD (scatter-gather federation at      -> BENCH_shard.json
 #          1/2/4/8 shards vs single-endpoint:
 #          latency, cells-per-shard, key pruning)
+#   store  B-STORE (write-ahead log replay MB/s,      -> BENCH_store.json
+#          logged append overhead vs in-memory,
+#          budgeted spill join vs in-memory join)
 #
 # Every suite must produce at least one JSON record; a suite whose pattern
 # matches nothing (a renamed benchmark, a build failure swallowed by tee)
@@ -42,7 +45,8 @@ suite_pattern() {
     fault) echo 'BenchmarkFaultScenarios|BenchmarkFaultDeadline' ;;
     col) echo 'BenchmarkColumnarHashOps|BenchmarkColumnarWireStream' ;;
     shard) echo 'BenchmarkShardScatterGather|BenchmarkShardPrunedRetrieve' ;;
-    *) echo "ERROR: unknown suite '$1' (want: serve par fault col shard)" >&2; return 1 ;;
+    store) echo 'BenchmarkStoreReplay|BenchmarkStoreAppend|BenchmarkSpillJoin' ;;
+    *) echo "ERROR: unknown suite '$1' (want: serve par fault col shard store)" >&2; return 1 ;;
     esac
 }
 
@@ -53,6 +57,7 @@ suite_out() {
     fault) echo BENCH_fault.json ;;
     col) echo BENCH_col.json ;;
     shard) echo BENCH_shard.json ;;
+    store) echo BENCH_store.json ;;
     esac
 }
 
@@ -151,7 +156,7 @@ run_suite() {
 
 suites=("$@")
 if [ ${#suites[@]} -eq 0 ]; then
-    suites=(serve par fault col shard)
+    suites=(serve par fault col shard store)
 fi
 failed=0
 for s in "${suites[@]}"; do
